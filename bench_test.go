@@ -1,0 +1,197 @@
+package rafiki
+
+// Benchmark harness: one testing.B target per table/figure of the paper's
+// evaluation (Section 7), each regenerating the figure at QuickScale via
+// internal/exp and reporting its headline numbers as custom metrics.
+// cmd/rafiki-bench prints the same series at full scale.
+//
+// Run all with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure with e.g.:
+//
+//	go test -bench=BenchmarkFig8RandomTuning
+
+import (
+	"testing"
+
+	"rafiki/internal/exp"
+)
+
+// report pushes selected summary values into the benchmark output.
+func report(b *testing.B, fig *exp.Figure, keys ...string) {
+	b.Helper()
+	for _, k := range keys {
+		if v, ok := fig.Summary[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig2TaskRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := exp.Fig2Registry()
+		report(b, fig, "models_ImageClassification")
+	}
+}
+
+func BenchmarkFig3ModelProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := exp.Fig3()
+		report(b, fig, "best_accuracy", "iv3_c64")
+	}
+}
+
+func BenchmarkTable1HyperSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "knobs")
+	}
+}
+
+func BenchmarkFig6Ensemble(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig6(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "best_single", "all_four", "gain")
+	}
+}
+
+func BenchmarkFig8RandomTuning(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "study_best", "costudy_best", "study_high_trials", "costudy_high_trials")
+	}
+}
+
+func BenchmarkFig9BayesTuning(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "study_best", "costudy_best")
+	}
+}
+
+func BenchmarkFig10SingleMax(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "greedy_overdue", "rl_overdue")
+	}
+}
+
+func BenchmarkFig11Scalability(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "speedup_8w", "wall_minutes_1w", "wall_minutes_8w")
+	}
+}
+
+func BenchmarkFig13SingleMin(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig13(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "greedy_overdue", "rl_overdue")
+	}
+}
+
+func BenchmarkFig14MultiMin(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig14(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "baseline_overdue", "rl_overdue", "baseline_accuracy", "rl_accuracy")
+	}
+}
+
+func BenchmarkFig15MultiMax(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig15(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "baseline_overdue", "rl_overdue", "baseline_accuracy", "rl_accuracy")
+	}
+}
+
+func BenchmarkFig16BetaTradeoff(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig16(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "accuracy_beta0", "accuracy_beta1", "overdue_beta0", "overdue_beta1")
+	}
+}
+
+func BenchmarkAblationTieBreak(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationTieBreak(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "best_rule", "random_rule")
+	}
+}
+
+func BenchmarkAblationAlphaGreedy(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationAlphaGreedy(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "alpha_greedy_best", "always_warm_best")
+	}
+}
+
+func BenchmarkAblationBackoff(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationBackoff(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "overdue_delta_0.0", "overdue_delta_0.1", "overdue_delta_0.3")
+	}
+}
+
+func BenchmarkAblationWorkload(b *testing.B) {
+	sc := exp.QuickScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationWorkload(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, fig, "over_fraction", "peak_ratio")
+	}
+}

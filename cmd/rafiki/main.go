@@ -1,0 +1,44 @@
+// Command rafiki starts an in-process Rafiki deployment and serves its
+// RESTful API (Section 3): dataset import, training-job submission and
+// monitoring, model deployment and prediction queries.
+//
+// Usage:
+//
+//	rafiki -addr :8080 -nodes 3 -workers 3
+//
+// Then, per the paper's Section 8 example:
+//
+//	curl -X POST localhost:8080/api/v1/datasets \
+//	     -d '{"name":"food","folders":{"pizza":200,"ramen":200}}'
+//	curl -X POST localhost:8080/api/v1/train \
+//	     -d '{"name":"t","data":"food","task":"ImageClassification","hyper":{"MaxTrials":20,"CoStudy":true}}'
+//	curl localhost:8080/api/v1/train/train-0001
+//	curl -X POST localhost:8080/api/v1/inference -d '{"train_job_id":"train-0001"}'
+//	curl -X POST localhost:8080/api/v1/query/infer-0002 -d '{"img":"my_pizza.jpg"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"rafiki"
+	"rafiki/internal/rest"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.Int("nodes", 3, "simulated cluster nodes")
+	workers := flag.Int("workers", 3, "tuning workers per training job")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sys, err := rafiki.New(rafiki.Options{Nodes: *nodes, Workers: *workers, Seed: *seed})
+	if err != nil {
+		log.Fatalf("rafiki: %v", err)
+	}
+	log.Printf("rafiki listening on %s (%d nodes, %d workers/job)", *addr, *nodes, *workers)
+	if err := http.ListenAndServe(*addr, rest.NewServer(sys)); err != nil {
+		log.Fatalf("rafiki: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+// Hypertune demonstrates the training service's distributed hyper-parameter
+// tuning (Section 4.2): it runs the same tuning budget under four regimes —
+// Study vs CoStudy, each with random search and Bayesian optimization — over
+// 4 simulated worker GPUs, and prints the Figure 8/9-style comparison plus
+// the Figure 11 scalability sweep.
+//
+// Run with: go run ./examples/hypertune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rafiki/internal/tune"
+)
+
+func main() {
+	const trials = 80
+	fmt.Printf("tuning an 8-layer ConvNet on the CIFAR-10 surrogate, %d trials, 4 workers\n\n", trials)
+
+	type regime struct {
+		name    string
+		advisor tune.AdvisorKind
+		coStudy bool
+	}
+	regimes := []regime{
+		{"Study   + random search", tune.RandomSearch, false},
+		{"CoStudy + random search", tune.RandomSearch, true},
+		{"Study   + Bayesian opt.", tune.BayesOpt, false},
+		{"CoStudy + Bayesian opt.", tune.BayesOpt, true},
+	}
+	fmt.Printf("%-26s %10s %12s %14s %12s\n", "regime", "best acc", "trials>50%", "total epochs", "wall (min)")
+	for _, r := range regimes {
+		conf := tune.DefaultConfig("hypertune", r.coStudy)
+		conf.MaxTrials = trials
+		res, err := tune.RunSim(tune.SimOptions{
+			Conf:    conf,
+			Advisor: r.advisor,
+			Workers: 4,
+			Seed:    2026,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		high := 0
+		for _, t := range res.History {
+			if t.Accuracy > 0.5 {
+				high++
+			}
+		}
+		fmt.Printf("%-26s %10.4f %12d %14d %12.1f\n",
+			r.name, res.BestAccuracy(), high, res.Master.TotalEpochs(), res.WallSeconds/60)
+	}
+
+	fmt.Printf("\nscalability (CoStudy + random search, %d trials):\n", trials)
+	fmt.Printf("%8s %14s %12s\n", "workers", "wall (min)", "best acc")
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		conf := tune.DefaultConfig("hypertune-scale", true)
+		conf.MaxTrials = trials
+		res, err := tune.RunSim(tune.SimOptions{Conf: conf, Advisor: tune.RandomSearch, Workers: w, Seed: 2026})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mins := res.WallSeconds / 60
+		if w == 1 {
+			base = mins
+		}
+		fmt.Printf("%8d %14.1f %12.4f\n", w, mins, res.BestAccuracy())
+		if w == 8 {
+			fmt.Printf("8-worker speedup: %.1fx\n", base/mins)
+		}
+	}
+}

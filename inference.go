@@ -1,0 +1,211 @@
+package rafiki
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/sim"
+)
+
+// InferenceJob is a deployed ensemble serving queries (Figure 2's infer.py).
+type InferenceJob struct {
+	ID     string
+	Models []ModelInstance
+	// Classes is the label vocabulary (from the training dataset).
+	Classes []string
+	// queries counts served requests.
+	queries uint64
+}
+
+// Inference deploys trained models for serving (Figure 2's
+// rafiki.Inference(models).run()). Deployment is instant: the parameters are
+// already in the shared parameter server — the paper's point about unifying
+// the two services.
+func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("rafiki: inference job needs at least one model")
+	}
+	// Validate every checkpoint is fetchable from the parameter server.
+	var classes []string
+	for _, m := range models {
+		if _, err := s.bestCheckpoint(m.Model); err != nil {
+			return nil, fmt.Errorf("rafiki: model %s not deployable: %w", m.Model, err)
+		}
+	}
+	// Recover the label vocabulary from the training job encoded in the
+	// checkpoint key ("<jobID>/<model>/<trial>").
+	for _, m := range models {
+		parts := strings.SplitN(m.CheckpointKey, "/", 2)
+		if len(parts) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		job, ok := s.trainJobs[parts[0]]
+		s.mu.Unlock()
+		if ok {
+			if ds, err := s.Dataset(job.Conf.Data); err == nil {
+				classes = ds.Classes
+				break
+			}
+		}
+	}
+	if classes == nil {
+		classes = []string{"negative", "positive"} // generic fallback
+	}
+	job := &InferenceJob{
+		ID:      s.nextID("infer"),
+		Models:  append([]ModelInstance(nil), models...),
+		Classes: append([]string(nil), classes...),
+	}
+	s.mu.Lock()
+	s.inferJobs[job.ID] = job
+	s.mu.Unlock()
+	return job, nil
+}
+
+// InferenceJobByID returns a deployed job.
+func (s *System) InferenceJobByID(id string) (*InferenceJob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.inferJobs[id]
+	if !ok {
+		return nil, fmt.Errorf("rafiki: unknown inference job %q", id)
+	}
+	return job, nil
+}
+
+// QueryResult is a prediction (Figure 2's query.py response).
+type QueryResult struct {
+	// Label is the predicted class name.
+	Label string
+	// Confidence is the deployed ensemble's estimated accuracy.
+	Confidence float64
+	// Votes maps each model to its individual prediction.
+	Votes map[string]string
+}
+
+// Query classifies one payload against a deployed ensemble using majority
+// voting with the best-model tie-break (Section 5.2).
+//
+// Predictions are simulated (DESIGN.md §2): each deployed model answers
+// correctly with probability equal to its trained validation accuracy,
+// with errors correlated across models through a shared per-request
+// difficulty draw. The ground-truth label is recovered from the payload when
+// it embeds a class name (handy for demos: querying "my_pizza.jpg" grounds
+// the truth at "pizza"), otherwise it is a deterministic hash of the
+// payload.
+func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
+	job, err := s.InferenceJobByID(jobID)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("rafiki: empty query payload")
+	}
+	truth := s.truthFor(job, payload)
+
+	// Shared difficulty draw (see zoo.Predictor for the construction).
+	req := sim.NewRNG(int64(payloadHash(payload)) ^ 0x5f3759df)
+	sharedU := req.Float64()
+	sharedDistractor := otherClass(req, len(job.Classes), truth)
+	const rho = 0.75
+
+	preds := make([]int, len(job.Models))
+	accs := make([]float64, len(job.Models))
+	votes := map[string]string{}
+	for i, m := range job.Models {
+		mr := sim.NewRNG(int64(payloadHash(payload)) ^ int64(payloadHash([]byte(m.Model))))
+		u := sharedU
+		if !mr.Bernoulli(rho) {
+			u = mr.Float64()
+		}
+		if u < m.Accuracy {
+			preds[i] = truth
+		} else if mr.Bernoulli(0.4) {
+			preds[i] = sharedDistractor
+		} else {
+			preds[i] = otherClass(mr, len(job.Classes), truth)
+		}
+		accs[i] = m.Accuracy
+		votes[m.Model] = job.Classes[preds[i]]
+	}
+	winner, err := ensemble.Vote(preds, accs)
+	if err != nil {
+		return nil, err
+	}
+	job.queries++
+	return &QueryResult{
+		Label:      job.Classes[winner],
+		Confidence: ensembleConfidence(accs),
+		Votes:      votes,
+	}, nil
+}
+
+// truthFor grounds the simulated true label: an embedded class name wins,
+// otherwise a payload hash.
+func (s *System) truthFor(job *InferenceJob, payload []byte) int {
+	lower := strings.ToLower(string(payload))
+	// Longest class-name match wins ("seafood_pizza" should match the most
+	// specific embedded class).
+	best, bestLen := -1, 0
+	for i, c := range job.Classes {
+		if strings.Contains(lower, strings.ToLower(c)) && len(c) > bestLen {
+			best, bestLen = i, len(c)
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return int(payloadHash(payload) % uint64(len(job.Classes)))
+}
+
+func otherClass(r *sim.RNG, n, truth int) int {
+	if n < 2 {
+		return truth
+	}
+	d := r.Intn(n - 1)
+	if d >= truth {
+		d++
+	}
+	return d
+}
+
+// ensembleConfidence estimates ensemble accuracy from member accuracies:
+// a majority-vote upper bound blended toward the best member.
+func ensembleConfidence(accs []float64) float64 {
+	if len(accs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), accs...)
+	sort.Float64s(s)
+	best := s[len(s)-1]
+	mean := 0.0
+	for _, a := range s {
+		mean += a
+	}
+	mean /= float64(len(s))
+	if len(s) == 1 {
+		return best
+	}
+	boost := 0.02 * float64(len(s)-1)
+	c := best + boost*mean
+	if c > 0.99 {
+		c = 0.99
+	}
+	return c
+}
+
+func payloadHash(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,365 @@
+package advisor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rafiki/internal/sim"
+)
+
+func space2D(t *testing.T) *HyperSpace {
+	t.Helper()
+	h := NewHyperSpace()
+	if err := h.AddRangeKnob("x", Float, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRangeKnob("y", Float, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAddKnobValidation(t *testing.T) {
+	h := NewHyperSpace()
+	if err := h.AddRangeKnob("", Float, 0, 1); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if err := h.AddRangeKnob("a", String, 0, 1); err == nil {
+		t.Fatal("string range knob should error")
+	}
+	if err := h.AddRangeKnob("a", Float, 1, 1); err == nil {
+		t.Fatal("empty range should error")
+	}
+	if err := h.AddRangeKnob("a", Float, -1, 1, WithLog()); err == nil {
+		t.Fatal("log with non-positive min should error")
+	}
+	if err := h.AddRangeKnob("a", Float, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRangeKnob("a", Float, 0, 1); err == nil {
+		t.Fatal("duplicate should error")
+	}
+	if err := h.AddCategoricalKnob("c", String, nil); err == nil {
+		t.Fatal("empty categorical should error")
+	}
+}
+
+func TestSampleRespectsDomains(t *testing.T) {
+	h := NewHyperSpace()
+	h.AddRangeKnob("lr", Float, 1e-4, 1, WithLog())
+	h.AddRangeKnob("layers", Int, 2, 10)
+	h.AddCategoricalKnob("kernel", String, []string{"linear", "rbf", "poly"})
+	rng := sim.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		tr, err := h.Sample("t", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, _ := tr.Float("lr")
+		if lr < 1e-4 || lr >= 1 {
+			t.Fatalf("lr = %v out of range", lr)
+		}
+		layers, _ := tr.Float("layers")
+		if layers != math.Floor(layers) || layers < 2 || layers >= 10 {
+			t.Fatalf("layers = %v not an int in range", layers)
+		}
+		k, _ := tr.Cat("kernel")
+		if k != "linear" && k != "rbf" && k != "poly" {
+			t.Fatalf("kernel = %q", k)
+		}
+	}
+}
+
+func TestTrialAccessors(t *testing.T) {
+	tr := &Trial{ID: "x", Params: map[string]Value{
+		"a": {Num: 2.5},
+		"c": {Str: "rbf", Cat: true},
+	}}
+	if _, err := tr.Float("missing"); err == nil {
+		t.Fatal("missing knob should error")
+	}
+	if _, err := tr.Float("c"); err == nil {
+		t.Fatal("categorical as float should error")
+	}
+	if _, err := tr.Cat("a"); err == nil {
+		t.Fatal("numeric as cat should error")
+	}
+	if v := tr.Params["a"].String(); v != "2.5" {
+		t.Fatalf("value string = %q", v)
+	}
+	if v := tr.Params["c"].String(); v != "rbf" {
+		t.Fatalf("cat string = %q", v)
+	}
+	cl := tr.Clone()
+	cl.Params["a"] = Value{Num: 9}
+	if got, _ := tr.Float("a"); got != 2.5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestDependencyOrderAndHooks(t *testing.T) {
+	h := NewHyperSpace()
+	var order []string
+	h.AddRangeKnob("decay", Float, 0, 1,
+		WithDepends("lr"),
+		WithHooks(
+			func(tr *Trial, rng *sim.RNG) {
+				order = append(order, "pre-decay")
+				if _, ok := tr.Params["lr"]; !ok {
+					t.Error("lr not sampled before decay")
+				}
+			},
+			func(tr *Trial, rng *sim.RNG) {
+				order = append(order, "post-decay")
+				// Paper example: large lr forces a large decay.
+				lr, _ := tr.Float("lr")
+				if lr > 0.1 {
+					tr.Params["decay"] = Value{Num: 0.99}
+				}
+			},
+		))
+	h.AddRangeKnob("lr", Float, 0.2, 0.9) // always "large"
+	rng := sim.NewRNG(2)
+	tr, err := h.Sample("t", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tr.Float("decay")
+	if d != 0.99 {
+		t.Fatalf("post hook did not adjust decay: %v", d)
+	}
+	if len(order) != 2 || order[0] != "pre-decay" || order[1] != "post-decay" {
+		t.Fatalf("hook order = %v", order)
+	}
+}
+
+func TestDependencyCycleDetected(t *testing.T) {
+	h := NewHyperSpace()
+	h.AddRangeKnob("a", Float, 0, 1, WithDepends("b"))
+	h.AddRangeKnob("b", Float, 0, 1, WithDepends("a"))
+	if _, err := h.Sample("t", sim.NewRNG(3)); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+	h2 := NewHyperSpace()
+	h2.AddRangeKnob("a", Float, 0, 1, WithDepends("ghost"))
+	if _, err := h2.Sample("t", sim.NewRNG(3)); err == nil {
+		t.Fatal("undeclared dependency should error")
+	}
+}
+
+func TestVectorEncoding(t *testing.T) {
+	h := NewHyperSpace()
+	h.AddRangeKnob("lin", Float, 0, 10)
+	h.AddRangeKnob("log", Float, 0.01, 100, WithLog())
+	h.AddCategoricalKnob("c", String, []string{"a", "b", "c"})
+	dim, err := h.Dim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 5 {
+		t.Fatalf("dim = %d, want 2 + 3 one-hot", dim)
+	}
+	tr := &Trial{Params: map[string]Value{
+		"lin": {Num: 5},
+		"log": {Num: 1}, // geometric midpoint of [0.01, 100]
+		"c":   {Str: "b", Cat: true},
+	}}
+	v, err := h.Vector(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knob order is alphabetical: c (3 dims), lin, log.
+	if v[0] != 0 || v[1] != 1 || v[2] != 0 {
+		t.Fatalf("one-hot = %v", v[:3])
+	}
+	if math.Abs(v[3]-0.5) > 1e-12 {
+		t.Fatalf("lin norm = %v", v[3])
+	}
+	if math.Abs(v[4]-0.5) > 1e-9 {
+		t.Fatalf("log norm = %v", v[4])
+	}
+	// Missing knob errors.
+	if _, err := h.Vector(&Trial{Params: map[string]Value{}}); err == nil {
+		t.Fatal("incomplete trial should error")
+	}
+}
+
+func TestCIFAR10SpaceSamples(t *testing.T) {
+	h, err := CIFAR10ConvNetSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4)
+	sawBigLR := false
+	for i := 0; i < 300; i++ {
+		tr, err := h.Sample("t", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, _ := tr.Float("learning_rate")
+		decay, _ := tr.Float("lr_decay")
+		if lr > 0.1 {
+			sawBigLR = true
+			if decay < 0.5 {
+				t.Fatalf("post hook should force decay >= 0.5 when lr=%v, got %v", lr, decay)
+			}
+		}
+	}
+	if !sawBigLR {
+		t.Fatal("log-uniform lr never exceeded 0.1 in 300 draws")
+	}
+}
+
+func TestRandomAdvisor(t *testing.T) {
+	h := space2D(t)
+	adv := NewRandomAdvisor(h, sim.NewRNG(5))
+	t1, err := adv.Next("w1")
+	if err != nil || t1 == nil {
+		t.Fatal("random advisor must always propose")
+	}
+	t2, _ := adv.Next("w1")
+	if t1.ID == t2.ID {
+		t.Fatal("trial IDs should be unique")
+	}
+	adv.Collect("w1", t1, 0.3)
+	adv.Collect("w1", t2, 0.7)
+	best, perf := adv.Best()
+	if best.ID != t2.ID || perf != 0.7 {
+		t.Fatalf("best = %v @ %v", best.ID, perf)
+	}
+}
+
+func TestBestEmptyAdvisor(t *testing.T) {
+	adv := NewRandomAdvisor(space2D(t), sim.NewRNG(6))
+	if b, _ := adv.Best(); b != nil {
+		t.Fatal("empty advisor best should be nil")
+	}
+}
+
+func TestGridAdvisorEnumeratesExactly(t *testing.T) {
+	h := NewHyperSpace()
+	h.AddRangeKnob("x", Float, 0, 1)
+	h.AddCategoricalKnob("k", String, []string{"a", "b"})
+	adv, err := NewGridAdvisor(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Size() != 6 {
+		t.Fatalf("size = %d, want 3*2", adv.Size())
+	}
+	seen := map[string]bool{}
+	count := 0
+	for {
+		tr, err := adv.Next("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil {
+			break
+		}
+		count++
+		x, _ := tr.Float("x")
+		k, _ := tr.Cat("k")
+		key := k + ":" + valueStr(x)
+		if seen[key] {
+			t.Fatalf("duplicate grid point %s", key)
+		}
+		seen[key] = true
+		if count > 10 {
+			t.Fatal("grid did not terminate")
+		}
+	}
+	if count != 6 {
+		t.Fatalf("enumerated %d points, want 6", count)
+	}
+	// Exhausted grid keeps returning nil.
+	if tr, _ := adv.Next("w"); tr != nil {
+		t.Fatal("exhausted grid should return nil")
+	}
+}
+
+func valueStr(x float64) string { return Value{Num: x}.String() }
+
+func TestGridAdvisorValidation(t *testing.T) {
+	if _, err := NewGridAdvisor(space2D(t), 1); err == nil {
+		t.Fatal("grid with 1 point should error")
+	}
+}
+
+func TestGridLogSpacing(t *testing.T) {
+	h := NewHyperSpace()
+	h.AddRangeKnob("lr", Float, 0.01, 100, WithLog())
+	adv, _ := NewGridAdvisor(h, 3)
+	var vals []float64
+	for {
+		tr, _ := adv.Next("w")
+		if tr == nil {
+			break
+		}
+		v, _ := tr.Float("lr")
+		vals = append(vals, v)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("points = %v", vals)
+	}
+	if math.Abs(vals[0]-0.01) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 || math.Abs(vals[2]-100) > 1e-6 {
+		t.Fatalf("log grid = %v, want geometric {0.01, 1, 100}", vals)
+	}
+}
+
+// TestBayesAdvisorBeatsRandom runs both advisors on a known quadratic
+// response and checks BO concentrates: its mean late-phase performance must
+// beat random search's.
+func TestBayesAdvisorBeatsRandom(t *testing.T) {
+	f := func(tr *Trial) float64 {
+		x, _ := tr.Float("x")
+		y, _ := tr.Float("y")
+		return 1 - (x-0.3)*(x-0.3) - (y-0.7)*(y-0.7)
+	}
+	run := func(adv Advisor, n int) float64 {
+		lateSum, late := 0.0, 0
+		for i := 0; i < n; i++ {
+			tr, err := adv.Next("w")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := f(tr)
+			adv.Collect("w", tr, p)
+			if i >= n/2 {
+				lateSum += p
+				late++
+			}
+		}
+		return lateSum / float64(late)
+	}
+	n := 40
+	boLate := run(NewBayesAdvisor(space2D(t), sim.NewRNG(7)), n)
+	randLate := run(NewRandomAdvisor(space2D(t), sim.NewRNG(8)), n)
+	if boLate <= randLate {
+		t.Fatalf("BO late mean %v should beat random %v", boLate, randLate)
+	}
+	// And BO's best should be near the optimum value 1.
+	if boLate < 0.9 {
+		t.Fatalf("BO late mean %v too far from optimum", boLate)
+	}
+}
+
+func TestBayesAdvisorWarmupIsRandom(t *testing.T) {
+	adv := NewBayesAdvisor(space2D(t), sim.NewRNG(9))
+	adv.Warmup = 3
+	for i := 0; i < 3; i++ {
+		tr, err := adv.Next("w")
+		if err != nil || tr == nil {
+			t.Fatal("warmup proposals failed")
+		}
+		adv.Collect("w", tr, 0.5)
+	}
+	if adv.Observations() != 3 {
+		t.Fatalf("observations = %d", adv.Observations())
+	}
+	// Next proposal goes through the GP path without error.
+	if _, err := adv.Next("w"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rafiki/internal/gp"
+	"rafiki/internal/sim"
+)
+
+// Advisor is the TrialAdvisor of Algorithm 1: it proposes trials and
+// collects their measured performance. Implementations must be safe for use
+// by one master goroutine (the masters serialize access).
+type Advisor interface {
+	// Next proposes a trial for the worker, or nil when the search space is
+	// exhausted (grid search) — Algorithm 1 line 6.
+	Next(worker string) (*Trial, error)
+	// Collect records a trial's performance — Algorithm 1 line 12.
+	Collect(worker string, t *Trial, perf float64)
+	// Best returns the best trial observed so far and its performance.
+	Best() (*Trial, float64)
+}
+
+// baseAdvisor tracks the incumbent.
+type baseAdvisor struct {
+	mu       sync.Mutex
+	bestT    *Trial
+	bestPerf float64
+	seen     int
+}
+
+func (b *baseAdvisor) Collect(_ string, t *Trial, perf float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seen++
+	if b.bestT == nil || perf > b.bestPerf {
+		b.bestT, b.bestPerf = t.Clone(), perf
+	}
+}
+
+func (b *baseAdvisor) Best() (*Trial, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bestT == nil {
+		return nil, 0
+	}
+	return b.bestT.Clone(), b.bestPerf
+}
+
+// RandomAdvisor implements random search [Bergstra & Bengio 2012]: every
+// trial is an independent draw from the space.
+type RandomAdvisor struct {
+	baseAdvisor
+	space *HyperSpace
+	rng   *sim.RNG
+	next  int
+}
+
+// NewRandomAdvisor returns a random-search advisor.
+func NewRandomAdvisor(space *HyperSpace, rng *sim.RNG) *RandomAdvisor {
+	return &RandomAdvisor{space: space, rng: rng}
+}
+
+// Next implements Advisor. The lock spans the draw: the RNG is not safe for
+// concurrent use and workers request trials concurrently.
+func (r *RandomAdvisor) Next(string) (*Trial, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := fmt.Sprintf("rand-%d", r.next)
+	r.next++
+	return r.space.Sample(id, r.rng)
+}
+
+// GridAdvisor enumerates a Cartesian grid over the space: range knobs are
+// discretized into PointsPerKnob values, categorical knobs enumerate their
+// candidates. Next returns nil once the grid is exhausted, which is how a
+// Study terminates without a trial budget.
+type GridAdvisor struct {
+	baseAdvisor
+	space  *HyperSpace
+	points int
+	knobs  []*Knob
+	idx    []int
+	done   bool
+}
+
+// NewGridAdvisor returns a grid-search advisor with pointsPerKnob values per
+// range knob.
+func NewGridAdvisor(space *HyperSpace, pointsPerKnob int) (*GridAdvisor, error) {
+	if pointsPerKnob < 2 {
+		return nil, fmt.Errorf("advisor: grid needs >=2 points per knob, got %d", pointsPerKnob)
+	}
+	knobs, err := space.Knobs()
+	if err != nil {
+		return nil, err
+	}
+	return &GridAdvisor{
+		space:  space,
+		points: pointsPerKnob,
+		knobs:  knobs,
+		idx:    make([]int, len(knobs)),
+	}, nil
+}
+
+// Size returns the total number of grid points.
+func (g *GridAdvisor) Size() int {
+	n := 1
+	for _, k := range g.knobs {
+		if k.categorical() {
+			n *= len(k.Cats)
+		} else {
+			n *= g.points
+		}
+	}
+	return n
+}
+
+// Next implements Advisor.
+func (g *GridAdvisor) Next(string) (*Trial, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done {
+		return nil, nil
+	}
+	t := &Trial{ID: fmt.Sprintf("grid-%v", g.idx), Params: map[string]Value{}}
+	for i, k := range g.knobs {
+		t.Params[k.Name] = g.valueAt(k, g.idx[i])
+	}
+	// Odometer increment.
+	for i := len(g.idx) - 1; i >= 0; i-- {
+		limit := g.points
+		if g.knobs[i].categorical() {
+			limit = len(g.knobs[i].Cats)
+		}
+		g.idx[i]++
+		if g.idx[i] < limit {
+			break
+		}
+		g.idx[i] = 0
+		if i == 0 {
+			g.done = true
+		}
+	}
+	return t, nil
+}
+
+func (g *GridAdvisor) valueAt(k *Knob, i int) Value {
+	if k.categorical() {
+		return Value{Str: k.Cats[i], Cat: true}
+	}
+	frac := float64(i) / float64(g.points-1)
+	var v float64
+	if k.Log {
+		v = k.Min * math.Pow(k.Max/k.Min, frac) // geometric spacing
+	} else {
+		v = k.Min + frac*(k.Max-k.Min)
+	}
+	if k.Dtype == Int {
+		v = float64(int(v))
+	}
+	return Value{Num: v}
+}
+
+// BayesAdvisor implements Gaussian-process Bayesian optimization [Snoek et
+// al. 2012]: trials are encoded into [0,1]^d, a GP models performance, and
+// the next trial maximizes expected improvement over random candidates.
+type BayesAdvisor struct {
+	baseAdvisor
+	space *HyperSpace
+	rng   *sim.RNG
+	model *gp.GP
+
+	// Warmup is the number of random trials before the GP takes over.
+	Warmup int
+	// Candidates is how many random candidates EI is evaluated on per
+	// proposal.
+	Candidates int
+	// XiExplore is the EI exploration bonus.
+	XiExplore float64
+	// RefitEvery controls how often kernel hyper-parameters are refit.
+	RefitEvery int
+
+	proposals int
+}
+
+// NewBayesAdvisor returns a Bayesian-optimization advisor.
+func NewBayesAdvisor(space *HyperSpace, rng *sim.RNG) *BayesAdvisor {
+	return &BayesAdvisor{
+		space:      space,
+		rng:        rng,
+		model:      gp.New(gp.RBF{LengthScale: 0.2, SignalVar: 0.1}, 1e-4),
+		Warmup:     8,
+		Candidates: 500,
+		XiExplore:  0.01,
+		RefitEvery: 10,
+	}
+}
+
+// Next implements Advisor.
+func (b *BayesAdvisor) Next(string) (*Trial, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.proposals++
+	id := fmt.Sprintf("bo-%d", b.proposals)
+	n := b.model.N()
+
+	if n < b.Warmup {
+		return b.space.Sample(id, b.rng)
+	}
+	if b.RefitEvery > 0 && n%b.RefitEvery == 0 {
+		// Best-effort: a failed refit keeps the previous kernel.
+		_, _ = b.model.FitHyperparams()
+	}
+	var bestTrial *Trial
+	bestEI := -1.0
+	for c := 0; c < b.Candidates; c++ {
+		t, err := b.space.Sample(fmt.Sprintf("%s-c%d", id, c), b.rng)
+		if err != nil {
+			return nil, err
+		}
+		x, err := b.space.Vector(t)
+		if err != nil {
+			return nil, err
+		}
+		ei, err := b.model.ExpectedImprovement(x, b.XiExplore)
+		if err != nil {
+			return nil, err
+		}
+		if ei > bestEI {
+			bestEI, bestTrial = ei, t
+		}
+	}
+	if bestTrial == nil {
+		return b.space.Sample(id, b.rng)
+	}
+	bestTrial.ID = id
+	return bestTrial, nil
+}
+
+// Collect implements Advisor, feeding the GP.
+func (b *BayesAdvisor) Collect(worker string, t *Trial, perf float64) {
+	b.baseAdvisor.Collect(worker, t, perf)
+	x, err := b.space.Vector(t)
+	if err != nil {
+		return // unencodable trials (shouldn't happen) just skip the GP
+	}
+	b.mu.Lock()
+	b.model.Add(x, perf)
+	b.mu.Unlock()
+}
+
+// Observations returns how many results the GP has absorbed.
+func (b *BayesAdvisor) Observations() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.model.N()
+}

@@ -1,0 +1,358 @@
+// Package cluster is Rafiki's cluster-management substrate (Section 6.1 and
+// 6.3) — the Kubernetes/Docker stand-in. It schedules containers (masters,
+// workers, data servers, parameter servers) onto nodes with a colocation
+// preference ("Rafiki prefers to locate the master and workers for the same
+// job in the same physical node"), detects failures via heartbeats, restarts
+// stateless workers, and restores stateful masters from their checkpointed
+// state (Section 6.3's failure recovery).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind labels what a container runs.
+type Kind string
+
+// Container kinds.
+const (
+	KindMaster Kind = "master"
+	KindWorker Kind = "worker"
+	KindData   Kind = "data"
+	KindParam  Kind = "param"
+)
+
+// State is a container lifecycle state.
+type State string
+
+// Container states.
+const (
+	StateRunning State = "running"
+	StateFailed  State = "failed"
+	StateStopped State = "stopped"
+)
+
+// Checkpointer is implemented by stateful masters so the manager can restore
+// them after failure: "Rafiki checkpoints these (small) state information of
+// masters for fast failure recovery".
+type Checkpointer interface {
+	Snapshot() ([]byte, error)
+	Restore(snapshot []byte) error
+}
+
+// Spec describes a container to run.
+type Spec struct {
+	Name string
+	Kind Kind
+	Job  string // job the container belongs to; drives colocation
+
+	// Checkpoint, when non-nil, marks a stateful container whose snapshots
+	// the manager keeps for recovery.
+	Checkpoint Checkpointer
+
+	// OnRestart, when non-nil, is invoked after the manager recovers the
+	// container (workers use it to re-register with their master).
+	OnRestart func()
+}
+
+// Container is one scheduled instance of a Spec.
+type Container struct {
+	Spec     Spec
+	Node     string
+	State    State
+	Restarts int
+
+	lastBeat float64
+	snapshot []byte
+}
+
+// node is a physical machine with a container capacity.
+type node struct {
+	id       string
+	capacity int
+	running  int
+	alive    bool
+}
+
+// Manager is the cluster manager. All times are virtual seconds, supplied by
+// the caller (the services drive it from the sim clock).
+type Manager struct {
+	// HeartbeatTimeout is how long a container may go silent before being
+	// declared failed by Tick.
+	HeartbeatTimeout float64
+
+	mu         sync.Mutex
+	nodes      map[string]*node
+	nodeOrder  []string
+	containers map[string]*Container
+}
+
+// NewManager returns a manager with the given heartbeat timeout (seconds).
+func NewManager(heartbeatTimeout float64) *Manager {
+	if heartbeatTimeout <= 0 {
+		heartbeatTimeout = 30
+	}
+	return &Manager{
+		HeartbeatTimeout: heartbeatTimeout,
+		nodes:            map[string]*node{},
+		containers:       map[string]*Container{},
+	}
+}
+
+// AddNode registers a physical node with a container capacity.
+func (m *Manager) AddNode(id string, capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("cluster: node %s needs positive capacity", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[id]; ok {
+		return fmt.Errorf("cluster: node %s already exists", id)
+	}
+	m.nodes[id] = &node{id: id, capacity: capacity, alive: true}
+	m.nodeOrder = append(m.nodeOrder, id)
+	return nil
+}
+
+// Launch schedules a container. Placement prefers the node already running
+// the job's master (colocation), then the least-loaded node with capacity.
+func (m *Manager) Launch(spec Spec, now float64) (*Container, error) {
+	if spec.Name == "" {
+		return nil, errors.New("cluster: container needs a name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.containers[spec.Name]; ok {
+		return nil, fmt.Errorf("cluster: container %s already exists", spec.Name)
+	}
+	nodeID, err := m.placeLocked(spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{Spec: spec, Node: nodeID, State: StateRunning, lastBeat: now}
+	m.nodes[nodeID].running++
+	m.containers[spec.Name] = c
+	return c, nil
+}
+
+func (m *Manager) placeLocked(spec Spec) (string, error) {
+	// Colocation: find the job master's node first.
+	var preferred string
+	if spec.Job != "" && spec.Kind != KindMaster {
+		for _, c := range m.containers {
+			if c.Spec.Job == spec.Job && c.Spec.Kind == KindMaster && c.State == StateRunning {
+				preferred = c.Node
+				break
+			}
+		}
+	}
+	if preferred != "" {
+		if n := m.nodes[preferred]; n != nil && n.alive && n.running < n.capacity {
+			return preferred, nil
+		}
+	}
+	// Least-loaded fallback, stable by registration order.
+	bestID, bestLoad := "", -1.0
+	for _, id := range m.nodeOrder {
+		n := m.nodes[id]
+		if !n.alive || n.running >= n.capacity {
+			continue
+		}
+		load := float64(n.running) / float64(n.capacity)
+		if bestID == "" || load < bestLoad {
+			bestID, bestLoad = id, load
+		}
+	}
+	if bestID == "" {
+		return "", errors.New("cluster: no node with spare capacity")
+	}
+	return bestID, nil
+}
+
+// Heartbeat records liveness for a container at virtual time now.
+func (m *Manager) Heartbeat(name string, now float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown container %s", name)
+	}
+	if c.State != StateRunning {
+		return fmt.Errorf("cluster: heartbeat from %s container %s", c.State, name)
+	}
+	c.lastBeat = now
+	return nil
+}
+
+// CheckpointAll snapshots every running stateful container. Masters call
+// this periodically via the service loop.
+func (m *Manager) CheckpointAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.containers {
+		if c.Spec.Checkpoint == nil || c.State != StateRunning {
+			continue
+		}
+		snap, err := c.Spec.Checkpoint.Snapshot()
+		if err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: %w", c.Spec.Name, err)
+		}
+		c.snapshot = snap
+	}
+	return nil
+}
+
+// Kill marks a container failed (the failure-injection hook for tests and
+// the chaos example).
+func (m *Manager) Kill(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown container %s", name)
+	}
+	if c.State == StateRunning {
+		m.nodes[c.Node].running--
+	}
+	c.State = StateFailed
+	return nil
+}
+
+// KillNode marks a node dead and fails every container on it (machine
+// failure). Dead nodes receive no placements until revived.
+func (m *Manager) KillNode(nodeID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[nodeID]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", nodeID)
+	}
+	n.alive = false
+	for _, c := range m.containers {
+		if c.Node == nodeID && c.State == StateRunning {
+			c.State = StateFailed
+			n.running--
+		}
+	}
+	return nil
+}
+
+// ReviveNode returns a dead node to the scheduling pool.
+func (m *Manager) ReviveNode(nodeID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[nodeID]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", nodeID)
+	}
+	n.alive = true
+	return nil
+}
+
+// Stop gracefully stops a container; stopped containers are not recovered.
+func (m *Manager) Stop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown container %s", name)
+	}
+	if c.State == StateRunning {
+		m.nodes[c.Node].running--
+	}
+	c.State = StateStopped
+	return nil
+}
+
+// Tick scans for silent containers (no heartbeat within the timeout),
+// marks them failed, and recovers every failed container: it reschedules it
+// on a node with capacity, restores masters from their last snapshot and
+// fires OnRestart hooks. It returns the names of recovered containers.
+func (m *Manager) Tick(now float64) ([]string, error) {
+	m.mu.Lock()
+	// Phase 1: detect silent containers.
+	for _, c := range m.containers {
+		if c.State == StateRunning && now-c.lastBeat > m.HeartbeatTimeout {
+			c.State = StateFailed
+			m.nodes[c.Node].running--
+		}
+	}
+	// Phase 2: recover failed containers.
+	var recovered []*Container
+	for _, name := range m.containerNamesLocked() {
+		c := m.containers[name]
+		if c.State != StateFailed {
+			continue
+		}
+		nodeID, err := m.placeLocked(c.Spec)
+		if err != nil {
+			continue // no capacity now; retried next tick
+		}
+		c.Node = nodeID
+		c.State = StateRunning
+		c.Restarts++
+		c.lastBeat = now
+		m.nodes[nodeID].running++
+		recovered = append(recovered, c)
+	}
+	m.mu.Unlock()
+
+	// Phase 3: restore state and fire hooks outside the lock (hooks may call
+	// back into the manager).
+	var names []string
+	var firstErr error
+	for _, c := range recovered {
+		if c.Spec.Checkpoint != nil && c.snapshot != nil {
+			if err := c.Spec.Checkpoint.Restore(c.snapshot); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: restore %s: %w", c.Spec.Name, err)
+			}
+		}
+		if c.Spec.OnRestart != nil {
+			c.Spec.OnRestart()
+		}
+		names = append(names, c.Spec.Name)
+	}
+	sort.Strings(names)
+	return names, firstErr
+}
+
+func (m *Manager) containerNamesLocked() []string {
+	names := make([]string, 0, len(m.containers))
+	for n := range m.containers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a snapshot copy of a container's public state.
+func (m *Manager) Get(name string) (Container, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[name]
+	if !ok {
+		return Container{}, fmt.Errorf("cluster: unknown container %s", name)
+	}
+	return *c, nil
+}
+
+// Containers lists container names, sorted.
+func (m *Manager) Containers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.containerNamesLocked()
+}
+
+// NodeLoad returns running/capacity for a node.
+func (m *Manager) NodeLoad(nodeID string) (running, capacity int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[nodeID]
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: unknown node %s", nodeID)
+	}
+	return n.running, n.capacity, nil
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mgr(t *testing.T, nodes ...int) *Manager {
+	t.Helper()
+	m := NewManager(10)
+	for i, cap := range nodes {
+		if err := m.AddNode(nodeID(i), cap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func nodeID(i int) string { return string(rune('A' + i)) }
+
+func TestLaunchAndPlacement(t *testing.T) {
+	m := mgr(t, 2, 2)
+	c1, err := m.Launch(Spec{Name: "w1", Kind: KindWorker}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := m.Launch(Spec{Name: "w2", Kind: KindWorker}, 0)
+	// Least-loaded: the two workers land on different nodes.
+	if c1.Node == c2.Node {
+		t.Fatalf("both workers on %s; want spreading", c1.Node)
+	}
+}
+
+func TestColocationPreference(t *testing.T) {
+	m := mgr(t, 3, 3)
+	master, _ := m.Launch(Spec{Name: "m", Kind: KindMaster, Job: "train1"}, 0)
+	w, err := m.Launch(Spec{Name: "w", Kind: KindWorker, Job: "train1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Node != master.Node {
+		t.Fatalf("worker on %s, master on %s: colocation violated", w.Node, master.Node)
+	}
+	// When the master's node is full, fall back to another node.
+	m.Launch(Spec{Name: "w2", Kind: KindWorker, Job: "train1"}, 0)
+	w3, err := m.Launch(Spec{Name: "w3", Kind: KindWorker, Job: "train1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Node == master.Node {
+		t.Fatal("overfull node accepted a container")
+	}
+}
+
+func TestCapacityExhausted(t *testing.T) {
+	m := mgr(t, 1)
+	m.Launch(Spec{Name: "a"}, 0)
+	if _, err := m.Launch(Spec{Name: "b"}, 0); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	m := mgr(t, 1)
+	if _, err := m.Launch(Spec{}, 0); err == nil {
+		t.Fatal("unnamed container should error")
+	}
+	m.Launch(Spec{Name: "dup"}, 0)
+	if _, err := m.Launch(Spec{Name: "dup"}, 0); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+	if err := m.AddNode("A", 1); err == nil {
+		t.Fatal("duplicate node should error")
+	}
+	if err := m.AddNode("Z", 0); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+func TestHeartbeatTimeoutDetection(t *testing.T) {
+	m := mgr(t, 2)
+	m.Launch(Spec{Name: "w"}, 0)
+	m.Heartbeat("w", 5)
+	// At t=14 the last beat (t=5) is 9s old: still fine with timeout 10.
+	if _, err := m.Tick(14); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Get("w")
+	if c.State != StateRunning {
+		t.Fatal("container failed too early")
+	}
+	// At t=16 the beat is 11s old: failed, then immediately recovered.
+	recovered, err := m.Tick(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "w" {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	c, _ = m.Get("w")
+	if c.State != StateRunning || c.Restarts != 1 {
+		t.Fatalf("container = %+v", c)
+	}
+}
+
+func TestHeartbeatErrors(t *testing.T) {
+	m := mgr(t, 1)
+	if err := m.Heartbeat("ghost", 0); err == nil {
+		t.Fatal("unknown container heartbeat should error")
+	}
+	m.Launch(Spec{Name: "w"}, 0)
+	m.Stop("w")
+	if err := m.Heartbeat("w", 1); err == nil {
+		t.Fatal("stopped container heartbeat should error")
+	}
+}
+
+func TestKillAndRecoverWorker(t *testing.T) {
+	restarts := 0
+	m := mgr(t, 2)
+	m.Launch(Spec{Name: "w", Kind: KindWorker, OnRestart: func() { restarts++ }}, 0)
+	if err := m.Kill("w"); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := m.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || restarts != 1 {
+		t.Fatalf("recovered=%v restarts=%d", recovered, restarts)
+	}
+}
+
+func TestStoppedContainersStayDown(t *testing.T) {
+	m := mgr(t, 2)
+	m.Launch(Spec{Name: "w"}, 0)
+	m.Stop("w")
+	recovered, _ := m.Tick(100)
+	if len(recovered) != 0 {
+		t.Fatal("stopped container should not be recovered")
+	}
+	c, _ := m.Get("w")
+	if c.State != StateStopped {
+		t.Fatalf("state = %s", c.State)
+	}
+}
+
+// trainerState is a toy stateful master for checkpoint/restore tests.
+type trainerState struct {
+	BestTrial string
+	BestAcc   float64
+}
+
+func (s *trainerState) Snapshot() ([]byte, error) { return json.Marshal(s) }
+func (s *trainerState) Restore(b []byte) error    { return json.Unmarshal(b, s) }
+
+func TestMasterCheckpointRestore(t *testing.T) {
+	m := mgr(t, 2)
+	st := &trainerState{}
+	m.Launch(Spec{Name: "master", Kind: KindMaster, Job: "j", Checkpoint: st}, 0)
+
+	st.BestTrial, st.BestAcc = "t7", 0.93
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Master dies and loses its in-memory state.
+	st.BestTrial, st.BestAcc = "", 0
+	m.Kill("master")
+	if _, err := m.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.BestTrial != "t7" || st.BestAcc != 0.93 {
+		t.Fatalf("state not restored: %+v", st)
+	}
+}
+
+func TestNodeFailureFailsAllItsContainers(t *testing.T) {
+	m := mgr(t, 2, 2)
+	a, _ := m.Launch(Spec{Name: "a"}, 0)
+	m.Launch(Spec{Name: "b"}, 0)
+	deadNode := a.Node
+	if err := m.KillNode(deadNode); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := m.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered = %v, want just the killed node's container", recovered)
+	}
+	// Everything recovered onto the surviving node.
+	for _, name := range recovered {
+		c, _ := m.Get(name)
+		if c.Node == deadNode {
+			t.Fatal("container recovered onto dead node")
+		}
+	}
+	// The dead node accepts placements again only after revival.
+	if err := m.ReviveNode(deadNode); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReviveNode("nope"); err == nil {
+		t.Fatal("unknown node revive should error")
+	}
+	if err := m.KillNode("nope"); err == nil {
+		t.Fatal("unknown node should error")
+	}
+}
+
+func TestRecoveryWaitsForCapacity(t *testing.T) {
+	m := mgr(t, 1)
+	m.Launch(Spec{Name: "a"}, 0)
+	m.Kill("a")
+	// Fill the slot before the tick.
+	m.Launch(Spec{Name: "b"}, 0)
+	recovered, _ := m.Tick(1)
+	if len(recovered) != 0 {
+		t.Fatal("recovered with no capacity")
+	}
+	m.Stop("b")
+	recovered, _ = m.Tick(2)
+	if len(recovered) != 1 {
+		t.Fatal("should recover once capacity frees")
+	}
+}
+
+func TestNodeLoadAccounting(t *testing.T) {
+	m := mgr(t, 2)
+	m.Launch(Spec{Name: "a"}, 0)
+	running, capacity, err := m.NodeLoad("A")
+	if err != nil || running != 1 || capacity != 2 {
+		t.Fatalf("load = %d/%d err=%v", running, capacity, err)
+	}
+	m.Kill("a")
+	running, _, _ = m.NodeLoad("A")
+	if running != 0 {
+		t.Fatalf("failed container still counted: %d", running)
+	}
+	if _, _, err := m.NodeLoad("Z"); err == nil {
+		t.Fatal("unknown node should error")
+	}
+}
+
+func TestContainersListing(t *testing.T) {
+	m := mgr(t, 4)
+	m.Launch(Spec{Name: "c"}, 0)
+	m.Launch(Spec{Name: "a"}, 0)
+	got := m.Containers()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("containers = %v", got)
+	}
+	if _, err := m.Get("ghost"); err == nil {
+		t.Fatal("unknown container should error")
+	}
+}

@@ -1,0 +1,181 @@
+// Package ensemble implements Rafiki's ensemble modelling (Section 5.2 and
+// Figure 6): majority voting over per-model predictions with ties broken by
+// the most accurate selected model, plus cached surrogate-accuracy tables
+// a(M[v]) for every model subset, which the RL scheduler's reward function
+// (Equation 7) consumes.
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rafiki/internal/zoo"
+)
+
+// Vote aggregates per-model predictions by majority (plurality) voting.
+// When the top vote count is shared by several labels, the prediction of the
+// most accurate model among the selected set wins — the paper's tie-break,
+// which makes a two-model ensemble degenerate to its better member.
+//
+// models and preds are parallel slices; accuracies are the models' surrogate
+// accuracies used only for tie-breaking.
+func Vote(preds []int, accuracies []float64) (int, error) {
+	if len(preds) == 0 {
+		return 0, fmt.Errorf("ensemble: no predictions to vote on")
+	}
+	if len(preds) != len(accuracies) {
+		return 0, fmt.Errorf("ensemble: %d predictions vs %d accuracies", len(preds), len(accuracies))
+	}
+	counts := make(map[int]int, len(preds))
+	for _, p := range preds {
+		counts[p]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	// Tie-break: among labels with the top count, pick the one predicted by
+	// the most accurate model.
+	bestAcc := -1.0
+	bestLabel := preds[0]
+	for i, p := range preds {
+		if counts[p] == top && accuracies[i] > bestAcc {
+			bestAcc = accuracies[i]
+			bestLabel = p
+		}
+	}
+	return bestLabel, nil
+}
+
+// VoteModels is Vote with accuracies looked up from the zoo profiles.
+func VoteModels(models []string, preds []int) (int, error) {
+	accs := make([]float64, len(models))
+	for i, m := range models {
+		p, err := zoo.Lookup(m)
+		if err != nil {
+			return 0, err
+		}
+		accs[i] = p.Top1Accuracy
+	}
+	return Vote(preds, accs)
+}
+
+// SubsetKey returns a canonical key for a model subset (sorted, joined).
+func SubsetKey(models []string) string {
+	s := append([]string(nil), models...)
+	sort.Strings(s)
+	return strings.Join(s, "+")
+}
+
+// AccuracyTable evaluates and caches the surrogate accuracy a(M[v]) of model
+// subsets by Monte-Carlo evaluation against a zoo.Predictor — the offline
+// analogue of the paper's "accuracy evaluated on a validation dataset".
+type AccuracyTable struct {
+	predictor *zoo.Predictor
+	samples   int
+
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewAccuracyTable returns a table evaluating each subset over samples
+// simulated validation requests (the paper uses ImageNet's 50k validation
+// images; 20k samples gives ±0.3% Monte-Carlo error, well under the
+// between-ensemble gaps).
+func NewAccuracyTable(p *zoo.Predictor, samples int) *AccuracyTable {
+	if samples <= 0 {
+		samples = 20000
+	}
+	return &AccuracyTable{predictor: p, samples: samples, cache: map[string]float64{}}
+}
+
+// Accuracy returns the majority-voting accuracy of the model subset.
+func (t *AccuracyTable) Accuracy(models []string) (float64, error) {
+	if len(models) == 0 {
+		return 0, fmt.Errorf("ensemble: empty model subset")
+	}
+	key := SubsetKey(models)
+	t.mu.Lock()
+	if v, ok := t.cache[key]; ok {
+		t.mu.Unlock()
+		return v, nil
+	}
+	t.mu.Unlock()
+
+	accs := make([]float64, len(models))
+	for i, m := range models {
+		p, err := zoo.Lookup(m)
+		if err != nil {
+			return 0, err
+		}
+		accs[i] = p.Top1Accuracy
+	}
+	correct := 0
+	for r := 0; r < t.samples; r++ {
+		preds, truth, err := t.predictor.PredictAll(uint64(r), models)
+		if err != nil {
+			return 0, err
+		}
+		vote, err := Vote(preds, accs)
+		if err != nil {
+			return 0, err
+		}
+		if vote == truth {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(t.samples)
+	t.mu.Lock()
+	t.cache[key] = acc
+	t.mu.Unlock()
+	return acc, nil
+}
+
+// MustAccuracy is Accuracy for known-valid subsets; it panics on error.
+func (t *AccuracyTable) MustAccuracy(models []string) float64 {
+	a, err := t.Accuracy(models)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Combination is one row of Figure 6: a model subset and its accuracy.
+type Combination struct {
+	Models   []string
+	Accuracy float64
+}
+
+// AllCombinations evaluates every non-empty subset of models, sorted by
+// subset size then accuracy — the full Figure 6 series.
+func (t *AccuracyTable) AllCombinations(models []string) ([]Combination, error) {
+	n := len(models)
+	if n == 0 || n > 16 {
+		return nil, fmt.Errorf("ensemble: need 1..16 models, got %d", n)
+	}
+	var out []Combination
+	for mask := 1; mask < 1<<n; mask++ {
+		var subset []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, models[i])
+			}
+		}
+		acc, err := t.Accuracy(subset)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Combination{Models: subset, Accuracy: acc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Models) != len(out[j].Models) {
+			return len(out[i].Models) < len(out[j].Models)
+		}
+		return out[i].Accuracy < out[j].Accuracy
+	})
+	return out, nil
+}

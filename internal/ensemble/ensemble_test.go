@@ -1,0 +1,173 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/zoo"
+)
+
+// fig6Models is the model list of Figure 6.
+var fig6Models = []string{"resnet_v2_101", "inception_v3", "inception_v4", "inception_resnet_v2"}
+
+func TestVoteMajorityWins(t *testing.T) {
+	// 2 votes for label 7 beat 1 vote for label 3.
+	got, err := Vote([]int{7, 3, 7}, []float64{0.7, 0.99, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("vote = %d, want 7", got)
+	}
+}
+
+func TestVoteTieBreakByAccuracy(t *testing.T) {
+	// 2-2 tie: best model (acc 0.9) voted 5.
+	got, err := Vote([]int{1, 5, 1, 5}, []float64{0.7, 0.9, 0.72, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("tie-break vote = %d, want 5", got)
+	}
+}
+
+func TestVoteErrors(t *testing.T) {
+	if _, err := Vote(nil, nil); err == nil {
+		t.Fatal("empty vote should error")
+	}
+	if _, err := Vote([]int{1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// TestTwoModelDegeneracy reproduces the paper's observation that a two-model
+// ensemble with best-model tie-break is identical to the better model alone:
+// agreeing predictions coincide, disagreeing ones are a tie won by the
+// better model.
+func TestTwoModelDegeneracy(t *testing.T) {
+	p := zoo.NewPredictor(11)
+	models := []string{"resnet_v2_101", "inception_v3"}
+	accs := []float64{zoo.MustLookup(models[0]).Top1Accuracy, zoo.MustLookup(models[1]).Top1Accuracy}
+	for r := uint64(0); r < 5000; r++ {
+		preds, _, err := p.PredictAll(r, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vote, err := Vote(preds, accs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vote != preds[1] {
+			t.Fatalf("two-model vote %d != better model's prediction %d", vote, preds[1])
+		}
+	}
+}
+
+func TestSubsetKeyCanonical(t *testing.T) {
+	a := SubsetKey([]string{"b", "a"})
+	b := SubsetKey([]string{"a", "b"})
+	if a != b {
+		t.Fatal("subset key should be order independent")
+	}
+	orig := []string{"z", "a"}
+	SubsetKey(orig)
+	if orig[0] != "z" {
+		t.Fatal("SubsetKey must not mutate its argument")
+	}
+}
+
+// TestFigure6Calibration locks the reproduced Figure 6 shape:
+//  1. every single-model accuracy matches its profile,
+//  2. the two-model ensemble {resnet_v2_101, inception_v3} equals
+//     inception_v3 alone (the paper's exception),
+//  3. the four-model ensemble beats the best single model by 1–4%,
+//  4. accuracy generally grows with ensemble size.
+func TestFigure6Calibration(t *testing.T) {
+	tbl := NewAccuracyTable(zoo.NewPredictor(1804), 20000)
+
+	singles := map[string]float64{}
+	for _, m := range fig6Models {
+		acc := tbl.MustAccuracy([]string{m})
+		singles[m] = acc
+		want := zoo.MustLookup(m).Top1Accuracy
+		if math.Abs(acc-want) > 0.012 {
+			t.Fatalf("single %s accuracy = %v, want ~%v", m, acc, want)
+		}
+	}
+
+	pair := tbl.MustAccuracy([]string{"resnet_v2_101", "inception_v3"})
+	if math.Abs(pair-singles["inception_v3"]) > 1e-9 {
+		t.Fatalf("degenerate pair = %v, want exactly inception_v3's %v", pair, singles["inception_v3"])
+	}
+
+	bestSingle := singles["inception_resnet_v2"]
+	all4 := tbl.MustAccuracy(fig6Models)
+	gain := all4 - bestSingle
+	if gain < 0.01 || gain > 0.045 {
+		t.Fatalf("four-model gain = %v over best single %v, want 1–4%%", gain, bestSingle)
+	}
+
+	trio := tbl.MustAccuracy([]string{"inception_v3", "inception_v4", "inception_resnet_v2"})
+	if trio < bestSingle {
+		t.Fatalf("three-model ensemble %v below best single %v", trio, bestSingle)
+	}
+	if all4 < trio-0.005 {
+		t.Fatalf("four models (%v) should be at least as good as three (%v)", all4, trio)
+	}
+}
+
+func TestAccuracyTableCacheStable(t *testing.T) {
+	tbl := NewAccuracyTable(zoo.NewPredictor(2), 2000)
+	a := tbl.MustAccuracy([]string{"inception_v3", "inception_v4"})
+	b := tbl.MustAccuracy([]string{"inception_v4", "inception_v3"})
+	if a != b {
+		t.Fatal("cache should be order independent")
+	}
+}
+
+func TestAccuracyTableErrors(t *testing.T) {
+	tbl := NewAccuracyTable(zoo.NewPredictor(2), 100)
+	if _, err := tbl.Accuracy(nil); err == nil {
+		t.Fatal("empty subset should error")
+	}
+	if _, err := tbl.Accuracy([]string{"unknown_model"}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestAllCombinationsCountAndOrder(t *testing.T) {
+	tbl := NewAccuracyTable(zoo.NewPredictor(3), 2000)
+	combos, err := tbl.AllCombinations([]string{"inception_v3", "inception_v4", "inception_resnet_v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 7 {
+		t.Fatalf("combinations = %d, want 2^3-1", len(combos))
+	}
+	for i := 1; i < len(combos); i++ {
+		a, b := combos[i-1], combos[i]
+		if len(a.Models) > len(b.Models) {
+			t.Fatal("not ordered by subset size")
+		}
+		if len(a.Models) == len(b.Models) && a.Accuracy > b.Accuracy {
+			t.Fatal("not ordered by accuracy within size")
+		}
+	}
+	if _, err := tbl.AllCombinations(nil); err == nil {
+		t.Fatal("empty model list should error")
+	}
+}
+
+func TestVoteModels(t *testing.T) {
+	got, err := VoteModels([]string{"inception_v3", "inception_v4"}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("tie should go to inception_v4 (higher accuracy), got %d", got)
+	}
+	if _, err := VoteModels([]string{"bogus"}, []int{1}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}

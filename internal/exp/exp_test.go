@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns the smallest useful scale for fast structural tests.
+func tiny() Scale {
+	sc := QuickScale()
+	sc.TuneTrialsRandom = 24
+	sc.TuneTrialsBayes = 16
+	sc.ScalabilityBudget = 16
+	sc.WarmCycles = 0.5
+	sc.MeasureCycles = 0.5
+	sc.EnsembleSamples = 1500
+	return sc
+}
+
+func TestTable1(t *testing.T) {
+	fig, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary["groups"] != 3 || fig.Summary["knobs"] != 9 {
+		t.Fatalf("summary = %v", fig.Summary)
+	}
+	out := fig.String()
+	for _, want := range []string{"data-preprocessing", "model-architecture", "training-algorithm", "whitening", "learning_rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Registry(t *testing.T) {
+	fig := Fig2Registry()
+	if len(fig.Lines) != 3 {
+		t.Fatalf("lines = %v", fig.Lines)
+	}
+	if fig.Summary["models_ImageClassification"] < 10 {
+		t.Fatalf("summary = %v", fig.Summary)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	fig := Fig3()
+	if fig.Summary["models"] != 16 {
+		t.Fatalf("models = %v", fig.Summary["models"])
+	}
+	if fig.Summary["best_accuracy"] != 0.827 {
+		t.Fatalf("best accuracy = %v", fig.Summary["best_accuracy"])
+	}
+	if len(fig.Lines) != 17 { // header + 16 models
+		t.Fatalf("lines = %d", len(fig.Lines))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary["gain"] <= 0 {
+		t.Fatalf("four-model ensemble should beat best single: %v", fig.Summary)
+	}
+	if fig.Summary["pair_degeneracy_abs_diff"] > 1e-9 {
+		t.Fatalf("pair degeneracy broken: %v", fig.Summary["pair_degeneracy_abs_diff"])
+	}
+	if len(fig.Lines) < 16 { // 15 subsets + header
+		t.Fatalf("lines = %d", len(fig.Lines))
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fig, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary["costudy_best"] < fig.Summary["study_best"]-0.02 {
+		t.Fatalf("CoStudy should not lose badly to Study: %v", fig.Summary)
+	}
+	if fig.Summary["study_best"] <= 0 {
+		t.Fatal("study produced no accuracy")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	fig, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary["speedup_8w"] < 3 {
+		t.Fatalf("8-worker speedup = %v, want near linear", fig.Summary["speedup_8w"])
+	}
+	if fig.Summary["wall_minutes_1w"] <= fig.Summary["wall_minutes_8w"] {
+		t.Fatal("wall time should shrink with workers")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	sc := tiny()
+	sc.WarmCycles = 1
+	sc.MeasureCycles = 1
+	fig, err := Fig13(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Summary["greedy_overdue"] == 0 {
+		t.Fatal("greedy should leave stragglers at the min anchor")
+	}
+	if fig.Summary["rl_overdue"] > fig.Summary["greedy_overdue"] {
+		t.Fatalf("rl should not be worse than greedy at min anchor: %v", fig.Summary)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	sc := tiny()
+	sc.WarmCycles = 1.5
+	sc.MeasureCycles = 1
+	fig, err := Fig16(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The beta dial's headline (paper Figure 16): under Equation 7's reward,
+	// beta=0 ranks the accuracy-maximizing full ensemble above the
+	// no-ensemble policy; beta=1 flips the ranking.
+	if fig.Summary["beta0_prefers_ensemble"] != 1 {
+		t.Fatalf("beta=0 should prefer the full ensemble: %v", fig.Summary)
+	}
+	if fig.Summary["beta1_prefers_throughput"] != 1 {
+		t.Fatalf("beta=1 should prefer throughput: %v", fig.Summary)
+	}
+	// Learned agents: beta=0's accuracy must not be materially below
+	// beta=1's, and its overdue must not be materially fewer.
+	if fig.Summary["accuracy_beta0"] < fig.Summary["accuracy_beta1"]-0.02 {
+		t.Fatalf("beta=0 should favour accuracy: %v", fig.Summary)
+	}
+}
+
+func TestAblationTieBreak(t *testing.T) {
+	fig, err := AblationTieBreak(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-model rule equals iv3 exactly; random rule differs.
+	if d := abs(fig.Summary["best_rule"] - fig.Summary["iv3_alone"]); d > 1e-9 {
+		t.Fatalf("best rule should equal iv3: diff %v", d)
+	}
+}
+
+func TestAblationWorkload(t *testing.T) {
+	fig, err := AblationWorkload(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(fig.Summary["over_fraction"]-0.2) > 0.01 {
+		t.Fatalf("over fraction = %v", fig.Summary["over_fraction"])
+	}
+	if abs(fig.Summary["peak_ratio"]-1.1) > 0.01 {
+		t.Fatalf("peak ratio = %v", fig.Summary["peak_ratio"])
+	}
+}
+
+func TestAblationBackoff(t *testing.T) {
+	fig, err := AblationBackoff(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Lines) != 3 {
+		t.Fatalf("lines = %v", fig.Lines)
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	fig := &Figure{ID: "x", Title: "T"}
+	fig.addf("row %d", 1)
+	out := fig.String()
+	if !strings.Contains(out, "=== x: T ===") || !strings.Contains(out, "row 1") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -1,0 +1,229 @@
+// Package gp implements Gaussian-process regression with an RBF kernel and
+// the expected-improvement acquisition function. It is the statistical core
+// of Rafiki's Bayesian-optimization TrialAdvisor (Section 2.2/4.2): the
+// optimizer models validation accuracy as a Gaussian process over the
+// normalized hyper-parameter space and proposes the point with the highest
+// expected improvement over the incumbent.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rafiki/internal/linalg"
+)
+
+// Kernel computes the covariance between two points.
+type Kernel interface {
+	Eval(a, b []float64) float64
+}
+
+// RBF is the squared-exponential kernel σf²·exp(-‖a−b‖²/(2ℓ²)).
+type RBF struct {
+	LengthScale float64
+	SignalVar   float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return k.SignalVar * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+// GP is a Gaussian-process regressor. Observations are added incrementally;
+// the posterior is refit lazily on the next prediction.
+type GP struct {
+	Kernel   RBF
+	NoiseVar float64
+
+	xs [][]float64
+	ys []float64
+
+	// fitted state
+	dirty bool
+	chol  *linalg.Matrix
+	alpha linalg.Vector
+	yMean float64
+}
+
+// New returns a GP with the given kernel and observation-noise variance.
+func New(kernel RBF, noiseVar float64) *GP {
+	if noiseVar <= 0 {
+		noiseVar = 1e-6
+	}
+	return &GP{Kernel: kernel, NoiseVar: noiseVar, dirty: true}
+}
+
+// Add appends an observation (x, y). x is copied.
+func (g *GP) Add(x []float64, y float64) {
+	g.xs = append(g.xs, append([]float64(nil), x...))
+	g.ys = append(g.ys, y)
+	g.dirty = true
+}
+
+// N returns the number of observations.
+func (g *GP) N() int { return len(g.xs) }
+
+// BestY returns the maximum observed value, or -Inf when empty.
+func (g *GP) BestY() float64 {
+	best := math.Inf(-1)
+	for _, y := range g.ys {
+		if y > best {
+			best = y
+		}
+	}
+	return best
+}
+
+// ErrNoData is returned when predicting from an empty GP.
+var ErrNoData = errors.New("gp: no observations")
+
+func (g *GP) refit() error {
+	n := len(g.xs)
+	if n == 0 {
+		return ErrNoData
+	}
+	g.yMean = 0
+	for _, y := range g.ys {
+		g.yMean += y
+	}
+	g.yMean /= float64(n)
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kernel.Eval(g.xs[i], g.xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiag(g.NoiseVar)
+	chol, err := k.Cholesky()
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix: %w", err)
+	}
+	centered := linalg.NewVector(n)
+	for i, y := range g.ys {
+		centered[i] = y - g.yMean
+	}
+	g.chol = chol
+	g.alpha = linalg.CholSolve(chol, centered)
+	g.dirty = false
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
+	if g.dirty {
+		if err := g.refit(); err != nil {
+			return 0, 0, err
+		}
+	}
+	n := len(g.xs)
+	ks := linalg.NewVector(n)
+	for i := range g.xs {
+		ks[i] = g.Kernel.Eval(g.xs[i], x)
+	}
+	mean = g.yMean + ks.Dot(g.alpha)
+	v := linalg.SolveLower(g.chol, ks)
+	variance = g.Kernel.Eval(x, x) - v.Dot(v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+// LogMarginalLikelihood returns the GP log evidence for the current data.
+func (g *GP) LogMarginalLikelihood() (float64, error) {
+	if g.dirty {
+		if err := g.refit(); err != nil {
+			return 0, err
+		}
+	}
+	n := len(g.xs)
+	logDet := 0.0
+	for i := 0; i < n; i++ {
+		logDet += math.Log(g.chol.At(i, i))
+	}
+	quad := 0.0
+	for i, y := range g.ys {
+		quad += (y - g.yMean) * g.alpha[i]
+	}
+	return -0.5*quad - logDet - 0.5*float64(n)*math.Log(2*math.Pi), nil
+}
+
+// FitHyperparams grid-searches length scale and signal variance to maximize
+// the log marginal likelihood. It mutates the kernel in place and returns the
+// best likelihood found. A small grid suffices for the normalized [0,1]^d
+// hyper-parameter spaces Rafiki tunes over.
+func (g *GP) FitHyperparams() (float64, error) {
+	if len(g.xs) == 0 {
+		return 0, ErrNoData
+	}
+	lengths := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1.0}
+	signals := []float64{0.01, 0.05, 0.1, 0.5, 1.0}
+	bestLL := math.Inf(-1)
+	best := g.Kernel
+	for _, l := range lengths {
+		for _, s := range signals {
+			g.Kernel = RBF{LengthScale: l, SignalVar: s}
+			g.dirty = true
+			ll, err := g.LogMarginalLikelihood()
+			if err != nil {
+				continue
+			}
+			if ll > bestLL {
+				bestLL, best = ll, g.Kernel
+			}
+		}
+	}
+	if math.IsInf(bestLL, -1) {
+		return 0, errors.New("gp: hyper-parameter fit failed for all grid points")
+	}
+	g.Kernel = best
+	g.dirty = true
+	return bestLL, nil
+}
+
+// normalPDF is the standard normal density.
+func normalPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normalCDF is the standard normal distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ExpectedImprovement returns EI(x) for maximization against the incumbent
+// best observed value, with exploration bonus xi >= 0.
+func (g *GP) ExpectedImprovement(x []float64, xi float64) (float64, error) {
+	mean, variance, err := g.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	best := g.BestY()
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if imp := mean - best - xi; imp > 0 {
+			return imp, nil
+		}
+		return 0, nil
+	}
+	z := (mean - best - xi) / sigma
+	return (mean-best-xi)*normalCDF(z) + sigma*normalPDF(z), nil
+}
+
+// UCB returns the upper confidence bound mean + kappa·sigma at x.
+func (g *GP) UCB(x []float64, kappa float64) (float64, error) {
+	mean, variance, err := g.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	return mean + kappa*math.Sqrt(variance), nil
+}

@@ -1,0 +1,227 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/sim"
+)
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{LengthScale: 0.5, SignalVar: 2}
+	x := []float64{0.3, 0.7}
+	if got := k.Eval(x, x); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("k(x,x) = %v, want signal variance", got)
+	}
+	a, b := []float64{0, 0}, []float64{1, 1}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Fatal("kernel not symmetric")
+	}
+	near := k.Eval([]float64{0, 0}, []float64{0.01, 0})
+	far := k.Eval([]float64{0, 0}, []float64{0.9, 0})
+	if near <= far {
+		t.Fatal("kernel should decay with distance")
+	}
+}
+
+func TestPredictEmptyErrors(t *testing.T) {
+	g := New(RBF{LengthScale: 0.3, SignalVar: 1}, 1e-6)
+	if _, _, err := g.Predict([]float64{0.5}); err == nil {
+		t.Fatal("expected ErrNoData")
+	}
+}
+
+func TestGPInterpolatesObservations(t *testing.T) {
+	g := New(RBF{LengthScale: 0.2, SignalVar: 1}, 1e-8)
+	f := func(x float64) float64 { return math.Sin(5 * x) }
+	for _, x := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		g.Add([]float64{x}, f(x))
+	}
+	for _, x := range []float64{0, 0.4, 1.0} {
+		mean, variance, err := g.Predict([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-f(x)) > 1e-3 {
+			t.Fatalf("mean at observed x=%v: %v, want %v", x, mean, f(x))
+		}
+		if variance > 1e-4 {
+			t.Fatalf("variance at observed point should be ~0, got %v", variance)
+		}
+	}
+	// Between observations the GP should still track a smooth function.
+	mean, _, err := g.Predict([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-f(0.3)) > 0.2 {
+		t.Fatalf("interpolation at 0.3: %v, want ~%v", mean, f(0.3))
+	}
+}
+
+func TestGPVarianceGrowsAwayFromData(t *testing.T) {
+	g := New(RBF{LengthScale: 0.1, SignalVar: 1}, 1e-6)
+	g.Add([]float64{0.5}, 1)
+	_, vNear, _ := g.Predict([]float64{0.52})
+	_, vFar, _ := g.Predict([]float64{0.0})
+	if vNear >= vFar {
+		t.Fatalf("variance should grow with distance: near %v far %v", vNear, vFar)
+	}
+	if vFar > 1+1e-9 {
+		t.Fatalf("variance should be bounded by prior variance, got %v", vFar)
+	}
+}
+
+func TestBestY(t *testing.T) {
+	g := New(RBF{LengthScale: 0.2, SignalVar: 1}, 1e-6)
+	if !math.IsInf(g.BestY(), -1) {
+		t.Fatal("empty BestY should be -Inf")
+	}
+	g.Add([]float64{0.1}, 0.3)
+	g.Add([]float64{0.2}, 0.9)
+	g.Add([]float64{0.3}, 0.5)
+	if g.BestY() != 0.9 {
+		t.Fatalf("bestY = %v", g.BestY())
+	}
+	if g.N() != 3 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestExpectedImprovementShape(t *testing.T) {
+	g := New(RBF{LengthScale: 0.15, SignalVar: 0.5}, 1e-6)
+	g.Add([]float64{0.2}, 0.5)
+	g.Add([]float64{0.8}, 0.8)
+
+	eiAtBest, err := g.ExpectedImprovement([]float64{0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eiFar, err := g.ExpectedImprovement([]float64{0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eiFar <= eiAtBest {
+		t.Fatalf("unexplored point should have higher EI: far %v vs best %v", eiFar, eiAtBest)
+	}
+	if eiAtBest < 0 || eiFar < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}
+
+func TestEIZeroVarianceBranch(t *testing.T) {
+	g := New(RBF{LengthScale: 0.2, SignalVar: 1}, 1e-12)
+	g.Add([]float64{0.5}, 1.0)
+	ei, err := g.ExpectedImprovement([]float64{0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ei > 1e-6 {
+		t.Fatalf("EI at fully known best point should be ~0, got %v", ei)
+	}
+}
+
+func TestUCBOrdersByUncertainty(t *testing.T) {
+	g := New(RBF{LengthScale: 0.1, SignalVar: 1}, 1e-6)
+	g.Add([]float64{0.5}, 0)
+	uNear, _ := g.UCB([]float64{0.5}, 2)
+	uFar, _ := g.UCB([]float64{0.0}, 2)
+	if uFar <= uNear {
+		t.Fatalf("UCB should prefer uncertain regions: %v vs %v", uFar, uNear)
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	rng := sim.NewRNG(21)
+	truth := RBF{LengthScale: 0.2, SignalVar: 1}
+	// Sample a smooth function with that scale: sin is fine.
+	g1 := New(truth, 1e-4)
+	g2 := New(RBF{LengthScale: 5.0, SignalVar: 1e-3}, 1e-4)
+	for i := 0; i < 15; i++ {
+		x := rng.Float64()
+		y := math.Sin(2 * math.Pi * x)
+		g1.Add([]float64{x}, y)
+		g2.Add([]float64{x}, y)
+	}
+	ll1, err := g1.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll2, err := g2.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll1 <= ll2 {
+		t.Fatalf("well-matched kernel should have higher evidence: %v vs %v", ll1, ll2)
+	}
+}
+
+func TestFitHyperparamsImprovesEvidence(t *testing.T) {
+	rng := sim.NewRNG(22)
+	g := New(RBF{LengthScale: 5.0, SignalVar: 0.01}, 1e-4)
+	for i := 0; i < 20; i++ {
+		x := rng.Float64()
+		g.Add([]float64{x}, math.Sin(2*math.Pi*x))
+	}
+	before, err := g.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := g.FitHyperparams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before {
+		t.Fatalf("fit decreased evidence: %v -> %v", before, after)
+	}
+	// Prediction quality should now be reasonable.
+	mean, _, err := g.Predict([]float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-1) > 0.3 {
+		t.Fatalf("post-fit prediction at peak: %v, want ~1", mean)
+	}
+}
+
+func TestBOLoopFindsOptimum(t *testing.T) {
+	// End-to-end mini Bayesian optimization of a 1-D function with EI.
+	rng := sim.NewRNG(23)
+	f := func(x float64) float64 { return -math.Pow(x-0.73, 2) }
+	g := New(RBF{LengthScale: 0.2, SignalVar: 0.5}, 1e-6)
+	for i := 0; i < 3; i++ {
+		x := rng.Float64()
+		g.Add([]float64{x}, f(x))
+	}
+	for iter := 0; iter < 20; iter++ {
+		bestEI, bestX := -1.0, 0.0
+		for c := 0; c < 200; c++ {
+			x := rng.Float64()
+			ei, err := g.ExpectedImprovement([]float64{x}, 0.001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ei > bestEI {
+				bestEI, bestX = ei, x
+			}
+		}
+		g.Add([]float64{bestX}, f(bestX))
+	}
+	// The best sampled point should be near 0.73.
+	bestY := g.BestY()
+	if bestY < -0.005 {
+		t.Fatalf("BO failed to approach optimum: best f = %v", bestY)
+	}
+}
+
+func TestNormalHelpers(t *testing.T) {
+	if math.Abs(normalCDF(0)-0.5) > 1e-12 {
+		t.Fatal("cdf(0) != 0.5")
+	}
+	if math.Abs(normalPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatal("pdf(0) wrong")
+	}
+	if normalCDF(6) < 0.999999 || normalCDF(-6) > 1e-6 {
+		t.Fatal("cdf tails wrong")
+	}
+}

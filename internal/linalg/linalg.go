@@ -1,0 +1,294 @@
+// Package linalg implements the small dense linear-algebra kernel needed by
+// Rafiki's Gaussian-process advisor and neural-network substrate: vectors,
+// row-major matrices, matrix products, Cholesky factorization and triangular
+// solves. It is deliberately minimal — no BLAS, stdlib only — but numerically
+// careful where the Bayesian optimizer depends on it (jittered Cholesky).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite even after jittering.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. Lengths must match.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// AddScaled adds alpha*w to v in place and returns v.
+func (v Vector) AddScaled(alpha float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic("linalg: addScaled length mismatch")
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return v
+}
+
+// Scale multiplies v by alpha in place and returns v.
+func (v Vector) Scale(alpha float64) Vector {
+	for i := range v {
+		v[i] *= alpha
+	}
+	return v
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Max returns the maximum element and its index; (-Inf,-1) for empty vectors.
+func (v Vector) Max() (float64, int) {
+	best, idx := math.Inf(-1), -1
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a vector view (shared storage).
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m*b. Inner dimensions must agree.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul shape mismatch (%dx%d)*(%dx%d)", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range oi {
+				oi[j] += mik * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v as a new vector.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: mulvec shape mismatch (%dx%d)*%d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	}
+	return out
+}
+
+// Add adds b to m in place and returns m.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return m
+}
+
+// AddDiag adds v to the diagonal in place and returns m (m must be square).
+func (m *Matrix) AddDiag(v float64) *Matrix {
+	if m.Rows != m.Cols {
+		panic("linalg: addDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+	return m
+}
+
+// Cholesky computes the lower-triangular L with L*Lᵀ = m for a symmetric
+// positive-definite m. If the factorization fails it retries with growing
+// diagonal jitter (up to 1e-4·mean-diagonal), which is the standard remedy
+// for near-singular GP kernel matrices; beyond that it returns
+// ErrNotPositiveDefinite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	meanDiag := 0.0
+	for i := 0; i < n; i++ {
+		meanDiag += m.At(i, i)
+	}
+	if n > 0 {
+		meanDiag /= float64(n)
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		l, ok := choleskyAttempt(m, jitter)
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * math.Max(meanDiag, 1)
+		} else {
+			jitter *= 100
+		}
+		if jitter > 1e-4*math.Max(meanDiag, 1) {
+			break
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func choleskyAttempt(m *Matrix, jitter float64) (*Matrix, bool) {
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}
+
+// SolveLower solves L*x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: solveLower shape mismatch")
+	}
+	x := NewVector(n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ*x = b for lower-triangular L by back substitution.
+func SolveUpperT(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: solveUpperT shape mismatch")
+	}
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves m*x = b given the Cholesky factor L of m.
+func CholSolve(l *Matrix, b Vector) Vector {
+	return SolveUpperT(l, SolveLower(l, b))
+}

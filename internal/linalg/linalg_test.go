@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rafiki/internal/sim"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2}.Clone()
+	v.AddScaled(2, Vector{3, 4})
+	if v[0] != 7 || v[1] != 10 {
+		t.Fatalf("addScaled = %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 3.5 || v[1] != 5 {
+		t.Fatalf("scale = %v", v)
+	}
+	if !almostEq(Vector{3, 4}.Norm(), 5, 1e-12) {
+		t.Fatal("norm")
+	}
+	m, i := Vector{1, 9, 3}.Max()
+	if m != 9 || i != 1 {
+		t.Fatalf("max = %v@%d", m, i)
+	}
+	if _, i := (Vector{}).Max(); i != -1 {
+		t.Fatal("empty max index should be -1")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMatrixMulVecAndTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := a.MulVec(Vector{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatalf("mulvec = %v", v)
+	}
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+func TestIdentityMulIsNoop(t *testing.T) {
+	g := sim.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + g.Intn(8)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = g.Normal(0, 1)
+		}
+		p := Identity(n).Mul(m)
+		for i := range p.Data {
+			if !almostEq(p.Data[i], m.Data[i], 1e-12) {
+				t.Fatal("I*M != M")
+			}
+		}
+	}
+}
+
+// randomSPD builds A = Bᵀ B + n·I, which is symmetric positive definite.
+func randomSPD(g *sim.RNG, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = g.Normal(0, 1)
+	}
+	a := b.T().Mul(b)
+	a.AddDiag(float64(n))
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	g := sim.NewRNG(12)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + g.Intn(10)
+		a := randomSPD(g, n)
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatalf("cholesky failed on SPD matrix: %v", err)
+		}
+		recon := l.Mul(l.T())
+		for i := range a.Data {
+			if !almostEq(recon.Data[i], a.Data[i], 1e-8) {
+				t.Fatalf("L*Lt != A at %d: %v vs %v", i, recon.Data[i], a.Data[i])
+			}
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatal("cholesky factor not lower triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -5}})
+	if _, err := a.Cholesky(); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+	b := FromRows([][]float64{{1, 2, 3}})
+	if _, err := b.Cholesky(); err == nil {
+		t.Fatal("expected failure on non-square matrix")
+	}
+}
+
+func TestCholeskyJitterRecoversNearSingular(t *testing.T) {
+	// Rank-deficient Gram matrix: duplicate kernel rows, as happens when the
+	// Bayesian optimizer revisits nearly identical trials.
+	a := FromRows([][]float64{
+		{1, 1, 0.5},
+		{1, 1, 0.5},
+		{0.5, 0.5, 1},
+	})
+	if _, err := a.Cholesky(); err != nil {
+		t.Fatalf("jittered cholesky should recover: %v", err)
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	g := sim.NewRNG(13)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + g.Intn(10)
+		a := randomSPD(g, n)
+		x := NewVector(n)
+		for i := range x {
+			x[i] = g.Normal(0, 2)
+		}
+		b := a.MulVec(x)
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholSolve(l, b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-6) {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	x := SolveLower(l, Vector{4, 11})
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solveLower = %v", x)
+	}
+	// Lᵀ x = b  with Lᵀ = [[2,1],[0,3]]; b = [7,9] -> x = [2,3]
+	y := SolveUpperT(l, Vector{7, 9})
+	if !almostEq(y[0], 2, 1e-12) || !almostEq(y[1], 3, 1e-12) {
+		t.Fatalf("solveUpperT = %v", y)
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ for random shapes.
+func TestTransposeProductProperty(t *testing.T) {
+	g := sim.NewRNG(14)
+	f := func(rRaw, cRaw, kRaw uint8) bool {
+		r, c, k := int(rRaw%6)+1, int(cRaw%6)+1, int(kRaw%6)+1
+		a := NewMatrix(r, k)
+		b := NewMatrix(k, c)
+		for i := range a.Data {
+			a.Data[i] = g.Normal(0, 1)
+		}
+		for i := range b.Data {
+			b.Data[i] = g.Normal(0, 1)
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}

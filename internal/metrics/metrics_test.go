@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeSeriesAppendAndOrder(t *testing.T) {
+	ts := NewTimeSeries("x")
+	if err := ts.Append(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Append(1, 11); err != nil {
+		t.Fatal(err) // equal times allowed
+	}
+	if err := ts.Append(0.5, 9); err == nil {
+		t.Fatal("time going backwards should error")
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	ts := NewTimeSeries("m")
+	if !math.IsNaN(ts.Mean()) {
+		t.Fatal("empty mean should be NaN")
+	}
+	ts.Append(0, 2)
+	ts.Append(1, 4)
+	if ts.Mean() != 3 {
+		t.Fatalf("mean = %v", ts.Mean())
+	}
+	if ts.MeanAfter(0.5) != 4 {
+		t.Fatalf("meanAfter = %v", ts.MeanAfter(0.5))
+	}
+	if !math.IsNaN(ts.MeanAfter(10)) {
+		t.Fatal("meanAfter beyond data should be NaN")
+	}
+}
+
+func TestTimeSeriesPointsCopy(t *testing.T) {
+	ts := NewTimeSeries("c")
+	ts.Append(0, 1)
+	pts := ts.Points()
+	pts[0].V = 999
+	if ts.Points()[0].V != 1 {
+		t.Fatal("Points leaked internal storage")
+	}
+}
+
+func TestRebin(t *testing.T) {
+	ts := NewTimeSeries("r")
+	for i := 0; i < 10; i++ {
+		ts.Append(float64(i), float64(i))
+	}
+	bins := ts.Rebin(5)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d, want 2", len(bins))
+	}
+	if bins[0].V != 2 || bins[1].V != 7 {
+		t.Fatalf("bin means = %v,%v want 2,7", bins[0].V, bins[1].V)
+	}
+	if Rebin := ts.Rebin(0); Rebin != nil {
+		t.Fatal("zero width should return nil")
+	}
+}
+
+func TestWindowCounterRates(t *testing.T) {
+	w := NewWindowCounter(1)
+	w.Add(0.5, 3)
+	w.Add(0.9, 2)
+	w.Add(2.5, 4)
+	rate := w.Rate()
+	if len(rate) != 3 {
+		t.Fatalf("windows = %d, want 3 (including empty)", len(rate))
+	}
+	if rate[0].V != 5 || rate[1].V != 0 || rate[2].V != 4 {
+		t.Fatalf("rates = %+v", rate)
+	}
+	if w.Total() != 9 {
+		t.Fatalf("total = %v", w.Total())
+	}
+}
+
+func TestWindowCounterEmptyAndWidth(t *testing.T) {
+	w := NewWindowCounter(0) // defaults to width 1
+	if w.Rate() != nil {
+		t.Fatal("empty counter should have no rate points")
+	}
+	if w.Width != 1 {
+		t.Fatalf("width = %v", w.Width)
+	}
+	w2 := NewWindowCounter(2)
+	w2.Add(1, 4)
+	if got := w2.Rate()[0].V; got != 2 {
+		t.Fatalf("rate = %v, want events/second 2", got)
+	}
+}
+
+func TestWindowCounterNegativeTimes(t *testing.T) {
+	w := NewWindowCounter(1)
+	w.Add(-1.5, 1)
+	w.Add(0.5, 1)
+	rate := w.Rate()
+	if len(rate) != 3 {
+		t.Fatalf("windows spanning negative times = %d, want 3", len(rate))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestSummarizeQuantilesProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		s := Summarize(raw)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P95 &&
+			s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(5)    // bin 0
+	h.Add(95)   // bin 9
+	h.Add(-3)   // clamps to bin 0
+	h.Add(150)  // clamps to bin 9
+	h.Add(50.1) // bin 5
+	if h.Counts[0] != 2 || h.Counts[9] != 2 || h.Counts[5] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.BinCenter(0) != 5 || h.BinCenter(9) != 95 {
+		t.Fatalf("bin centers = %v, %v", h.BinCenter(0), h.BinCenter(9))
+	}
+	if got := h.CountAbove(50); got != 3 {
+		t.Fatalf("countAbove(50) = %d, want 3", got)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}

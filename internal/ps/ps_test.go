@@ -1,0 +1,268 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rafiki/internal/store"
+)
+
+func ckpt(model, trial string, acc float64, layers ...Layer) *Checkpoint {
+	return &Checkpoint{Model: model, TrialID: trial, Accuracy: acc, Quality: acc, Layers: layers}
+}
+
+func layer(name string, shape []int, fill float64) Layer {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = fill
+	}
+	return Layer{Name: name, Shape: shape, Data: data}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(4, nil)
+	c := ckpt("resnet", "t1", 0.91, layer("conv1", []int{3, 3, 16}, 1.5))
+	if err := s.Put("resnet/t1", c); err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := s.Get("resnet/t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || got.Accuracy != 0.91 || len(got.Layers) != 1 {
+		t.Fatalf("got %+v ver %d", got, ver)
+	}
+	// Deep copy: mutating the returned checkpoint must not affect storage.
+	got.Layers[0].Data[0] = -99
+	again, _, _ := s.Get("resnet/t1")
+	if again.Layers[0].Data[0] != 1.5 {
+		t.Fatal("Get leaked internal storage")
+	}
+	// And mutating the original after Put must not either.
+	c.Layers[0].Data[0] = 42
+	again2, _, _ := s.Get("resnet/t1")
+	if again2.Layers[0].Data[0] != 1.5 {
+		t.Fatal("Put aliased caller storage")
+	}
+}
+
+func TestVersionsBump(t *testing.T) {
+	s := New(2, nil)
+	s.Put("k", ckpt("m", "t1", 0.5))
+	s.Put("k", ckpt("m", "t2", 0.6))
+	got, ver, _ := s.Get("k")
+	if ver != 2 || got.TrialID != "t2" {
+		t.Fatalf("ver=%d trial=%s", ver, got.TrialID)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(2, nil)
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New(2, nil)
+	if err := s.Put("", ckpt("m", "t", 0.1)); err == nil {
+		t.Fatal("empty key should error")
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Fatal("nil checkpoint should error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(2, nil)
+	s.Put("m/t1", ckpt("m", "t1", 0.5))
+	if err := s.Delete("m/t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("m/t1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key still readable")
+	}
+	if err := s.Delete("m/t1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete should be ErrNotFound")
+	}
+	if _, err := s.BestForModel("m"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("model index should be cleaned up")
+	}
+}
+
+func TestBestForModel(t *testing.T) {
+	s := New(4, nil)
+	s.Put("m/t1", ckpt("m", "t1", 0.70))
+	s.Put("m/t2", ckpt("m", "t2", 0.92))
+	s.Put("m/t3", ckpt("m", "t3", 0.85))
+	s.Put("other/t1", ckpt("other", "t1", 0.99))
+	best, err := s.BestForModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TrialID != "t2" {
+		t.Fatalf("best = %s, want t2", best.TrialID)
+	}
+	if _, err := s.BestForModel("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown model should be ErrNotFound")
+	}
+}
+
+func TestShapeKeyAndFetchMatching(t *testing.T) {
+	l := layer("conv3", []int{3, 3, 64}, 0)
+	if l.ShapeKey() != "conv3:3x3x64" {
+		t.Fatalf("shapeKey = %s", l.ShapeKey())
+	}
+	s := New(4, nil)
+	// ConvNet a: conv3 is 3x3x64 at accuracy 0.8.
+	s.Put("a/t1", ckpt("a", "t1", 0.8,
+		layer("conv3", []int{3, 3, 64}, 1),
+		layer("fc", []int{64, 10}, 2)))
+	// ConvNet b shares conv3's config at better accuracy, different fc.
+	s.Put("b/t1", ckpt("b", "t1", 0.9,
+		layer("conv3", []int{3, 3, 64}, 3),
+		layer("fc", []int{128, 10}, 4)))
+
+	// New trial wants conv3:3x3x64 and fc:64x10.
+	got := s.FetchMatching([]string{"conv3:3x3x64", "fc:64x10", "conv9:5x5x8"})
+	if len(got) != 2 {
+		t.Fatalf("matched %d signatures, want 2", len(got))
+	}
+	// conv3 must come from b (higher accuracy checkpoint).
+	if got["conv3:3x3x64"].Data[0] != 3 {
+		t.Fatal("shape-matched fetch should prefer the more accurate checkpoint")
+	}
+	if got["fc:64x10"].Data[0] != 2 {
+		t.Fatal("fc should come from the only matching checkpoint")
+	}
+	if _, ok := got["conv9:5x5x8"]; ok {
+		t.Fatal("unmatched signature should be absent")
+	}
+}
+
+func TestColdTierSpillAndReload(t *testing.T) {
+	fs, err := store.NewFS(2, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(2, fs)
+	s.Put("hot", ckpt("m", "hot", 0.9, layer("w", []int{4}, 7)))
+	s.Put("cold", ckpt("m", "cold", 0.5, layer("w", []int{4}, 8)))
+	// Touch "hot" a few times so only "cold" spills.
+	for i := 0; i < 5; i++ {
+		s.Get("hot")
+	}
+	spilled, err := s.SpillCold(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled != 1 {
+		t.Fatalf("spilled = %d, want 1", spilled)
+	}
+	if s.HotCount() != 1 {
+		t.Fatalf("hot count = %d, want 1", s.HotCount())
+	}
+	// Reading the cold checkpoint transparently reloads it.
+	got, _, err := s.Get("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layers[0].Data[0] != 8 {
+		t.Fatal("cold reload corrupted data")
+	}
+	if s.HotCount() != 2 {
+		t.Fatal("reload should repopulate the hot tier")
+	}
+}
+
+func TestSpillWithoutColdTierIsNoop(t *testing.T) {
+	s := New(2, nil)
+	s.Put("k", ckpt("m", "t", 0.5))
+	n, err := s.SpillCold(100)
+	if err != nil || n != 0 {
+		t.Fatalf("spill = %d err=%v, want noop", n, err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New(8, nil)
+	for _, k := range []string{"z", "a", "m"} {
+		s.Put(k, ckpt("m", k, 0.1))
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(8, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("m/t%d-%d", w, i)
+				if err := s.Put(key, ckpt("m", key, float64(i)/100)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(s.Keys()) != 800 {
+		t.Fatalf("keys = %d, want 800", len(s.Keys()))
+	}
+	best, err := s.BestForModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Accuracy != 0.99 {
+		t.Fatalf("best accuracy = %v", best.Accuracy)
+	}
+}
+
+func TestBestForModelVisiblePrivacy(t *testing.T) {
+	s := New(4, nil)
+	pub := ckpt("m", "pub", 0.7)
+	pub.Owner, pub.Public = "study-a", true
+	priv := ckpt("m", "priv", 0.9)
+	priv.Owner, priv.Public = "study-b", false
+	legacy := ckpt("m", "legacy", 0.6) // no owner: treated as shared
+	s.Put("a/pub", pub)
+	s.Put("b/priv", priv)
+	s.Put("legacy", legacy)
+
+	// The private owner sees everything it may: its own 0.9 wins.
+	best, err := s.BestForModelVisible("m", "study-b")
+	if err != nil || best.TrialID != "priv" {
+		t.Fatalf("owner view = %+v err=%v", best, err)
+	}
+	// A stranger sees only public + ownerless: 0.7 wins.
+	best, err = s.BestForModelVisible("m", "study-c")
+	if err != nil || best.TrialID != "pub" {
+		t.Fatalf("stranger view = %+v err=%v", best, err)
+	}
+	// Unfiltered BestForModel still returns the global best.
+	best, err = s.BestForModel("m")
+	if err != nil || best.TrialID != "priv" {
+		t.Fatalf("global view = %+v err=%v", best, err)
+	}
+	// Privacy metadata survives cloning.
+	cl := best.Clone()
+	if cl.Owner != "study-b" || cl.Public {
+		t.Fatalf("clone lost privacy metadata: %+v", cl)
+	}
+}

@@ -1,0 +1,138 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rafiki"
+)
+
+// Client is a thin HTTP client over the REST API — the analogue of the
+// paper's Python SDK talking to a remote Rafiki deployment.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("rest client: encode: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("rest client: %s %s: %s", method, path, eb.Error)
+		}
+		return fmt.Errorf("rest client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rest client: decode: %w", err)
+	}
+	return nil
+}
+
+// Tasks fetches the task catalogue.
+func (c *Client) Tasks() (map[string][]string, error) {
+	var out map[string][]string
+	err := c.do(http.MethodGet, "/api/v1/tasks", nil, &out)
+	return out, err
+}
+
+// ImportImages imports a dataset.
+func (c *Client) ImportImages(name string, folders map[string]int) (*rafiki.Dataset, error) {
+	var out rafiki.Dataset
+	err := c.do(http.MethodPost, "/api/v1/datasets", ImportRequest{Name: name, Folders: folders}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Train submits a training job and returns its ID.
+func (c *Client) Train(req TrainRequest) (string, error) {
+	var out TrainResponse
+	if err := c.do(http.MethodPost, "/api/v1/train", req, &out); err != nil {
+		return "", err
+	}
+	return out.JobID, nil
+}
+
+// TrainStatus fetches job progress.
+func (c *Client) TrainStatus(jobID string) (*rafiki.TrainStatus, error) {
+	var out rafiki.TrainStatus
+	if err := c.do(http.MethodGet, "/api/v1/train/"+jobID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitTrain polls until the job reports done or the attempt budget runs out.
+func (c *Client) WaitTrain(jobID string, poll time.Duration, attempts int) (*rafiki.TrainStatus, error) {
+	for i := 0; i < attempts; i++ {
+		st, err := c.TrainStatus(jobID)
+		if err != nil {
+			return nil, err
+		}
+		if st.Done {
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+	return nil, fmt.Errorf("rest client: training job %s did not finish in time", jobID)
+}
+
+// GetModels fetches the trained model instances of a finished job.
+func (c *Client) GetModels(jobID string) ([]rafiki.ModelInstance, error) {
+	var out []rafiki.ModelInstance
+	if err := c.do(http.MethodGet, "/api/v1/train/"+jobID+"/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Inference deploys a finished training job's models.
+func (c *Client) Inference(trainJobID string) (string, error) {
+	var out InferenceResponse
+	if err := c.do(http.MethodPost, "/api/v1/inference", InferenceRequest{TrainJobID: trainJobID}, &out); err != nil {
+		return "", err
+	}
+	return out.JobID, nil
+}
+
+// Query classifies a payload against a deployed job.
+func (c *Client) Query(inferJobID, img string) (*rafiki.QueryResult, error) {
+	var out rafiki.QueryResult
+	if err := c.do(http.MethodPost, "/api/v1/query/"+inferJobID, QueryRequest{Image: img}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,220 @@
+// Package rest exposes a Rafiki System over the paper's RESTful APIs
+// (Section 3: "users simply configure the training or inference jobs
+// through either RESTFul APIs or Python SDK"; Section 8's curl example).
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                      liveness
+//	GET  /api/v1/tasks                 built-in task → model catalogue
+//	POST /api/v1/datasets              import a labeled dataset
+//	POST /api/v1/train                 submit a training job
+//	GET  /api/v1/train/{id}            training job status
+//	GET  /api/v1/train/{id}/models     trained model instances
+//	POST /api/v1/inference             deploy models for serving
+//	POST /api/v1/query/{id}            classify a payload
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"rafiki"
+)
+
+// Server is the HTTP facade over a System.
+type Server struct {
+	sys *rafiki.System
+	mux *http.ServeMux
+}
+
+// NewServer wraps a System.
+func NewServer(sys *rafiki.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /api/v1/datasets", s.handleImport)
+	s.mux.HandleFunc("POST /api/v1/train", s.handleTrain)
+	s.mux.HandleFunc("GET /api/v1/train/{id}", s.handleTrainStatus)
+	s.mux.HandleFunc("GET /api/v1/train/{id}/models", s.handleTrainModels)
+	s.mux.HandleFunc("POST /api/v1/inference", s.handleInference)
+	s.mux.HandleFunc("POST /api/v1/query/{id}", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the wire shape of an error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Tasks())
+}
+
+// ImportRequest is the dataset-import request body.
+type ImportRequest struct {
+	Name string `json:"name"`
+	// Folders maps class subfolder names to image counts.
+	Folders map[string]int `json:"folders"`
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req ImportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	d, err := s.sys.ImportImages(req.Name, req.Folders)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d)
+}
+
+// TrainRequest is the training submission body (Figure 2's train.py).
+type TrainRequest struct {
+	Name        string           `json:"name"`
+	Data        string           `json:"data"`
+	Task        string           `json:"task"`
+	InputShape  []int            `json:"input_shape"`
+	OutputShape []int            `json:"output_shape"`
+	Hyper       rafiki.HyperConf `json:"hyper"`
+	Models      []string         `json:"models,omitempty"`
+}
+
+// TrainResponse carries the job handle.
+type TrainResponse struct {
+	JobID string `json:"job_id"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	job, err := s.sys.Train(rafiki.TrainConfig{
+		Name:        req.Name,
+		Data:        req.Data,
+		Task:        req.Task,
+		InputShape:  req.InputShape,
+		OutputShape: req.OutputShape,
+		Hyper:       req.Hyper,
+		Models:      req.Models,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID})
+}
+
+func (s *Server) trainJob(w http.ResponseWriter, r *http.Request) (*rafiki.TrainJob, bool) {
+	id := r.PathValue("id")
+	job, err := s.sys.TrainJobByID(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.trainJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleTrainModels(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.trainJob(w, r)
+	if !ok {
+		return
+	}
+	models, err := s.sys.GetModels(job.ID)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, models)
+}
+
+// InferenceRequest deploys models: either everything from a finished
+// training job, or an explicit instance list.
+type InferenceRequest struct {
+	TrainJobID string                 `json:"train_job_id,omitempty"`
+	Models     []rafiki.ModelInstance `json:"models,omitempty"`
+}
+
+// InferenceResponse carries the deployed job handle.
+type InferenceResponse struct {
+	JobID string `json:"job_id"`
+}
+
+func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
+	var req InferenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	models := req.Models
+	if len(models) == 0 && req.TrainJobID != "" {
+		var err error
+		models, err = s.sys.GetModels(req.TrainJobID)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+	}
+	job, err := s.sys.Inference(models)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, InferenceResponse{JobID: job.ID})
+}
+
+// QueryRequest is a classification request: Image carries the payload (an
+// image path, raw text, or base64 data — the simulation hashes it).
+type QueryRequest struct {
+	Image string `json:"img"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Image) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: query needs an img payload"))
+		return
+	}
+	res, err := s.sys.Query(id, []byte(req.Image))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,152 @@
+package rest
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rafiki"
+)
+
+func newTestServer(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	sys, err := rafiki.New(rafiki.Options{Seed: 7, Workers: 2, NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(sys))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), ts
+}
+
+func TestHealthAndTasks(t *testing.T) {
+	c, ts := newTestServer(t)
+	resp, err := c.HTTP.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	tasks, err := c.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks["ImageClassification"]) == 0 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+}
+
+// TestFullWorkflowOverREST drives the complete Figure 2 + Section 8 flow
+// through HTTP: import → train → models → deploy → query.
+func TestFullWorkflowOverREST(t *testing.T) {
+	c, _ := newTestServer(t)
+
+	d, err := c.ImportImages("food", map[string]int{"pizza": 50, "ramen": 50, "salad": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Classes) != 3 {
+		t.Fatalf("classes = %v", d.Classes)
+	}
+
+	jobID, err := c.Train(TrainRequest{
+		Name:        "train",
+		Data:        "food",
+		Task:        "ImageClassification",
+		InputShape:  []int{3, 256, 256},
+		OutputShape: []int{3},
+		Hyper:       rafiki.HyperConf{MaxTrials: 8, CoStudy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitTrain(jobID, 50*time.Millisecond, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Finished == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	models, err := c.GetModels(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("no models")
+	}
+
+	infID, err := c.Inference(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(infID, "my_pizza_photo.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label == "" || res.Confidence <= 0 {
+		t.Fatalf("query result = %+v", res)
+	}
+}
+
+func TestRESTErrors(t *testing.T) {
+	c, ts := newTestServer(t)
+
+	// Unknown training job.
+	if _, err := c.TrainStatus("ghost"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad JSON body.
+	resp, err := c.HTTP.Post(ts.URL+"/api/v1/train", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	// Train with unknown dataset.
+	if _, err := c.Train(TrainRequest{Name: "x", Data: "ghost", Task: "ImageClassification"}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	// Inference for unknown job.
+	if _, err := c.Inference("ghost"); err == nil {
+		t.Fatal("unknown training job should error")
+	}
+	// Query with empty payload.
+	if _, err := c.Query("ghost", ""); err == nil {
+		t.Fatal("empty payload should error")
+	}
+	// Import with no folders.
+	if _, err := c.ImportImages("bad", nil); err == nil {
+		t.Fatal("empty import should error")
+	}
+}
+
+func TestModelsBeforeDoneConflict(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.ImportImages("d", map[string]int{"a": 40, "b": 40}); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.Train(TrainRequest{
+		Name: "big", Data: "d", Task: "ImageClassification",
+		Hyper: rafiki.HyperConf{MaxTrials: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediately asking for models either conflicts (still running) or the
+	// job was very fast; tolerate both but require eventual success.
+	if _, err := c.GetModels(jobID); err != nil && !strings.Contains(err.Error(), "still running") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetModels(jobID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/infer"
+	"rafiki/internal/sim"
+	"rafiki/internal/workload"
+	"rafiki/internal/zoo"
+)
+
+var testB = []int{16, 32, 48, 64}
+
+func TestNewAgentValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := NewAgent(DefaultConfig(), 0, testB, rng); err == nil {
+		t.Fatal("zero models should error")
+	}
+	if _, err := NewAgent(DefaultConfig(), 9, testB, rng); err == nil {
+		t.Fatal("too many models should error")
+	}
+	if _, err := NewAgent(DefaultConfig(), 2, nil, rng); err == nil {
+		t.Fatal("no batches should error")
+	}
+}
+
+func TestActionSpaceSize(t *testing.T) {
+	rng := sim.NewRNG(2)
+	// Paper: (2^|M|−1)·|B| actions; we add one explicit wait.
+	a3, _ := NewAgent(DefaultConfig(), 3, testB, rng)
+	if got := a3.ActionSpace(); got != (1<<3-1)*4+1 {
+		t.Fatalf("3-model action space = %d, want 29", got)
+	}
+	a1, _ := NewAgent(DefaultConfig(), 1, testB, rng)
+	if got := a1.ActionSpace(); got != 4+1 {
+		t.Fatalf("1-model action space = %d, want 5", got)
+	}
+}
+
+func mkState(models int, free []bool, busy []float64, qlen int, waits []float64) *infer.State {
+	lat := make([][]float64, models)
+	for m := range lat {
+		lat[m] = []float64{0.07, 0.125, 0.18, 0.235}
+	}
+	return &infer.State{
+		Now: 0, QueueLen: qlen, Waits: waits,
+		FreeModels: free, BusyLeft: busy,
+		Tau: 0.56, Batches: testB, LatencyTable: lat,
+	}
+}
+
+func TestDecideNeverSelectsBusyModels(t *testing.T) {
+	rng := sim.NewRNG(3)
+	agent, _ := NewAgent(DefaultConfig(), 3, testB, rng)
+	s := mkState(3, []bool{true, false, true}, []float64{0, 0.2, 0}, 100, []float64{0.1})
+	for i := 0; i < 200; i++ {
+		act := agent.Decide(s)
+		agent.Feedback(0.1)
+		if act.Wait {
+			continue
+		}
+		for _, m := range act.Models {
+			if m == 1 {
+				t.Fatal("selected busy model")
+			}
+		}
+		if act.Batch != 16 && act.Batch != 32 && act.Batch != 48 && act.Batch != 64 {
+			t.Fatalf("invalid batch %d", act.Batch)
+		}
+	}
+}
+
+func TestFeatureDimAndPadding(t *testing.T) {
+	rng := sim.NewRNG(4)
+	agent, _ := NewAgent(DefaultConfig(), 2, testB, rng)
+	// Short queue: waits padded with zeros; long waits truncated.
+	s := mkState(2, []bool{true, true}, []float64{0, 0}, 2, []float64{0.3, 0.2})
+	x := agent.features(s)
+	if len(x) != agent.featureDim() {
+		t.Fatalf("feature dim %d != declared %d", len(x), agent.featureDim())
+	}
+	if x[0] != 0.3/0.56 || x[2] != 0 {
+		t.Fatalf("wait features wrong: %v", x[:4])
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite feature")
+		}
+	}
+}
+
+func TestGreedyModeIsDeterministic(t *testing.T) {
+	rng := sim.NewRNG(5)
+	agent, _ := NewAgent(DefaultConfig(), 2, testB, rng)
+	agent.SetGreedy(true)
+	s := mkState(2, []bool{true, true}, []float64{0, 0}, 50, []float64{0.1})
+	first := agent.Decide(s)
+	for i := 0; i < 20; i++ {
+		act := agent.Decide(s)
+		if act.Wait != first.Wait || act.Batch != first.Batch {
+			t.Fatal("greedy mode should be deterministic for a fixed state")
+		}
+	}
+}
+
+func TestEntropyDecays(t *testing.T) {
+	rng := sim.NewRNG(6)
+	agent, _ := NewAgent(DefaultConfig(), 1, testB, rng)
+	start := agent.entropyCoef()
+	agent.steps = 100000
+	end := agent.entropyCoef()
+	if end >= start {
+		t.Fatalf("entropy should decay: %v -> %v", start, end)
+	}
+	if end < agent.Cfg.EntropyMin {
+		t.Fatalf("entropy fell below floor: %v", end)
+	}
+}
+
+// TestAgentLearnsBanditPreference: a degenerate scheduling problem where one
+// action has strictly higher reward; the policy should concentrate on it.
+func TestAgentLearnsBanditPreference(t *testing.T) {
+	rng := sim.NewRNG(7)
+	cfg := DefaultConfig()
+	cfg.LR = 3e-3
+	agent, _ := NewAgent(cfg, 1, testB, rng)
+	s := mkState(1, []bool{true}, []float64{0}, 200, []float64{0.01})
+	// Reward: batch 64 pays 1, everything else pays 0.
+	for i := 0; i < 3000; i++ {
+		act := agent.Decide(s)
+		r := 0.0
+		if !act.Wait && act.Batch == 64 {
+			r = 1
+		}
+		agent.Feedback(r)
+	}
+	agent.SetGreedy(true)
+	act := agent.Decide(s)
+	if act.Wait || act.Batch != 64 {
+		t.Fatalf("agent failed to learn the dominant action: %+v", act)
+	}
+}
+
+func runServing(t *testing.T, d *infer.Deployment, p infer.Policy, anchor, warm, dur float64, seed int64) *infer.Metrics {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	arr, err := workload.NewSineArrival(anchor, 500*d.Tau, rng.SplitNamed("arrival"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := infer.NewSimulator(d, p, workload.NewSource(arr), ensemble.NewAccuracyTable(zoo.NewPredictor(seed), 4000))
+	s.MeasureFrom = warm
+	met, err := s.Run(warm + dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return met
+}
+
+// TestRLBeatsGreedyAtLowRate is the Figure 13 headline: with the arrival
+// anchored at the minimum throughput, the trained agent eliminates the
+// stragglers greedy leaves overdue.
+func TestRLBeatsGreedyAtLowRate(t *testing.T) {
+	d, err := infer.NewDeployment([]string{"inception_v3"}, testB, 0.56, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := runServing(t, d, &infer.GreedySingle{D: d}, 228, 280, 280, 11)
+	agent, err := NewAgent(DefaultConfig(), 1, testB, sim.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := runServing(t, d, agent, 228, 280*3, 280, 11)
+	if greedy.Overdue == 0 {
+		t.Fatal("test premise broken: greedy should leave stragglers")
+	}
+	if rl.Overdue*2 > greedy.Overdue {
+		t.Fatalf("RL overdue %d should be well under greedy's %d", rl.Overdue, greedy.Overdue)
+	}
+	if agent.Steps() == 0 {
+		t.Fatal("agent took no decisions")
+	}
+	agent.Flush() // exercise the terminal update path
+}
+
+// TestRLTradesAccuracyForLatency is the Figure 14 headline: against the
+// synchronous full-ensemble baseline at the minimum-throughput anchor, the
+// agent eliminates almost all overdue requests at a modest accuracy cost.
+func TestRLTradesAccuracyForLatency(t *testing.T) {
+	models := []string{"inception_v3", "inception_v4", "inception_resnet_v2"}
+	d, err := infer.NewDeployment(models, testB, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSim := func(p infer.Policy, warm float64, seed int64) *infer.Metrics {
+		rng := sim.NewRNG(seed)
+		arr, _ := workload.NewSineArrival(128, 500*d.Tau, rng.SplitNamed("arrival"))
+		s := infer.NewSimulator(d, p, workload.NewSource(arr), ensemble.NewAccuracyTable(zoo.NewPredictor(seed), 4000))
+		s.Predictor = zoo.NewPredictor(seed + 1)
+		s.MeasureFrom = warm
+		met, err := s.Run(warm + 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	sync := mkSim(&infer.SyncAll{D: d}, 400, 13)
+	cfg := DefaultConfig()
+	cfg.Gamma = 0.98
+	agent, _ := NewAgent(cfg, 3, testB, sim.NewRNG(14))
+	rl := mkSim(agent, 1500, 13)
+
+	if sync.Overdue == 0 {
+		t.Fatal("test premise broken: sync should be overwhelmed at bursts")
+	}
+	if rl.Overdue*5 > sync.Overdue {
+		t.Fatalf("RL overdue %d should be far below sync's %d", rl.Overdue, sync.Overdue)
+	}
+	// Accuracy: at most sync's (full ensemble), at least near the worst
+	// single model (it still ensembles at low rate).
+	if rl.Accuracy.Mean() > sync.Accuracy.Mean()+0.005 {
+		t.Fatalf("RL accuracy %v cannot exceed the full ensemble %v", rl.Accuracy.Mean(), sync.Accuracy.Mean())
+	}
+	if rl.Accuracy.Mean() < 0.77 {
+		t.Fatalf("RL accuracy %v collapsed below single-model levels", rl.Accuracy.Mean())
+	}
+}
+
+// TestSemiMDPDiscounting verifies the time-aware TD target: with a positive
+// next-state value, a longer gap discounts the bootstrap more, so the
+// critic's update target shrinks with dt.
+func TestSemiMDPDiscounting(t *testing.T) {
+	mk := func() *Agent {
+		a, err := NewAgent(DefaultConfig(), 1, testB, sim.NewRNG(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Train two identical agents on the same transition differing only in
+	// elapsed time; the one with the longer gap must move its value toward
+	// a smaller target (same reward, more-discounted bootstrap).
+	sA := mkState(1, []bool{true}, []float64{0}, 50, []float64{0.1})
+	sB := mkState(1, []bool{true}, []float64{0}, 10, []float64{0.05})
+	sB.Now = 0 // decide() reads Now from state
+
+	value := func(gapSeconds float64) float64 {
+		a := mk()
+		x := a.features(sA)
+		before := a.critic.Forward(x)[0]
+		_ = before
+		// One decide to set pending, reward, then a second decide at +gap.
+		a.Decide(sA)
+		a.Feedback(0.5)
+		next := mkState(1, []bool{true}, []float64{0}, 10, []float64{0.05})
+		next.Now = gapSeconds
+		a.Decide(next)
+		return a.critic.Forward(x)[0]
+	}
+	vShort := value(0.02)
+	vLong := value(5.0)
+	if vShort <= vLong {
+		t.Fatalf("longer gaps should discount the bootstrap more: short %v vs long %v", vShort, vLong)
+	}
+}
+
+// TestCriticLRDefault checks the faster-critic default wiring.
+func TestCriticLRDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CriticLR = 0
+	a, err := NewAgent(cfg, 1, testB, sim.NewRNG(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.criticOpt.LR != 5*a.actorOpt.LR {
+		t.Fatalf("critic LR = %v, want 5x actor %v", a.criticOpt.LR, a.actorOpt.LR)
+	}
+	cfg.CriticLR = 1e-2
+	b, _ := NewAgent(cfg, 1, testB, sim.NewRNG(62))
+	if b.criticOpt.LR != 1e-2 {
+		t.Fatalf("explicit critic LR ignored: %v", b.criticOpt.LR)
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides the deterministic simulation substrate used by every
+// Rafiki experiment: a virtual clock, a discrete-event loop, and seeded,
+// splittable random number generators.
+//
+// The paper's serving experiments run for 1,500+ wall-clock seconds against
+// GPU-backed models; here the same request streams and scheduling decisions
+// are driven over virtual time so experiments replay deterministically and
+// finish in milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Clock is a virtual clock measured in seconds. The zero value starts at t=0.
+type Clock struct {
+	now float64
+}
+
+// NewClock returns a clock positioned at start seconds.
+func NewClock(start float64) *Clock { return &Clock{now: start} }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds. It panics if d is negative:
+// virtual time never runs backwards, and a negative delta always indicates a
+// scheduling bug in the caller.
+func (c *Clock) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to time t. Moving to the past panics.
+func (c *Clock) AdvanceTo(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback in an EventLoop.
+type Event struct {
+	At  float64 // virtual time at which the event fires
+	Fn  func()  // callback; runs with the loop clock set to At
+	seq uint64  // tie-break so equal-time events run in schedule order
+	idx int     // heap index
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventLoop is a single-threaded discrete-event simulator. Events scheduled
+// for the same instant fire in the order they were scheduled.
+type EventLoop struct {
+	clock *Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewEventLoop returns an event loop with its own clock starting at t=0.
+func NewEventLoop() *EventLoop {
+	return &EventLoop{clock: NewClock(0)}
+}
+
+// Clock returns the loop's virtual clock.
+func (l *EventLoop) Clock() *Clock { return l.clock }
+
+// Now returns the loop's current virtual time in seconds.
+func (l *EventLoop) Now() float64 { return l.clock.Now() }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in the
+// past panics. It returns the event so callers may Cancel it.
+func (l *EventLoop) Schedule(at float64, fn func()) *Event {
+	if at < l.clock.Now() {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, l.clock.Now()))
+	}
+	l.seq++
+	e := &Event{At: at, Fn: fn, seq: l.seq}
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After registers fn to run d seconds from now.
+func (l *EventLoop) After(d float64, fn func()) *Event {
+	return l.Schedule(l.clock.Now()+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op and returns false.
+func (l *EventLoop) Cancel(e *Event) bool {
+	if e == nil || e.idx < 0 || e.idx >= len(l.queue) || l.queue[e.idx] != e {
+		return false
+	}
+	heap.Remove(&l.queue, e.idx)
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (l *EventLoop) Step() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.queue).(*Event)
+	l.clock.AdvanceTo(e.At)
+	e.Fn()
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is after
+// deadline. The clock finishes at min(deadline, last event time); it is moved
+// to deadline if events run dry earlier, so callers observe a full window.
+func (l *EventLoop) RunUntil(deadline float64) {
+	for len(l.queue) > 0 && l.queue[0].At <= deadline {
+		l.Step()
+	}
+	if l.clock.Now() < deadline {
+		l.clock.AdvanceTo(deadline)
+	}
+}
+
+// Pending returns the number of events waiting to fire.
+func (l *EventLoop) Pending() int { return len(l.queue) }

@@ -1,0 +1,184 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind types a runtime value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindFloat
+	KindText
+)
+
+// Value is a runtime SQL value.
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Float float64
+	Text  string
+}
+
+// Int64 builds an integer value.
+func Int64(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Float64 builds a float value.
+func Float64(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// Text builds a text value.
+func Text(v string) Value { return Value{Kind: KindText, Text: v} }
+
+// Null is the SQL NULL.
+var Null = Value{Kind: KindNull}
+
+// String renders the value for result printing.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindText:
+		return v.Text
+	default:
+		return "NULL"
+	}
+}
+
+// asFloat widens numerics for comparison.
+func (v Value) asFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare returns -1/0/+1 for v vs o, or an error on incomparable kinds.
+func (v Value) Compare(o Value) (int, error) {
+	if a, ok := v.asFloat(); ok {
+		if b, ok2 := o.asFloat(); ok2 {
+			switch {
+			case a < b:
+				return -1, nil
+			case a > b:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if v.Kind == KindText && o.Kind == KindText {
+		return strings.Compare(v.Text, o.Text), nil
+	}
+	return 0, fmt.Errorf("sqlmini: cannot compare %v with %v", v.Kind, o.Kind)
+}
+
+// GroupKey returns a hashable representation.
+func (v Value) GroupKey() string { return fmt.Sprintf("%d|%s", v.Kind, v.String()) }
+
+// ColumnType declares a table column's type.
+type ColumnType int
+
+// Column types.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeText
+)
+
+// Column is a table column declaration.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Expression nodes.
+type (
+	// ColumnRef references a column (or an output alias in GROUP BY).
+	ColumnRef struct{ Name string }
+	// Literal is a constant.
+	Literal struct{ Val Value }
+	// FuncCall invokes a UDF or the COUNT aggregate.
+	FuncCall struct {
+		Name string
+		Args []Expr
+		Star bool // COUNT(*)
+	}
+)
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+func (*ColumnRef) exprNode() {}
+func (*Literal) exprNode()   {}
+func (*FuncCall) exprNode()  {}
+
+// Condition is a conjunction of comparisons (WHERE a > 1 AND b = 'x').
+type Condition struct {
+	Left  Expr
+	Op    string
+	Right Expr
+	And   *Condition
+}
+
+// SelectItem is one output column.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Label returns the output column name.
+func (s SelectItem) Label() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	switch e := s.Expr.(type) {
+	case *ColumnRef:
+		return e.Name
+	case *FuncCall:
+		if e.Star {
+			return strings.ToLower(e.Name) + "(*)"
+		}
+		return strings.ToLower(e.Name)
+	default:
+		return "expr"
+	}
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string
+	Where   *Condition
+	GroupBy []string
+}
+
+// CreateStmt is a parsed CREATE TABLE.
+type CreateStmt struct {
+	Table   string
+	Columns []Column
+}
+
+// InsertStmt is a parsed INSERT.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Values  []Value
+}
+
+// Statement is any parsed statement.
+type Statement interface{ stmtNode() }
+
+func (*SelectStmt) stmtNode() {}
+func (*CreateStmt) stmtNode() {}
+func (*InsertStmt) stmtNode() {}

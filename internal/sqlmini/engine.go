@@ -1,0 +1,432 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// UDF is a user-defined scalar function, e.g. food_name(image_path) calling
+// Rafiki's inference Web API (Section 8).
+type UDF func(args []Value) (Value, error)
+
+// Table is an in-memory relation.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+	colIdx  map[string]int
+}
+
+func newTable(name string, cols []Column) *Table {
+	t := &Table{Name: name, Columns: cols, colIdx: map[string]int{}}
+	for i, c := range cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// DB is the database: tables plus a UDF registry.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+	udfs   map[string]UDF
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}, udfs: map[string]UDF{}}
+}
+
+// RegisterUDF installs a scalar function under a (case-insensitive) name.
+func (db *DB) RegisterUDF(name string, fn UDF) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("sqlmini: UDF needs a name and body")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.udfs[key]; ok {
+		return fmt.Errorf("sqlmini: UDF %s already registered", name)
+	}
+	db.udfs[key] = fn
+	return nil
+}
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if l := len(v.String()); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		writeRow(cells)
+	}
+	return sb.String()
+}
+
+// Exec parses and executes one statement. SELECTs return a Result; CREATE
+// and INSERT return nil.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *CreateStmt:
+		return nil, db.execCreate(s)
+	case *InsertStmt:
+		return nil, db.execInsert(s)
+	case *SelectStmt:
+		return db.execSelect(s)
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreate(s *CreateStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; ok {
+		return fmt.Errorf("sqlmini: table %s already exists", s.Table)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sqlmini: table %s needs columns", s.Table)
+	}
+	db.tables[key] = newTable(s.Table, s.Columns)
+	return nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return fmt.Errorf("sqlmini: unknown table %s", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	if len(cols) != len(s.Values) {
+		return fmt.Errorf("sqlmini: %d columns but %d values", len(cols), len(s.Values))
+	}
+	row := make([]Value, len(t.Columns))
+	for i := range row {
+		row[i] = Null
+	}
+	for i, c := range cols {
+		idx, ok := t.colIdx[strings.ToLower(c)]
+		if !ok {
+			return fmt.Errorf("sqlmini: unknown column %s", c)
+		}
+		v, err := coerce(s.Values[i], t.Columns[idx].Type)
+		if err != nil {
+			return fmt.Errorf("sqlmini: column %s: %w", c, err)
+		}
+		row[idx] = v
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+func coerce(v Value, ct ColumnType) (Value, error) {
+	switch ct {
+	case TypeInt:
+		if v.Kind == KindInt {
+			return v, nil
+		}
+		if v.Kind == KindFloat && v.Float == float64(int64(v.Float)) {
+			return Int64(int64(v.Float)), nil
+		}
+	case TypeFloat:
+		if v.Kind == KindFloat {
+			return v, nil
+		}
+		if v.Kind == KindInt {
+			return Float64(float64(v.Int)), nil
+		}
+	case TypeText:
+		if v.Kind == KindText {
+			return v, nil
+		}
+	}
+	return Null, fmt.Errorf("value %s does not fit column type", v)
+}
+
+// rowEnv resolves column references for one row.
+type rowEnv struct {
+	table *Table
+	row   []Value
+}
+
+func (db *DB) eval(env rowEnv, e Expr) (Value, error) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val, nil
+	case *ColumnRef:
+		idx, ok := env.table.colIdx[strings.ToLower(n.Name)]
+		if !ok {
+			return Null, fmt.Errorf("sqlmini: unknown column %s", n.Name)
+		}
+		return env.row[idx], nil
+	case *FuncCall:
+		if n.Star {
+			return Null, fmt.Errorf("sqlmini: %s(*) only valid as an aggregate", n.Name)
+		}
+		db.mu.Lock()
+		fn, ok := db.udfs[strings.ToLower(n.Name)]
+		db.mu.Unlock()
+		if !ok {
+			return Null, fmt.Errorf("sqlmini: unknown function %s", n.Name)
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := db.eval(env, a)
+			if err != nil {
+				return Null, err
+			}
+			args[i] = v
+		}
+		out, err := fn(args)
+		if err != nil {
+			return Null, fmt.Errorf("sqlmini: UDF %s: %w", n.Name, err)
+		}
+		return out, nil
+	default:
+		return Null, fmt.Errorf("sqlmini: unsupported expression %T", e)
+	}
+}
+
+func (db *DB) evalCondition(env rowEnv, c *Condition) (bool, error) {
+	for ; c != nil; c = c.And {
+		l, err := db.eval(env, c.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := db.eval(env, c.Right)
+		if err != nil {
+			return false, err
+		}
+		cmp, err := l.Compare(r)
+		if err != nil {
+			return false, err
+		}
+		ok := false
+		switch c.Op {
+		case "=":
+			ok = cmp == 0
+		case "!=":
+			ok = cmp != 0
+		case "<":
+			ok = cmp < 0
+		case "<=":
+			ok = cmp <= 0
+		case ">":
+			ok = cmp > 0
+		case ">=":
+			ok = cmp >= 0
+		default:
+			return false, fmt.Errorf("sqlmini: unknown operator %s", c.Op)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// isCountStar reports whether an item is the COUNT(*) aggregate.
+func isCountStar(e Expr) bool {
+	fc, ok := e.(*FuncCall)
+	return ok && fc.Star && strings.EqualFold(fc.Name, "count")
+}
+
+func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
+	db.mu.Lock()
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %s", s.Table)
+	}
+
+	// Filter first: the UDF runs only on surviving rows — the case study's
+	// "the function is executed only on the images of the rows that satisfy
+	// the condition".
+	var rows [][]Value
+	for _, row := range t.Rows {
+		env := rowEnv{table: t, row: row}
+		if s.Where != nil {
+			ok, err := db.evalCondition(env, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	res := &Result{}
+	for _, item := range s.Items {
+		res.Columns = append(res.Columns, item.Label())
+	}
+
+	if len(s.GroupBy) == 0 {
+		// No grouping: aggregates collapse to one row, otherwise per-row.
+		hasAgg := false
+		for _, item := range s.Items {
+			if isCountStar(item.Expr) {
+				hasAgg = true
+			}
+		}
+		if hasAgg {
+			out := make([]Value, len(s.Items))
+			for i, item := range s.Items {
+				if isCountStar(item.Expr) {
+					out[i] = Int64(int64(len(rows)))
+				} else {
+					return nil, fmt.Errorf("sqlmini: mixing %s with COUNT(*) requires GROUP BY", item.Label())
+				}
+			}
+			res.Rows = append(res.Rows, out)
+			return res, nil
+		}
+		for _, row := range rows {
+			env := rowEnv{table: t, row: row}
+			out := make([]Value, len(s.Items))
+			for i, item := range s.Items {
+				v, err := db.eval(env, item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		return res, nil
+	}
+
+	// GROUP BY: group keys may be column names or select-item aliases (the
+	// case study groups by the UDF's alias).
+	aliasExpr := map[string]Expr{}
+	for _, item := range s.Items {
+		aliasExpr[strings.ToLower(item.Label())] = item.Expr
+	}
+	keyExprs := make([]Expr, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		if e, ok := aliasExpr[strings.ToLower(g)]; ok {
+			keyExprs[i] = e
+			continue
+		}
+		if _, ok := t.colIdx[strings.ToLower(g)]; ok {
+			keyExprs[i] = &ColumnRef{Name: g}
+			continue
+		}
+		return nil, fmt.Errorf("sqlmini: GROUP BY references unknown column %s", g)
+	}
+
+	type group struct {
+		key   []Value
+		count int64
+		first []Value // evaluated select exprs of the first member row
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		env := rowEnv{table: t, row: row}
+		keyVals := make([]Value, len(keyExprs))
+		var kb strings.Builder
+		for i, ke := range keyExprs {
+			v, err := db.eval(env, ke)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			kb.WriteString(v.GroupKey())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			firsts := make([]Value, len(s.Items))
+			for i, item := range s.Items {
+				if isCountStar(item.Expr) {
+					continue
+				}
+				// Reuse key evaluations (pointer-identical expressions) so
+				// expensive UDFs run once per row, not once per output item.
+				reused := false
+				for ki, ke := range keyExprs {
+					if ke == item.Expr {
+						firsts[i] = keyVals[ki]
+						reused = true
+						break
+					}
+				}
+				if reused {
+					continue
+				}
+				v, err := db.eval(env, item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				firsts[i] = v
+			}
+			g = &group{key: keyVals, first: firsts}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		g := groups[k]
+		out := make([]Value, len(s.Items))
+		for i, item := range s.Items {
+			if isCountStar(item.Expr) {
+				out[i] = Int64(g.count)
+			} else {
+				out[i] = g.first[i]
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

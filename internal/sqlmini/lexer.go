@@ -1,0 +1,140 @@
+// Package sqlmini is a small SQL engine for the Section 8 case study: it
+// supports CREATE TABLE, INSERT, and SELECT with WHERE filters, GROUP BY,
+// COUNT(*) and — the point of the exercise — user-defined functions that
+// call out to Rafiki's inference service, so that
+//
+//	SELECT food_name(image_path) AS name, COUNT(*)
+//	FROM foodlog WHERE age > 52 GROUP BY name;
+//
+// runs the deep-learning UDF only on rows surviving the WHERE filter, the
+// paper's argument for on-line (rather than precomputed) model serving.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol   // ( ) , ; *
+	tokOperator // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits SQL text into tokens. Keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+type lexer struct {
+	src []rune
+	i   int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) peek() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) && unicode.IsSpace(l.src[l.i]) {
+		l.i++
+	}
+	start := l.i
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.i]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.i < len(l.src) && (unicode.IsLetter(l.src[l.i]) || unicode.IsDigit(l.src[l.i]) || l.src[l.i] == '_') {
+			l.i++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.i]), pos: start}, nil
+	case unicode.IsDigit(c):
+		seenDot := false
+		for l.i < len(l.src) && (unicode.IsDigit(l.src[l.i]) || (!seenDot && l.src[l.i] == '.')) {
+			if l.src[l.i] == '.' {
+				seenDot = true
+			}
+			l.i++
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.i]), pos: start}, nil
+	case c == '\'':
+		l.i++
+		var sb strings.Builder
+		for {
+			if l.i >= len(l.src) {
+				return token{}, fmt.Errorf("sqlmini: unterminated string at %d", start)
+			}
+			if l.src[l.i] == '\'' {
+				// '' escapes a quote
+				if l.i+1 < len(l.src) && l.src[l.i+1] == '\'' {
+					sb.WriteRune('\'')
+					l.i += 2
+					continue
+				}
+				l.i++
+				break
+			}
+			sb.WriteRune(l.src[l.i])
+			l.i++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '(' || c == ')' || c == ',' || c == ';' || c == '*':
+		l.i++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	case c == '=':
+		l.i++
+		return token{kind: tokOperator, text: "=", pos: start}, nil
+	case c == '!':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{kind: tokOperator, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlmini: unexpected '!' at %d", start)
+	case c == '<' || c == '>':
+		op := string(c)
+		l.i++
+		if l.i < len(l.src) && l.src[l.i] == '=' {
+			op += "="
+			l.i++
+		} else if c == '<' && l.i < len(l.src) && l.src[l.i] == '>' {
+			op = "!="
+			l.i++
+		}
+		return token{kind: tokOperator, text: op, pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlmini: unexpected character %q at %d", c, start)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

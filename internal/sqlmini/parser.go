@@ -1,0 +1,380 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser consumes tokens into statements.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("CREATE"):
+		stmt, err = p.parseCreate()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, fmt.Errorf("sqlmini: expected SELECT, CREATE or INSERT, got %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sqlmini: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return fmt.Errorf("sqlmini: expected %s, got %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && (text == "" || strings.EqualFold(t.text, text)) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || (text != "" && !strings.EqualFold(t.text, text)) {
+		return token{}, fmt.Errorf("sqlmini: expected %q, got %q", text, t.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = tbl.text
+	if p.peekKeyword("WHERE") {
+		p.advance()
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	if p.peekKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	expr, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: expr}
+	if p.peekKeyword("AS") {
+		p.advance()
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+// reserved keywords cannot start expressions as bare identifiers.
+var reserved = map[string]bool{
+	"FROM": true, "WHERE": true, "GROUP": true, "BY": true, "AS": true,
+	"AND": true, "SELECT": true,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlmini: bad number %q", t.text)
+			}
+			return &Literal{Val: Float64(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: bad number %q", t.text)
+		}
+		return &Literal{Val: Int64(n)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Val: Text(t.text)}, nil
+	case tokIdent:
+		if reserved[strings.ToUpper(t.text)] {
+			return nil, fmt.Errorf("sqlmini: unexpected keyword %q", t.text)
+		}
+		p.advance()
+		if !p.accept(tokSymbol, "(") {
+			return &ColumnRef{Name: t.text}, nil
+		}
+		fc := &FuncCall{Name: t.text}
+		if p.accept(tokSymbol, "*") {
+			fc.Star = true
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.accept(tokSymbol, ")") {
+			return fc, nil
+		}
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, arg)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+	default:
+		return nil, fmt.Errorf("sqlmini: unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseCondition() (*Condition, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOperator, "")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	cond := &Condition{Left: left, Op: op.text, Right: right}
+	if p.peekKeyword("AND") {
+		p.advance()
+		rest, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		cond.And = rest
+	}
+	return cond, nil
+}
+
+func (p *parser) parseCreate() (*CreateStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateStmt{Table: name.text}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		// Table-level constraints (PRIMARY KEY (...), UNIQUE (...), ...):
+		// skip to the end of the constraint.
+		if kw := strings.ToUpper(col.text); kw == "PRIMARY" || kw == "UNIQUE" || kw == "CONSTRAINT" || kw == "FOREIGN" {
+			if err := p.skipConstraint(); err != nil {
+				return nil, err
+			}
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		typ, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var ct ColumnType
+		switch strings.ToUpper(typ.text) {
+		case "INTEGER", "INT":
+			ct = TypeInt
+		case "FLOAT", "REAL", "DOUBLE":
+			ct = TypeFloat
+		case "TEXT", "VARCHAR", "STRING":
+			ct = TypeText
+		default:
+			return nil, fmt.Errorf("sqlmini: unknown type %q", typ.text)
+		}
+		// Skip column constraints (NOT NULL, PRIMARY KEY ...) until , or ).
+		for p.cur().kind == tokIdent {
+			p.advance()
+		}
+		stmt.Columns = append(stmt.Columns, Column{Name: col.text, Type: ct})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return stmt, nil
+}
+
+// skipConstraint consumes tokens up to (but not including) the "," or ")"
+// that ends a table-level constraint, balancing nested parentheses.
+func (p *parser) skipConstraint() error {
+	depth := 0
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			return fmt.Errorf("sqlmini: unterminated table constraint")
+		case t.kind == tokSymbol && t.text == "(":
+			depth++
+		case t.kind == tokSymbol && t.text == ")":
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		case t.kind == tokSymbol && t.text == "," && depth == 0:
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name.text}
+	if p.accept(tokSymbol, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col.text)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := expr.(*Literal)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: INSERT values must be literals")
+		}
+		stmt.Values = append(stmt.Values, lit.Val)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return stmt, nil
+}

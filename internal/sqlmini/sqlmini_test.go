@@ -1,0 +1,292 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+func foodlogDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	// The Section 8 schema.
+	mustExec(t, db, `CREATE TABLE foodlog (
+		user_id integer,
+		age integer NOT NULL,
+		location text NOT NULL,
+		time text NOT NULL,
+		image_path text NOT NULL,
+		PRIMARY KEY (user_id)
+	)`)
+	rows := []struct {
+		user, age int
+		loc, img  string
+	}{
+		{1, 55, "sg", "img_pizza_1.jpg"},
+		{2, 60, "sg", "img_pizza_2.jpg"},
+		{3, 30, "kl", "img_ramen_1.jpg"},
+		{4, 61, "sg", "img_ramen_2.jpg"},
+		{5, 25, "kl", "img_salad_1.jpg"},
+	}
+	for _, r := range rows {
+		mustExec(t, db, fmt.Sprintf(
+			"INSERT INTO foodlog (user_id, age, location, time, image_path) VALUES (%d, %d, '%s', 't', '%s')",
+			r.user, r.age, r.loc, r.img))
+	}
+	return db
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("SELECT a, count(*) FROM t WHERE x >= 10 AND y != 'a''b';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.kind == tokOperator {
+			ops = append(ops, tok.text)
+		}
+		if tok.kind == tokString && tok.text != "a'b" {
+			t.Fatalf("string escape broken: %q", tok.text)
+		}
+	}
+	if len(ops) != 2 || ops[0] != ">=" || ops[1] != "!=" {
+		t.Fatalf("operators = %v", ops)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lexAll("select 'unterminated"); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+	if _, err := lexAll("select #"); err == nil {
+		t.Fatal("bad character should error")
+	}
+	if _, err := lexAll("select a ! b"); err == nil {
+		t.Fatal("lone ! should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"DELETE FROM t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a blob)",
+		"INSERT INTO t VALUES (f(1))",
+		"SELECT a FROM t WHERE a >",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t; extra",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("parse %q should fail", sql)
+		}
+	}
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := foodlogDB(t)
+	res := mustExec(t, db, "SELECT user_id, age FROM foodlog WHERE age > 52")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.Columns[0] != "user_id" || res.Columns[1] != "age" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestWhereOperatorsAndConjunction(t *testing.T) {
+	db := foodlogDB(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT user_id FROM foodlog WHERE age = 55", 1},
+		{"SELECT user_id FROM foodlog WHERE age != 55", 4},
+		{"SELECT user_id FROM foodlog WHERE age <> 55", 4},
+		{"SELECT user_id FROM foodlog WHERE age < 30", 1},
+		{"SELECT user_id FROM foodlog WHERE age <= 30", 2},
+		{"SELECT user_id FROM foodlog WHERE age >= 60", 2},
+		{"SELECT user_id FROM foodlog WHERE location = 'sg' AND age > 52", 3},
+		{"SELECT user_id FROM foodlog WHERE location = 'kl' AND age > 52", 0},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, c.sql)
+		if len(res.Rows) != c.want {
+			t.Fatalf("%q: rows = %d, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestCountStarNoGroup(t *testing.T) {
+	db := foodlogDB(t)
+	res := mustExec(t, db, "SELECT count(*) FROM foodlog WHERE age > 52")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 3 {
+		t.Fatalf("count = %+v", res.Rows)
+	}
+	if res.Columns[0] != "count(*)" {
+		t.Fatalf("column label = %s", res.Columns[0])
+	}
+}
+
+func TestGroupByColumn(t *testing.T) {
+	db := foodlogDB(t)
+	res := mustExec(t, db, "SELECT location, count(*) FROM foodlog GROUP BY location")
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	counts := map[string]int64{}
+	for _, row := range res.Rows {
+		counts[row[0].Text] = row[1].Int
+	}
+	if counts["sg"] != 3 || counts["kl"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestCaseStudyQuery runs the paper's Section 8 query end to end with a
+// UDF standing in for the food-classification service, counting how many
+// times it executes: it must run only on rows passing the WHERE filter.
+func TestCaseStudyQuery(t *testing.T) {
+	db := foodlogDB(t)
+	calls := 0
+	err := db.RegisterUDF("food_name", func(args []Value) (Value, error) {
+		calls++
+		if len(args) != 1 || args[0].Kind != KindText {
+			return Null, fmt.Errorf("want one text arg")
+		}
+		// img_pizza_1.jpg -> pizza
+		parts := strings.Split(args[0].Text, "_")
+		return Text(parts[1]), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, db, `
+		SELECT food_name(image_path) AS name, count(*)
+		FROM foodlog
+		WHERE age > 52
+		GROUP BY name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %+v", res.Rows)
+	}
+	got := map[string]int64{}
+	for _, row := range res.Rows {
+		got[row[0].Text] = row[1].Int
+	}
+	if got["pizza"] != 2 || got["ramen"] != 1 {
+		t.Fatalf("result = %v", got)
+	}
+	if calls != 3 {
+		t.Fatalf("UDF ran %d times, want 3 (only filtered rows)", calls)
+	}
+}
+
+func TestUDFErrorsPropagate(t *testing.T) {
+	db := foodlogDB(t)
+	db.RegisterUDF("boom", func([]Value) (Value, error) {
+		return Null, fmt.Errorf("service unavailable")
+	})
+	if _, err := db.Exec("SELECT boom(image_path) FROM foodlog"); err == nil {
+		t.Fatal("UDF error should propagate")
+	}
+	if _, err := db.Exec("SELECT nosuch(image_path) FROM foodlog"); err == nil {
+		t.Fatal("unknown UDF should error")
+	}
+}
+
+func TestRegisterUDFValidation(t *testing.T) {
+	db := NewDB()
+	if err := db.RegisterUDF("", nil); err == nil {
+		t.Fatal("empty UDF should error")
+	}
+	db.RegisterUDF("f", func([]Value) (Value, error) { return Null, nil })
+	if err := db.RegisterUDF("F", func([]Value) (Value, error) { return Null, nil }); err == nil {
+		t.Fatal("duplicate UDF (case-insensitive) should error")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := foodlogDB(t)
+	if _, err := db.Exec("INSERT INTO ghost VALUES (1)"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if _, err := db.Exec("INSERT INTO foodlog (user_id) VALUES (1, 2)"); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+	if _, err := db.Exec("INSERT INTO foodlog (user_id) VALUES ('hi')"); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	if _, err := db.Exec("INSERT INTO foodlog (ghost_col) VALUES (1)"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	db := foodlogDB(t)
+	if _, err := db.Exec("CREATE TABLE foodlog (a integer)"); err == nil {
+		t.Fatal("duplicate table should error")
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	db := foodlogDB(t)
+	if _, err := db.Exec("SELECT ghost FROM foodlog"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := db.Exec("SELECT x FROM ghost"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if _, err := db.Exec("SELECT age, count(*) FROM foodlog"); err == nil {
+		t.Fatal("aggregate without GROUP BY should error")
+	}
+	if _, err := db.Exec("SELECT age FROM foodlog GROUP BY ghost"); err == nil {
+		t.Fatal("bad GROUP BY should error")
+	}
+	if _, err := db.Exec("SELECT age FROM foodlog WHERE location > 5"); err == nil {
+		t.Fatal("text/number comparison should error")
+	}
+}
+
+func TestValueCoercionAndCompare(t *testing.T) {
+	if v, err := coerce(Int64(3), TypeFloat); err != nil || v.Float != 3 {
+		t.Fatalf("int->float coerce = %v %v", v, err)
+	}
+	if v, err := coerce(Float64(3.0), TypeInt); err != nil || v.Int != 3 {
+		t.Fatalf("whole float->int coerce = %v %v", v, err)
+	}
+	if _, err := coerce(Float64(3.5), TypeInt); err == nil {
+		t.Fatal("fractional float->int should error")
+	}
+	if c, err := Int64(2).Compare(Float64(2.5)); err != nil || c != -1 {
+		t.Fatalf("mixed numeric compare = %d %v", c, err)
+	}
+	if _, err := Text("a").Compare(Int64(1)); err == nil {
+		t.Fatal("text/int compare should error")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	db := foodlogDB(t)
+	res := mustExec(t, db, "SELECT location, count(*) FROM foodlog GROUP BY location")
+	out := res.String()
+	if !strings.Contains(out, "location") || !strings.Contains(out, "count(*)") {
+		t.Fatalf("rendered result missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered rows = %d", len(lines))
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Example is one labeled training/validation example. Real Rafiki stores the
+// image bytes in HDFS; our surrogate training engine needs only the stable
+// example identity and label (DESIGN.md §2), so the payload is elided.
+type Example struct {
+	ID    uint64
+	Label int
+}
+
+// Dataset is an imported, labeled dataset — the unit rafiki.import_images
+// produces. Labels are subfolder names, per the paper's loader ("all images
+// from the same subfolder are labeled with the subfolder name").
+type Dataset struct {
+	Name    string
+	Classes []string // index = label id
+	Train   []Example
+	Valid   []Example
+	Test    []Example
+}
+
+// NumClasses returns the label-space size.
+func (d *Dataset) NumClasses() int { return len(d.Classes) }
+
+// datasetPath is the store path a dataset serializes under.
+func datasetPath(name string) string { return "/datasets/" + name }
+
+// SaveDataset gob-encodes the dataset into the block store.
+func SaveDataset(fs *FS, d *Dataset) error {
+	if d.Name == "" {
+		return fmt.Errorf("store: dataset needs a name")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return fmt.Errorf("store: encode dataset %s: %w", d.Name, err)
+	}
+	return fs.Put(datasetPath(d.Name), buf.Bytes())
+}
+
+// LoadDataset reads a dataset back from the block store — the analogue of
+// rafiki.download() pulling the training data to a worker's local disk.
+func LoadDataset(fs *FS, name string) (*Dataset, error) {
+	raw, err := fs.Get(datasetPath(name))
+	if err != nil {
+		return nil, err
+	}
+	var d Dataset
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decode dataset %s: %w", name, err)
+	}
+	return &d, nil
+}
+
+// ListDatasets returns the names of stored datasets.
+func ListDatasets(fs *FS) []string {
+	prefix := "/datasets/"
+	var out []string
+	for _, p := range fs.List(prefix) {
+		out = append(out, p[len(prefix):])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ImportImages builds a Dataset from a folder→count description: each key is
+// a class subfolder (the label name), each value how many images it holds.
+// Example IDs are assigned deterministically; splitFrac of each class goes
+// to validation (the paper's CIFAR-10 setup holds out 1000 of 5000 per
+// class, i.e. 0.2).
+func ImportImages(fs *FS, name string, folders map[string]int, splitFrac float64) (*Dataset, error) {
+	if len(folders) == 0 {
+		return nil, fmt.Errorf("store: import %s: no class folders", name)
+	}
+	if splitFrac < 0 || splitFrac >= 1 {
+		return nil, fmt.Errorf("store: import %s: bad validation fraction %v", name, splitFrac)
+	}
+	classes := make([]string, 0, len(folders))
+	for c := range folders {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	d := &Dataset{Name: name, Classes: classes}
+	var id uint64
+	for label, class := range classes {
+		n := folders[class]
+		nValid := int(splitFrac * float64(n))
+		for i := 0; i < n; i++ {
+			ex := Example{ID: id, Label: label}
+			id++
+			if i < nValid {
+				d.Valid = append(d.Valid, ex)
+			} else {
+				d.Train = append(d.Train, ex)
+			}
+		}
+	}
+	if err := SaveDataset(fs, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,363 @@
+// Package store is Rafiki's distributed data storage substrate — the HDFS
+// stand-in of Section 6.2. It implements a namenode/datanode block store:
+// files are split into fixed-size blocks, each block replicated across
+// datanodes; reads survive datanode failures by falling back to live
+// replicas, and a re-replication pass restores the replication factor after
+// failures. Dataset import (rafiki.import_images) and the parameter server's
+// cold tier sit on top of it.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNotFound    = errors.New("store: file not found")
+	ErrNoDatanodes = errors.New("store: no live datanodes")
+	ErrBlockLost   = errors.New("store: block lost (all replicas dead)")
+)
+
+// DataNode stores block replicas. A dead datanode retains its blocks (the
+// process is gone, not the disk) but serves nothing until revived.
+type DataNode struct {
+	ID string
+
+	mu     sync.Mutex
+	alive  bool
+	blocks map[string][]byte
+}
+
+func newDataNode(id string) *DataNode {
+	return &DataNode{ID: id, alive: true, blocks: map[string][]byte{}}
+}
+
+// Alive reports whether the datanode is serving.
+func (d *DataNode) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alive
+}
+
+func (d *DataNode) put(blockID string, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks[blockID] = append([]byte(nil), data...)
+}
+
+func (d *DataNode) get(blockID string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive {
+		return nil, false
+	}
+	b, ok := d.blocks[blockID]
+	return b, ok
+}
+
+func (d *DataNode) delete(blockID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, blockID)
+}
+
+// BlockCount returns how many block replicas this datanode holds.
+func (d *DataNode) BlockCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blocks)
+}
+
+// blockMeta is the namenode's record of one block.
+type blockMeta struct {
+	id       string
+	size     int
+	replicas []string // datanode IDs
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	path   string
+	size   int
+	blocks []*blockMeta
+}
+
+// FS is the file system facade: one namenode plus its datanodes.
+type FS struct {
+	BlockSize   int
+	Replication int
+
+	mu        sync.Mutex
+	files     map[string]*fileMeta
+	datanodes map[string]*DataNode
+	order     []string // stable datanode ordering for placement
+	nextBlock int
+	rr        int // round-robin placement cursor
+}
+
+// NewFS creates a store with numNodes datanodes, the given block size in
+// bytes, and replication factor. Replication is capped at the node count.
+func NewFS(numNodes, blockSize, replication int) (*FS, error) {
+	if numNodes <= 0 {
+		return nil, errors.New("store: need at least one datanode")
+	}
+	if blockSize <= 0 {
+		return nil, errors.New("store: block size must be positive")
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	fs := &FS{
+		BlockSize:   blockSize,
+		Replication: replication,
+		files:       map[string]*fileMeta{},
+		datanodes:   map[string]*DataNode{},
+	}
+	for i := 0; i < numNodes; i++ {
+		id := fmt.Sprintf("dn-%d", i)
+		fs.datanodes[id] = newDataNode(id)
+		fs.order = append(fs.order, id)
+	}
+	return fs, nil
+}
+
+// liveNodes returns live datanodes in placement order.
+func (fs *FS) liveNodes() []*DataNode {
+	var out []*DataNode
+	for _, id := range fs.order {
+		if dn := fs.datanodes[id]; dn.Alive() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// Put writes data under path, splitting into blocks and replicating each.
+// Existing files are replaced atomically from the namenode's viewpoint.
+func (fs *FS) Put(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	live := fs.liveNodes()
+	if len(live) == 0 {
+		return ErrNoDatanodes
+	}
+	repl := fs.Replication
+	if repl > len(live) {
+		repl = len(live)
+	}
+	meta := &fileMeta{path: path, size: len(data)}
+	for off := 0; off == 0 || off < len(data); off += fs.BlockSize {
+		end := off + fs.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		fs.nextBlock++
+		bm := &blockMeta{id: fmt.Sprintf("blk-%d", fs.nextBlock), size: end - off}
+		for r := 0; r < repl; r++ {
+			dn := live[fs.rr%len(live)]
+			fs.rr++
+			dn.put(bm.id, data[off:end])
+			bm.replicas = append(bm.replicas, dn.ID)
+		}
+		meta.blocks = append(meta.blocks, bm)
+		if len(data) == 0 {
+			break
+		}
+	}
+	if old, ok := fs.files[path]; ok {
+		fs.deleteBlocksLocked(old)
+	}
+	fs.files[path] = meta
+	return nil
+}
+
+// Get reads the file at path, assembling blocks from any live replica.
+func (fs *FS) Get(path string) ([]byte, error) {
+	fs.mu.Lock()
+	meta, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]byte, 0, meta.size)
+	for _, bm := range meta.blocks {
+		data, err := fs.readBlock(bm)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+func (fs *FS) readBlock(bm *blockMeta) ([]byte, error) {
+	fs.mu.Lock()
+	replicas := append([]string(nil), bm.replicas...)
+	fs.mu.Unlock()
+	for _, id := range replicas {
+		fs.mu.Lock()
+		dn := fs.datanodes[id]
+		fs.mu.Unlock()
+		if dn == nil {
+			continue
+		}
+		if data, ok := dn.get(bm.id); ok {
+			return data, nil
+		}
+	}
+	return nil, ErrBlockLost
+}
+
+// Exists reports whether path is a file.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Delete removes a file and its blocks.
+func (fs *FS) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	fs.deleteBlocksLocked(meta)
+	delete(fs.files, path)
+	return nil
+}
+
+func (fs *FS) deleteBlocksLocked(meta *fileMeta) {
+	for _, bm := range meta.blocks {
+		for _, id := range bm.replicas {
+			if dn := fs.datanodes[id]; dn != nil {
+				dn.delete(bm.id)
+			}
+		}
+	}
+}
+
+// List returns the paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's size in bytes.
+func (fs *FS) Size(path string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return meta.size, nil
+}
+
+// KillDatanode marks a datanode dead. Unknown IDs return an error.
+func (fs *FS) KillDatanode(id string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dn, ok := fs.datanodes[id]
+	if !ok {
+		return fmt.Errorf("store: unknown datanode %s", id)
+	}
+	dn.mu.Lock()
+	dn.alive = false
+	dn.mu.Unlock()
+	return nil
+}
+
+// ReviveDatanode brings a dead datanode (and its blocks) back.
+func (fs *FS) ReviveDatanode(id string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dn, ok := fs.datanodes[id]
+	if !ok {
+		return fmt.Errorf("store: unknown datanode %s", id)
+	}
+	dn.mu.Lock()
+	dn.alive = true
+	dn.mu.Unlock()
+	return nil
+}
+
+// Datanodes returns the datanode IDs in placement order.
+func (fs *FS) Datanodes() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]string(nil), fs.order...)
+}
+
+// ReReplicate restores the replication factor for blocks that lost replicas
+// to dead datanodes, copying from surviving replicas to live nodes. It
+// returns the number of new replicas created, and an error if any block has
+// no live replica left to copy from.
+func (fs *FS) ReReplicate() (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	live := fs.liveNodes()
+	if len(live) == 0 {
+		return 0, ErrNoDatanodes
+	}
+	created := 0
+	var firstErr error
+	for _, meta := range fs.files {
+		for _, bm := range meta.blocks {
+			liveReplicas := bm.replicas[:0:0]
+			holders := map[string]bool{}
+			for _, id := range bm.replicas {
+				if dn := fs.datanodes[id]; dn != nil && dn.Alive() {
+					liveReplicas = append(liveReplicas, id)
+					holders[id] = true
+				}
+			}
+			want := fs.Replication
+			if want > len(live) {
+				want = len(live)
+			}
+			if len(liveReplicas) >= want {
+				bm.replicas = liveReplicas
+				continue
+			}
+			if len(liveReplicas) == 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %s of %s", ErrBlockLost, bm.id, meta.path)
+				}
+				continue
+			}
+			src := fs.datanodes[liveReplicas[0]]
+			data, ok := src.get(bm.id)
+			if !ok {
+				continue
+			}
+			for _, dn := range live {
+				if len(liveReplicas) >= want {
+					break
+				}
+				if holders[dn.ID] {
+					continue
+				}
+				dn.put(bm.id, data)
+				liveReplicas = append(liveReplicas, dn.ID)
+				holders[dn.ID] = true
+				created++
+			}
+			bm.replicas = liveReplicas
+		}
+	}
+	return created, firstErr
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rafiki/internal/sim"
+)
+
+func newTestFS(t *testing.T, nodes, blockSize, repl int) *FS {
+	t.Helper()
+	fs, err := NewFS(nodes, blockSize, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	fs := newTestFS(t, 3, 4, 2)
+	data := []byte("hello rafiki block store")
+	if err := fs.Put("/a/b", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if sz, _ := fs.Size("/a/b"); sz != len(data) {
+		t.Fatalf("size = %d", sz)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	fs := newTestFS(t, 1, 16, 1)
+	if _, err := fs.Get("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := fs.Size("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("size of missing file should be ErrNotFound")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newTestFS(t, 2, 8, 1)
+	if err := fs.Put("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read back %d bytes", len(got))
+	}
+}
+
+func TestOverwriteReplacesBlocks(t *testing.T) {
+	fs := newTestFS(t, 2, 4, 1)
+	fs.Put("/f", bytes.Repeat([]byte("x"), 64))
+	before := 0
+	for _, id := range fs.Datanodes() {
+		before += fs.datanodes[id].BlockCount()
+	}
+	fs.Put("/f", []byte("tiny"))
+	after := 0
+	for _, id := range fs.Datanodes() {
+		after += fs.datanodes[id].BlockCount()
+	}
+	if after >= before {
+		t.Fatalf("old blocks not reclaimed: %d -> %d", before, after)
+	}
+	got, _ := fs.Get("/f")
+	if string(got) != "tiny" {
+		t.Fatalf("overwrite content = %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newTestFS(t, 2, 8, 2)
+	fs.Put("/f", []byte("data"))
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") {
+		t.Fatal("file still exists after delete")
+	}
+	if err := fs.Delete("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete should be ErrNotFound")
+	}
+	total := 0
+	for _, id := range fs.Datanodes() {
+		total += fs.datanodes[id].BlockCount()
+	}
+	if total != 0 {
+		t.Fatalf("%d orphan blocks after delete", total)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newTestFS(t, 1, 16, 1)
+	fs.Put("/datasets/cifar", []byte("a"))
+	fs.Put("/datasets/food", []byte("b"))
+	fs.Put("/ps/ckpt1", []byte("c"))
+	got := fs.List("/datasets/")
+	if len(got) != 2 || got[0] != "/datasets/cifar" || got[1] != "/datasets/food" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestReadSurvivesDatanodeFailure(t *testing.T) {
+	fs := newTestFS(t, 3, 4, 2)
+	data := bytes.Repeat([]byte("abcd"), 10)
+	fs.Put("/f", data)
+	// Kill one datanode: with replication 2 over 3 nodes, reads must succeed.
+	if err := fs.KillDatanode("dn-0"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted after failure")
+	}
+}
+
+func TestBlockLostWhenAllReplicasDead(t *testing.T) {
+	fs := newTestFS(t, 2, 4, 2)
+	fs.Put("/f", []byte("payload!"))
+	fs.KillDatanode("dn-0")
+	fs.KillDatanode("dn-1")
+	if _, err := fs.Get("/f"); !errors.Is(err, ErrBlockLost) {
+		t.Fatalf("err = %v, want ErrBlockLost", err)
+	}
+	// Revive: data comes back (disk survived the process).
+	fs.ReviveDatanode("dn-0")
+	if _, err := fs.Get("/f"); err != nil {
+		t.Fatalf("revived read failed: %v", err)
+	}
+}
+
+func TestPutFailsWithNoLiveDatanodes(t *testing.T) {
+	fs := newTestFS(t, 1, 4, 1)
+	fs.KillDatanode("dn-0")
+	if err := fs.Put("/f", []byte("x")); !errors.Is(err, ErrNoDatanodes) {
+		t.Fatalf("err = %v, want ErrNoDatanodes", err)
+	}
+}
+
+func TestReReplicate(t *testing.T) {
+	fs := newTestFS(t, 3, 4, 2)
+	data := bytes.Repeat([]byte("wxyz"), 8)
+	fs.Put("/f", data)
+	fs.KillDatanode("dn-1")
+	created, err := fs.ReReplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Fatal("expected new replicas after a datanode death")
+	}
+	// Now even killing another original holder keeps data readable.
+	fs.KillDatanode("dn-0")
+	got, err := fs.Get("/f")
+	if err != nil {
+		t.Fatalf("read after re-replication: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("re-replicated data corrupted")
+	}
+}
+
+func TestReReplicateReportsLostBlocks(t *testing.T) {
+	fs := newTestFS(t, 2, 4, 1)
+	fs.Put("/f", []byte("unique"))
+	// Replication 1: kill both nodes; whichever held it, the block is lost.
+	fs.KillDatanode("dn-0")
+	fs.KillDatanode("dn-1")
+	if _, err := fs.ReReplicate(); !errors.Is(err, ErrNoDatanodes) {
+		t.Fatalf("err = %v, want ErrNoDatanodes with all nodes dead", err)
+	}
+	fs.ReviveDatanode("dn-0")
+	_, err := fs.ReReplicate()
+	// If dn-0 held the block it re-replicates fine; if dn-1 held it, lost.
+	if err != nil && !errors.Is(err, ErrBlockLost) {
+		t.Fatalf("unexpected err %v", err)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := NewFS(0, 4, 1); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if _, err := NewFS(1, 0, 1); err == nil {
+		t.Fatal("zero block size should error")
+	}
+	if err := NewFS0KillUnknown(t); err == nil {
+		t.Fatal("killing unknown datanode should error")
+	}
+}
+
+func NewFS0KillUnknown(t *testing.T) error {
+	fs := newTestFS(t, 1, 4, 1)
+	return fs.KillDatanode("dn-99")
+}
+
+// Property: any payload round-trips regardless of size vs block size.
+func TestPutGetProperty(t *testing.T) {
+	fs := newTestFS(t, 4, 7, 3)
+	rng := sim.NewRNG(55)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := "/prop/" + string(rune('a'+i%26))
+		if err := fs.Put(path, data); err != nil {
+			return false
+		}
+		got, err := fs.Get(path)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	fs := newTestFS(t, 2, 64, 2)
+	d, err := ImportImages(fs, "food", map[string]int{"pizza": 10, "salad": 6, "ramen": 8}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses() != 3 {
+		t.Fatalf("classes = %d", d.NumClasses())
+	}
+	// Classes are sorted folder names.
+	if d.Classes[0] != "pizza" || d.Classes[1] != "ramen" || d.Classes[2] != "salad" {
+		t.Fatalf("classes = %v", d.Classes)
+	}
+	wantValid := 2 + 2 + 1 // 25% of 10, 8, 6 (floored)
+	if len(d.Valid) != wantValid {
+		t.Fatalf("valid = %d, want %d", len(d.Valid), wantValid)
+	}
+	if len(d.Train)+len(d.Valid) != 24 {
+		t.Fatalf("total = %d", len(d.Train)+len(d.Valid))
+	}
+	back, err := LoadDataset(fs, "food")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "food" || len(back.Train) != len(d.Train) {
+		t.Fatal("dataset round trip mismatch")
+	}
+	names := ListDatasets(fs)
+	if len(names) != 1 || names[0] != "food" {
+		t.Fatalf("datasets = %v", names)
+	}
+}
+
+func TestDatasetUniqueIDs(t *testing.T) {
+	fs := newTestFS(t, 1, 64, 1)
+	d, _ := ImportImages(fs, "x", map[string]int{"a": 50, "b": 50}, 0.2)
+	seen := map[uint64]bool{}
+	for _, ex := range append(append([]Example{}, d.Train...), d.Valid...) {
+		if seen[ex.ID] {
+			t.Fatalf("duplicate example ID %d", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	fs := newTestFS(t, 1, 64, 1)
+	if _, err := ImportImages(fs, "x", nil, 0.2); err == nil {
+		t.Fatal("empty folders should error")
+	}
+	if _, err := ImportImages(fs, "x", map[string]int{"a": 1}, 1.5); err == nil {
+		t.Fatal("bad split should error")
+	}
+	if err := SaveDataset(fs, &Dataset{}); err == nil {
+		t.Fatal("unnamed dataset should error")
+	}
+	if _, err := LoadDataset(fs, "missing"); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+}

@@ -1,0 +1,326 @@
+// Package surrogate simulates training a deep ConvNet on CIFAR-10 — the
+// substitution for the paper's SINGA-on-GPU training substrate (DESIGN.md
+// §2). The tuning algorithms observe only (hyper-parameters → accuracy,
+// epochs) behaviour, so the simulator's job is to reproduce the phenomena
+// they exploit:
+//
+//   - a smooth response surface g(h) over the Section 7.1.1 knobs, with an
+//     effective-learning-rate interaction lr/(1−momentum) and asymmetric
+//     divergence above the optimum;
+//   - learning-curve dynamics with plateaus and early stopping;
+//   - warm starts: a trial initialized from a checkpoint of quality q0
+//     converges to q0 + (ceiling − q0)·g(h), so chains of good trials ratchet
+//     accuracy upward (the paper's pre-training/fine-tuning effect that makes
+//     CoStudy win), while a poor checkpoint drags the trial down (the
+//     behaviour motivating alpha-greedy initialization);
+//   - catastrophically large learning rates destroying a good warm start;
+//   - evaluation noise.
+//
+// All randomness flows from an explicit RNG, so studies replay exactly.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/sim"
+)
+
+// Hyper holds the decoded Section 7.1.1 hyper-parameters of one trial.
+type Hyper struct {
+	LearningRate float64
+	Momentum     float64
+	WeightDecay  float64
+	Dropout      float64
+	InitStd      float64
+	LRDecay      float64
+}
+
+// FromTrial decodes a trial sampled from advisor.CIFAR10ConvNetSpace.
+func FromTrial(t *advisor.Trial) (Hyper, error) {
+	var h Hyper
+	var err error
+	get := func(name string, dst *float64) {
+		if err != nil {
+			return
+		}
+		var v float64
+		v, err = t.Float(name)
+		if err == nil {
+			*dst = v
+		}
+	}
+	get("learning_rate", &h.LearningRate)
+	get("momentum", &h.Momentum)
+	get("weight_decay", &h.WeightDecay)
+	get("dropout", &h.Dropout)
+	get("init_std", &h.InitStd)
+	get("lr_decay", &h.LRDecay)
+	if err != nil {
+		return Hyper{}, fmt.Errorf("surrogate: %w", err)
+	}
+	return h, nil
+}
+
+// EffectiveLR is the momentum-corrected learning rate lr/(1−momentum), the
+// quantity SGD convergence actually depends on.
+func (h Hyper) EffectiveLR() float64 {
+	m := h.Momentum
+	if m >= 0.999 {
+		m = 0.999
+	}
+	return h.LearningRate / (1 - m)
+}
+
+// WarmStart describes checkpoint-based initialization of a trial.
+type WarmStart struct {
+	// Quality is the latent parameter quality of the checkpoint (equals the
+	// validation accuracy the checkpointed model reached).
+	Quality float64
+	// Compat in [0,1] is the fraction of layers whose shapes matched and
+	// were reused (1 for same-architecture warm starts; lower during
+	// architecture tuning with shape-matched fetch).
+	Compat float64
+}
+
+// Config sets the simulated task and training process.
+type Config struct {
+	// Ceiling is the best achievable validation accuracy on the dataset
+	// (CIFAR-10's ~97.4% is cited by the paper; an 8-layer ConvNet tops out
+	// lower — we use 0.935 so Study plateaus near the paper's ~91%).
+	Ceiling float64
+	// GMax caps the response surface so cold random search cannot reach the
+	// ceiling in one trial (the headroom CoStudy exploits).
+	GMax float64
+	// Classes sets the random-guess floor 1/Classes.
+	Classes int
+	// MaxEpochs caps a trial's length.
+	MaxEpochs int
+	// Patience is the early-stopping window: training stops after this many
+	// epochs without validation improvement (the paper's example uses 5).
+	Patience int
+	// MinDelta is the improvement threshold for early stopping.
+	MinDelta float64
+	// NoiseStd is the per-evaluation accuracy noise.
+	NoiseStd float64
+	// EpochSeconds is the simulated wall-clock cost of one training epoch
+	// on one worker GPU (drives the Figure 11 scalability runs).
+	EpochSeconds float64
+}
+
+// DefaultConfig returns the CIFAR-10 configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Ceiling:      0.935,
+		GMax:         0.97,
+		Classes:      10,
+		MaxEpochs:    40,
+		Patience:     5,
+		MinDelta:     0.001,
+		NoiseStd:     0.004,
+		EpochSeconds: 60,
+	}
+}
+
+// Trainer simulates trials under a fixed config.
+type Trainer struct {
+	Cfg Config
+}
+
+// NewTrainer returns a trainer; a zero config is replaced by DefaultConfig.
+func NewTrainer(cfg Config) *Trainer {
+	if cfg.Ceiling == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Trainer{Cfg: cfg}
+}
+
+// coldQuality is the random-initialization quality floor.
+func (tr *Trainer) coldQuality() float64 {
+	return 1 / float64(tr.Cfg.Classes)
+}
+
+// Goodness evaluates the response surface g(h) ∈ (0, GMax]: the fraction of
+// the remaining accuracy gap one trial with these hyper-parameters closes.
+func (tr *Trainer) Goodness(h Hyper) float64 {
+	eff := h.EffectiveLR()
+	// Optimal effective learning rate 0.1 (log-quadratic penalty, steeper
+	// above the optimum where SGD diverges).
+	dLR := math.Log10(eff) - math.Log10(0.1)
+	wLR := 0.25
+	if dLR > 0 {
+		wLR = 1.2
+	}
+	// Optimal weight decay 5e-4.
+	dWD := math.Log10(h.WeightDecay) - math.Log10(5e-4)
+	// Optimal dropout 0.45 (linear-space quadratic).
+	dDrop := h.Dropout - 0.45
+	// Optimal init std 0.05.
+	dStd := math.Log10(h.InitStd) - math.Log10(0.05)
+	// lr_decay interacts with eff: large rates need strong decay.
+	wantDecay := 0.0
+	if eff > 0.1 {
+		wantDecay = math.Min(1, (math.Log10(eff)+1)*0.8)
+	}
+	dDecay := h.LRDecay - wantDecay
+
+	penalty := wLR*dLR*dLR +
+		0.06*dWD*dWD +
+		1.0*dDrop*dDrop +
+		0.08*dStd*dStd +
+		0.15*dDecay*dDecay
+	return tr.Cfg.GMax * math.Exp(-penalty)
+}
+
+// convergenceEpochs returns roughly how many epochs the trial needs to
+// approach its target: slow for tiny effective rates, fast near the optimum.
+func (tr *Trainer) convergenceEpochs(h Hyper) float64 {
+	eff := h.EffectiveLR()
+	slowness := math.Abs(math.Log10(eff) - math.Log10(0.1))
+	return 4 + 5*slowness
+}
+
+// Result is the outcome of one simulated trial.
+type Result struct {
+	// FinalAccuracy is the best validation accuracy observed.
+	FinalAccuracy float64
+	// FinalQuality is the latent parameter quality at the stopping epoch
+	// (what a checkpoint of this trial carries).
+	FinalQuality float64
+	// Epochs actually trained (≤ MaxEpochs; early stopping may cut it).
+	Epochs int
+	// Curve is the per-epoch validation accuracy.
+	Curve []float64
+	// Stopped reports whether early stopping fired (vs hitting MaxEpochs).
+	Stopped bool
+	// Seconds is the simulated wall-clock training time.
+	Seconds float64
+}
+
+// Session is an in-progress trial that advances one epoch at a time — the
+// incremental form the master/worker protocol drives (each epoch the worker
+// reports to the master, which may answer kPut or kStop).
+type Session struct {
+	cfg  Config
+	rng  *sim.RNG
+	hyp  Hyper
+	warm bool
+
+	q, target, k float64
+	epoch        int
+	best         float64
+	bestEpoch    int
+	curve        []float64
+	stopped      bool
+	finished     bool
+}
+
+// NewSession starts a trial. warm may be nil for random initialization.
+func (tr *Trainer) NewSession(h Hyper, warm *WarmStart, rng *sim.RNG) *Session {
+	cfg := tr.Cfg
+	g := tr.Goodness(h)
+	cold := tr.coldQuality()
+
+	q0 := cold
+	if warm != nil {
+		compat := math.Max(0, math.Min(1, warm.Compat))
+		q0 = cold + compat*(warm.Quality-cold)
+		// A large effective learning rate destroys pretrained weights: decay
+		// the warm start toward the cold floor.
+		if eff := h.EffectiveLR(); eff > 0.3 {
+			keep := math.Exp(-(eff - 0.3) * 4)
+			q0 = cold + (q0-cold)*keep
+		}
+		if q0 < cold {
+			q0 = cold
+		}
+	}
+	target := q0 + (cfg.Ceiling-q0)*g
+	if target < q0 {
+		target = q0 // bad hypers waste the trial but don't destroy the init
+	}
+	tau := tr.convergenceEpochs(h)
+	return &Session{
+		cfg: cfg, rng: rng, hyp: h, warm: warm != nil,
+		q: q0, target: target, k: 1 - math.Exp(-1/tau),
+	}
+}
+
+// Step trains one epoch and returns the epoch's validation accuracy. It
+// reports done=true when the trial ended (local early stopping or the epoch
+// cap); further Steps are no-ops.
+func (s *Session) Step() (acc float64, done bool) {
+	if s.finished {
+		if n := len(s.curve); n > 0 {
+			return s.curve[n-1], true
+		}
+		return 0, true
+	}
+	s.epoch++
+	s.q += (s.target - s.q) * s.k
+	acc = s.q + s.rng.Normal(0, s.cfg.NoiseStd)
+	if acc < 0 {
+		acc = 0
+	}
+	if acc > 0.999 {
+		acc = 0.999
+	}
+	s.curve = append(s.curve, acc)
+	if acc > s.best+s.cfg.MinDelta {
+		s.best, s.bestEpoch = acc, s.epoch
+	}
+	if s.epoch-s.bestEpoch >= s.cfg.Patience {
+		s.stopped, s.finished = true, true
+	}
+	if s.epoch >= s.cfg.MaxEpochs {
+		s.finished = true
+	}
+	return acc, s.finished
+}
+
+// Abort ends the session early (the master's kStop directive).
+func (s *Session) Abort() {
+	s.stopped = true
+	s.finished = true
+}
+
+// Epoch returns the number of epochs trained so far.
+func (s *Session) Epoch() int { return s.epoch }
+
+// Quality returns the current latent parameter quality (what a checkpoint
+// saved now would carry).
+func (s *Session) Quality() float64 { return s.q }
+
+// Result summarizes the session.
+func (s *Session) Result() Result {
+	best := s.best
+	if best == 0 && len(s.curve) > 0 {
+		best = s.curve[len(s.curve)-1]
+	}
+	return Result{
+		FinalAccuracy: best,
+		FinalQuality:  s.q,
+		Epochs:        s.epoch,
+		Curve:         append([]float64(nil), s.curve...),
+		Stopped:       s.stopped,
+		Seconds:       float64(s.epoch) * s.cfg.EpochSeconds,
+	}
+}
+
+// Run simulates one full trial. warm may be nil for random initialization.
+// stop, when non-nil, is polled after each epoch; returning true aborts the
+// trial (the master's kStop in Algorithm 2).
+func (tr *Trainer) Run(h Hyper, warm *WarmStart, rng *sim.RNG, stop func(epoch int, acc float64) bool) Result {
+	s := tr.NewSession(h, warm, rng)
+	for {
+		acc, done := s.Step()
+		if !done && stop != nil && stop(s.epoch, acc) {
+			s.Abort()
+			done = true
+		}
+		if done {
+			return s.Result()
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/sim"
+)
+
+// goodHyper is near the response-surface optimum.
+func goodHyper() Hyper {
+	return Hyper{
+		LearningRate: 0.01, Momentum: 0.9, WeightDecay: 5e-4,
+		Dropout: 0.45, InitStd: 0.05, LRDecay: 0.0,
+	}
+}
+
+// badHyper has a far-too-small effective learning rate.
+func badHyper() Hyper {
+	return Hyper{
+		LearningRate: 1e-4, Momentum: 0.0, WeightDecay: 1e-6,
+		Dropout: 0.0, InitStd: 0.4, LRDecay: 0.9,
+	}
+}
+
+func TestEffectiveLR(t *testing.T) {
+	h := Hyper{LearningRate: 0.01, Momentum: 0.9}
+	if math.Abs(h.EffectiveLR()-0.1) > 1e-12 {
+		t.Fatalf("effective lr = %v", h.EffectiveLR())
+	}
+	// Momentum saturates rather than dividing by zero.
+	h.Momentum = 1.0
+	if math.IsInf(h.EffectiveLR(), 1) || math.IsNaN(h.EffectiveLR()) {
+		t.Fatal("effective lr must stay finite at momentum 1")
+	}
+}
+
+func TestGoodnessOrdersHypers(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	good := tr.Goodness(goodHyper())
+	bad := tr.Goodness(badHyper())
+	if good <= bad {
+		t.Fatalf("goodness(good)=%v <= goodness(bad)=%v", good, bad)
+	}
+	if good > tr.Cfg.GMax || good < 0.9*tr.Cfg.GMax {
+		t.Fatalf("optimal goodness = %v, want near cap %v", good, tr.Cfg.GMax)
+	}
+	// Divergent learning rates are penalized harder than small ones at the
+	// same log distance (asymmetric penalty).
+	tooBig := goodHyper()
+	tooBig.LearningRate = 0.1 // eff = 1.0, one decade above optimum
+	tooSmall := goodHyper()
+	tooSmall.LearningRate = 0.001 // one decade below
+	if tr.Goodness(tooBig) >= tr.Goodness(tooSmall) {
+		t.Fatal("divergence penalty should be asymmetric")
+	}
+}
+
+func TestColdTrialLandsBelowStudyPlateau(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(1)
+	res := tr.Run(goodHyper(), nil, rng, nil)
+	// Best possible single cold trial: ~0.91, never the ceiling.
+	if res.FinalAccuracy < 0.88 || res.FinalAccuracy > 0.925 {
+		t.Fatalf("cold optimal accuracy = %v, want ~0.91", res.FinalAccuracy)
+	}
+	if res.Epochs == 0 || res.Epochs > tr.Cfg.MaxEpochs {
+		t.Fatalf("epochs = %d", res.Epochs)
+	}
+	if len(res.Curve) != res.Epochs {
+		t.Fatalf("curve length %d != epochs %d", len(res.Curve), res.Epochs)
+	}
+	if res.Seconds != float64(res.Epochs)*tr.Cfg.EpochSeconds {
+		t.Fatal("seconds should be epochs * epoch cost")
+	}
+}
+
+func TestWarmStartRatchetsAccuracy(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(2)
+	cold := tr.Run(goodHyper(), nil, rng, nil)
+	warm := tr.Run(goodHyper(), &WarmStart{Quality: cold.FinalQuality, Compat: 1}, rng, nil)
+	if warm.FinalAccuracy <= cold.FinalAccuracy {
+		t.Fatalf("warm start did not improve: %v vs %v", warm.FinalAccuracy, cold.FinalAccuracy)
+	}
+	// Chaining warm starts approaches the ceiling.
+	q := warm.FinalQuality
+	for i := 0; i < 6; i++ {
+		r := tr.Run(goodHyper(), &WarmStart{Quality: q, Compat: 1}, rng, nil)
+		q = math.Max(q, r.FinalQuality)
+	}
+	if q < 0.925 {
+		t.Fatalf("ratcheted quality = %v, want to approach ceiling 0.935", q)
+	}
+	if q > tr.Cfg.Ceiling {
+		t.Fatalf("quality %v exceeded ceiling", q)
+	}
+}
+
+func TestWarmStartFasterThanCold(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(3)
+	cold := tr.Run(goodHyper(), nil, rng, nil)
+	warm := tr.Run(goodHyper(), &WarmStart{Quality: 0.90, Compat: 1}, rng, nil)
+	if warm.Epochs >= cold.Epochs {
+		t.Fatalf("warm start should converge faster: %d vs %d epochs", warm.Epochs, cold.Epochs)
+	}
+}
+
+func TestBadWarmStartHurts(t *testing.T) {
+	// Initializing from a poor checkpoint is worse than random init — the
+	// phenomenon motivating alpha-greedy (Section 4.2.2).
+	tr := NewTrainer(DefaultConfig())
+	h := goodHyper()
+	h.LearningRate = 0.002 // mediocre: doesn't fully recover in one trial
+	coldSum, warmSum := 0.0, 0.0
+	for seed := int64(0); seed < 10; seed++ {
+		coldSum += tr.Run(h, nil, sim.NewRNG(seed), nil).FinalAccuracy
+		warmSum += tr.Run(h, &WarmStart{Quality: 0.05, Compat: 1}, sim.NewRNG(seed+100), nil).FinalAccuracy
+	}
+	_ = coldSum
+	// Quality 0.05 is below the 0.10 random floor; the floor clamps it, so
+	// warm-from-garbage should be no better than cold.
+	if warmSum > coldSum+0.05 {
+		t.Fatalf("garbage warm start should not beat cold init: %v vs %v", warmSum/10, coldSum/10)
+	}
+}
+
+func TestHugeLRDestroysWarmStart(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	h := goodHyper()
+	h.LearningRate = 0.2 // eff = 2.0: divergent
+	rng := sim.NewRNG(4)
+	res := tr.Run(h, &WarmStart{Quality: 0.93, Compat: 1}, rng, nil)
+	if res.FinalAccuracy > 0.6 {
+		t.Fatalf("divergent lr kept warm-start accuracy %v; should destroy it", res.FinalAccuracy)
+	}
+}
+
+func TestPartialCompatInterpolates(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	h := goodHyper()
+	mk := func(compat float64) float64 {
+		return tr.NewSession(h, &WarmStart{Quality: 0.9, Compat: compat}, sim.NewRNG(5)).q
+	}
+	full, half, none := mk(1), mk(0.5), mk(0)
+	if !(full > half && half > none) {
+		t.Fatalf("compat should interpolate q0: %v %v %v", full, half, none)
+	}
+	if math.Abs(none-0.1) > 1e-9 {
+		t.Fatalf("compat 0 should equal cold init, got %v", none)
+	}
+}
+
+func TestEarlyStoppingFires(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(6)
+	// A trial whose target is its own start: improvement stalls immediately.
+	res := tr.Run(badHyper(), &WarmStart{Quality: 0.5, Compat: 1}, rng, nil)
+	if !res.Stopped {
+		t.Fatal("stalled trial should early stop")
+	}
+	if res.Epochs >= tr.Cfg.MaxEpochs {
+		t.Fatal("early stopping should cut epochs")
+	}
+}
+
+func TestExternalStopCallback(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(7)
+	res := tr.Run(goodHyper(), nil, rng, func(epoch int, acc float64) bool {
+		return epoch >= 3
+	})
+	if res.Epochs != 3 || !res.Stopped {
+		t.Fatalf("external stop: epochs=%d stopped=%v", res.Epochs, res.Stopped)
+	}
+}
+
+func TestSessionStepIdempotentAfterDone(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	s := tr.NewSession(goodHyper(), nil, sim.NewRNG(8))
+	var last float64
+	for {
+		acc, done := s.Step()
+		last = acc
+		if done {
+			break
+		}
+	}
+	again, done := s.Step()
+	if !done || again != last {
+		t.Fatal("Step after done should be a no-op")
+	}
+	s2 := tr.NewSession(goodHyper(), nil, sim.NewRNG(9))
+	s2.Abort()
+	if _, done := s2.Step(); !done {
+		t.Fatal("aborted session should be done")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	a := tr.Run(goodHyper(), nil, sim.NewRNG(10), nil)
+	b := tr.Run(goodHyper(), nil, sim.NewRNG(10), nil)
+	if a.FinalAccuracy != b.FinalAccuracy || a.Epochs != b.Epochs {
+		t.Fatal("trials not deterministic for fixed seed")
+	}
+}
+
+func TestFromTrial(t *testing.T) {
+	space, err := advisor.CIFAR10ConvNetSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	trial, err := space.Sample("t0", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromTrial(trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LearningRate < 1e-4 || h.LearningRate >= 1 {
+		t.Fatalf("decoded lr = %v out of range", h.LearningRate)
+	}
+	if h.Momentum < 0 || h.Momentum >= 0.99 {
+		t.Fatalf("decoded momentum = %v", h.Momentum)
+	}
+	// Missing knob errors.
+	bad := &advisor.Trial{ID: "x", Params: map[string]advisor.Value{}}
+	if _, err := FromTrial(bad); err == nil {
+		t.Fatal("incomplete trial should error")
+	}
+}
+
+// TestRandomSearchSpread verifies the response surface gives random search a
+// wide spread (Figure 8a's scatter): some trials above 80%, many below 50%.
+func TestRandomSearchSpread(t *testing.T) {
+	space, _ := advisor.CIFAR10ConvNetSpace()
+	tr := NewTrainer(DefaultConfig())
+	rng := sim.NewRNG(12)
+	high, low := 0, 0
+	n := 200
+	for i := 0; i < n; i++ {
+		trial, err := space.Sample("t", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := FromTrial(trial)
+		res := tr.Run(h, nil, rng, nil)
+		if res.FinalAccuracy > 0.8 {
+			high++
+		}
+		if res.FinalAccuracy <= 0.5 {
+			low++
+		}
+	}
+	if high < 5 {
+		t.Fatalf("only %d/200 cold random trials above 80%%; surface too hard", high)
+	}
+	if low < 50 {
+		t.Fatalf("only %d/200 cold random trials at/below 50%%; surface too easy", low)
+	}
+}

@@ -1,0 +1,225 @@
+package tune
+
+import (
+	"fmt"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/metrics"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+)
+
+// AdvisorKind selects the TrialAdvisor for a simulated study.
+type AdvisorKind string
+
+// Supported advisors.
+const (
+	RandomSearch AdvisorKind = "random"
+	BayesOpt     AdvisorKind = "bayes"
+	GridSearch   AdvisorKind = "grid"
+)
+
+// SimOptions configures a virtual-time study run.
+type SimOptions struct {
+	Conf    Config
+	Advisor AdvisorKind
+	Workers int
+	Seed    int64
+	// Trainer overrides the surrogate config; zero value uses defaults.
+	Trainer surrogate.Config
+	// Space overrides the hyper-parameter space; nil uses the Section
+	// 7.1.1 CIFAR-10 ConvNet space.
+	Space *advisor.HyperSpace
+}
+
+// SimResult is the outcome of a virtual-time study.
+type SimResult struct {
+	Master *Master
+	// WallSeconds is the virtual time at which the last trial finished.
+	WallSeconds float64
+	// BestSoFar maps virtual time → best accuracy so far (Figure 11b).
+	BestSoFar *metrics.TimeSeries
+	// BestByEpochs maps cumulative training epochs → best accuracy so far
+	// (Figures 8c/9c).
+	BestByEpochs *metrics.TimeSeries
+	// History is the per-trial log (Figures 8a/8b/9a/9b).
+	History []TrialRecord
+}
+
+// BestAccuracy returns the study's final best accuracy.
+func (r *SimResult) BestAccuracy() float64 { return r.Master.BestPerf() }
+
+// simWorker is one simulated worker GPU's state.
+type simWorker struct {
+	name    string
+	rng     *sim.RNG
+	session *surrogate.Session
+	asg     *Assignment
+}
+
+// RunSim executes a full study over virtual time with the given number of
+// simulated workers. Worker epochs interleave exactly as they would on a
+// real cluster: each epoch costs Trainer.EpochSeconds of virtual time, and
+// the master observes reports in virtual-time order — so CoStudy's
+// checkpoint sharing sees the same interleavings the paper's deployment
+// does, while the whole study runs in milliseconds of real time.
+func RunSim(opt SimOptions) (*SimResult, error) {
+	if opt.Workers <= 0 {
+		return nil, fmt.Errorf("tune: need at least one worker, got %d", opt.Workers)
+	}
+	root := sim.NewRNG(opt.Seed)
+	space := opt.Space
+	if space == nil {
+		var err error
+		space, err = advisor.CIFAR10ConvNetSpace()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var adv advisor.Advisor
+	switch opt.Advisor {
+	case RandomSearch, "":
+		adv = advisor.NewRandomAdvisor(space, root.SplitNamed("advisor"))
+	case BayesOpt:
+		adv = advisor.NewBayesAdvisor(space, root.SplitNamed("advisor"))
+	case GridSearch:
+		g, err := advisor.NewGridAdvisor(space, 3)
+		if err != nil {
+			return nil, err
+		}
+		adv = g
+	default:
+		return nil, fmt.Errorf("tune: unknown advisor kind %q", opt.Advisor)
+	}
+
+	pserver := ps.New(8, nil)
+	master, err := NewMaster(opt.Conf, adv, pserver, root.SplitNamed("master"))
+	if err != nil {
+		return nil, err
+	}
+	trainerCfg := opt.Trainer
+	if trainerCfg.Ceiling == 0 {
+		trainerCfg = surrogate.DefaultConfig()
+	}
+	trainer := surrogate.NewTrainer(trainerCfg)
+
+	loop := sim.NewEventLoop()
+	res := &SimResult{
+		Master:       master,
+		BestSoFar:    metrics.NewTimeSeries("best-accuracy"),
+		BestByEpochs: metrics.NewTimeSeries("best-by-epochs"),
+	}
+
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	var startNext func(w *simWorker)
+	var epoch func(w *simWorker)
+
+	epoch = func(w *simWorker) {
+		if runErr != nil || w.session == nil {
+			return
+		}
+		acc, done := w.session.Step()
+		dir, err := master.ReportEpoch(w.name, acc)
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch dir {
+		case DirPut:
+			if err := saveCheckpoint(pserver, opt.Conf.Name, opt.Conf.Model, w.asg.Trial.ID, acc, w.session.Quality(), opt.Conf.Public, archLayersFor(opt.Conf, w.asg.Trial, w.session.Quality(), acc)); err != nil {
+				fail(err)
+				return
+			}
+		case DirStop:
+			w.session.Abort()
+			done = true
+		}
+		if !done {
+			loop.After(trainerCfg.EpochSeconds, func() { epoch(w) })
+			return
+		}
+		result := w.session.Result()
+		putFinal, err := master.FinishTrial(w.name, result, loop.Now())
+		if err != nil {
+			fail(err)
+			return
+		}
+		if putFinal {
+			if err := saveCheckpoint(pserver, opt.Conf.Name, opt.Conf.Model, w.asg.Trial.ID, result.FinalAccuracy, result.FinalQuality, opt.Conf.Public, archLayersFor(opt.Conf, w.asg.Trial, result.FinalQuality, result.FinalAccuracy)); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := res.BestSoFar.Append(loop.Now(), master.BestPerf()); err != nil {
+			fail(err)
+			return
+		}
+		if err := res.BestByEpochs.Append(float64(master.TotalEpochs()), master.BestPerf()); err != nil {
+			fail(err)
+			return
+		}
+		w.session, w.asg = nil, nil
+		res.WallSeconds = loop.Now()
+		startNext(w)
+	}
+
+	startNext = func(w *simWorker) {
+		if runErr != nil {
+			return
+		}
+		asg, err := master.RequestTrial(w.name, loop.Now())
+		if err != nil {
+			fail(err)
+			return
+		}
+		if asg == nil {
+			return // study over for this worker
+		}
+		hyp, err := surrogate.FromTrial(asg.Trial)
+		if err != nil {
+			fail(err)
+			return
+		}
+		w.asg = asg
+		w.session = trainer.NewSession(hyp, asg.Warm, w.rng)
+		loop.After(trainerCfg.EpochSeconds, func() { epoch(w) })
+	}
+
+	for i := 0; i < opt.Workers; i++ {
+		w := &simWorker{
+			name: fmt.Sprintf("worker-%d", i),
+			rng:  root.SplitNamed(fmt.Sprintf("worker-%d", i)),
+		}
+		startNext(w)
+	}
+	for loop.Step() {
+		if runErr != nil {
+			return nil, runErr
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.History = master.History()
+	return res, nil
+}
+
+// archLayersFor builds the per-trial checkpoint layers under architecture
+// tuning; nil (the fixed-architecture payload) otherwise.
+func archLayersFor(conf Config, trial *advisor.Trial, quality, acc float64) []ps.Layer {
+	if conf.ArchKnob == "" {
+		return nil
+	}
+	depth, err := trial.Float(conf.ArchKnob)
+	if err != nil {
+		return nil
+	}
+	return ArchLayers(int(depth), quality, acc)
+}

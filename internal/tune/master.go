@@ -1,0 +1,449 @@
+// Package tune implements Rafiki's distributed hyper-parameter tuning
+// service (Section 4.2): the Study master of Algorithm 1, the collaborative
+// CoStudy master of Algorithm 2 with alpha-greedy initialization, the worker
+// loop, and a virtual-time driver that runs a study over any number of
+// simulated worker GPUs (the Figure 11 scalability harness).
+//
+// The message protocol follows the paper: workers send kRequest to obtain a
+// trial, kReport after every epoch, and kFinish at trial end; the master
+// answers reports with kPut ("checkpoint your parameters to the parameter
+// server") or kStop (early stopping). The master is a pure state machine so
+// the same Algorithm 1/2 logic serves both the live goroutine mode and the
+// deterministic virtual-time mode.
+package tune
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+)
+
+// Directive is the master's reply to a worker's kReport.
+type Directive int
+
+// Report directives.
+const (
+	DirNone Directive = iota // keep training
+	DirPut                   // checkpoint parameters to the parameter server
+	DirStop                  // early stop the trial (Algorithm 2 line 12)
+)
+
+func (d Directive) String() string {
+	switch d {
+	case DirNone:
+		return "none"
+	case DirPut:
+		return "kPut"
+	case DirStop:
+		return "kStop"
+	}
+	return fmt.Sprintf("directive(%d)", int(d))
+}
+
+// Config configures a study (the paper's HyperTune conf).
+type Config struct {
+	// Name identifies the study; parameter-server keys are derived from it.
+	Name string
+	// Model is the architecture being tuned (checkpoint metadata).
+	Model string
+	// MaxTrials is the stop criterion conf.stop(num).
+	MaxTrials int
+	// CoStudy enables Algorithm 2 (collaborative tuning).
+	CoStudy bool
+	// Delta is conf.delta: a report must beat the best performance by this
+	// margin before the master orders a checkpoint (kPut).
+	Delta float64
+	// Patience and MinDelta define the master's early stopping: a trial is
+	// stopped after Patience consecutive reports without MinDelta
+	// improvement over its own best.
+	Patience int
+	MinDelta float64
+	// Alpha0/AlphaDecay/AlphaMin schedule the alpha-greedy probability of
+	// random initialization: alpha = max(AlphaMin, Alpha0·AlphaDecay^k)
+	// after k finished trials.
+	Alpha0, AlphaDecay, AlphaMin float64
+	// Public marks this study's checkpoints shareable with other studies
+	// tuning the same model (Section 6.2's privacy setting). Warm starts
+	// always respect other studies' settings.
+	Public bool
+	// ArchKnob, when non-empty, names an integer knob controlling the
+	// network depth, enabling Section 4.2.2's architecture tuning: trials
+	// with different depths share parameters layer-wise via the parameter
+	// server's shape-matched fetch, so a warm start's quality is scaled by
+	// the fraction of layers whose shapes matched.
+	ArchKnob string
+}
+
+// archSignatures enumerates the layer shape keys of a depth-L ConvNet in
+// the surrogate family: L 3×3×32 convolutions plus a classifier head.
+func archSignatures(layers int) []string {
+	if layers < 1 {
+		layers = 1
+	}
+	sigs := make([]string, 0, layers+1)
+	for i := 1; i <= layers; i++ {
+		sigs = append(sigs, fmt.Sprintf("conv%d:3x3x32", i))
+	}
+	return append(sigs, "fc:256x10")
+}
+
+// ArchLayers builds the checkpoint layers for a depth-L trial; the payload
+// carries the latent quality (the surrogate has no real tensors).
+func ArchLayers(layers int, quality, acc float64) []ps.Layer {
+	if layers < 1 {
+		layers = 1
+	}
+	out := make([]ps.Layer, 0, layers+1)
+	for i := 1; i <= layers; i++ {
+		out = append(out, ps.Layer{Name: fmt.Sprintf("conv%d", i), Shape: []int{3, 3, 32}, Data: []float64{quality}})
+	}
+	return append(out, ps.Layer{Name: "fc", Shape: []int{256, 10}, Data: []float64{acc}})
+}
+
+// DefaultConfig returns the experiment configuration for a study over the
+// CIFAR-10 surrogate.
+func DefaultConfig(name string, coStudy bool) Config {
+	return Config{
+		Name:       name,
+		Model:      "convnet8",
+		MaxTrials:  200,
+		CoStudy:    coStudy,
+		Delta:      0.005, // CIFAR-10: paper suggests ~0.5% (best acc ~97.4%)
+		Patience:   5,
+		MinDelta:   0.001,
+		Alpha0:     1.0,
+		AlphaDecay: 0.97,
+		AlphaMin:   0.05,
+	}
+}
+
+// Assignment is the master's reply to kRequest: a trial plus initialization
+// instructions.
+type Assignment struct {
+	Trial *advisor.Trial
+	// Warm, when non-nil, tells the worker to initialize from this
+	// checkpoint state (fetched by the master from the parameter server).
+	Warm *surrogate.WarmStart
+	// WarmKey is the parameter-server key the warm start came from.
+	WarmKey string
+}
+
+// TrialRecord is the master's log of one finished trial — the raw series
+// behind Figures 8, 9 and 11.
+type TrialRecord struct {
+	Index     int
+	TrialID   string
+	Worker    string
+	Accuracy  float64
+	Epochs    int
+	WarmStart bool
+	Start     float64 // virtual seconds (0 in live mode)
+	End       float64
+}
+
+// workerTrial is the master's view of one in-flight trial.
+type workerTrial struct {
+	trial     *advisor.Trial
+	warm      bool
+	best      float64
+	sinceBest int
+	epochs    int
+	start     float64
+}
+
+// Master runs Algorithm 1 (Study) or Algorithm 2 (CoStudy). Methods are
+// safe for concurrent workers.
+type Master struct {
+	mu   sync.Mutex
+	conf Config
+	adv  advisor.Advisor
+	ps   *ps.Server
+	rng  *sim.RNG
+
+	bestP    float64
+	started  int
+	finished int
+	inFlight map[string]*workerTrial
+	history  []TrialRecord
+	epochs   int // total epochs across all trials (Figure 8c's x-axis)
+}
+
+// NewMaster creates a study master. ps may be nil only when CoStudy is off.
+func NewMaster(conf Config, adv advisor.Advisor, pserver *ps.Server, rng *sim.RNG) (*Master, error) {
+	if conf.MaxTrials <= 0 {
+		return nil, fmt.Errorf("tune: MaxTrials must be positive, got %d", conf.MaxTrials)
+	}
+	if conf.CoStudy && pserver == nil {
+		return nil, fmt.Errorf("tune: CoStudy needs a parameter server")
+	}
+	if adv == nil {
+		return nil, fmt.Errorf("tune: nil advisor")
+	}
+	if conf.Patience <= 0 {
+		conf.Patience = 5
+	}
+	return &Master{
+		conf:     conf,
+		adv:      adv,
+		ps:       pserver,
+		rng:      rng,
+		inFlight: map[string]*workerTrial{},
+	}, nil
+}
+
+// Done reports whether the study has dispatched its full trial budget.
+func (m *Master) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started >= m.conf.MaxTrials
+}
+
+// Finished returns the number of completed trials.
+func (m *Master) Finished() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.finished
+}
+
+// alpha returns the current random-initialization probability.
+func (m *Master) alphaLocked() float64 {
+	a := m.conf.Alpha0
+	for i := 0; i < m.finished; i++ {
+		a *= m.conf.AlphaDecay
+	}
+	if a < m.conf.AlphaMin {
+		a = m.conf.AlphaMin
+	}
+	return a
+}
+
+// RequestTrial handles kRequest (Algorithm 1 lines 4–10): it asks the
+// TrialAdvisor for the next trial and, under CoStudy, decides alpha-greedily
+// whether the worker should warm start from the best stored checkpoint.
+// It returns nil when the budget is exhausted or the advisor gave up.
+func (m *Master) RequestTrial(worker string, now float64) (*Assignment, error) {
+	m.mu.Lock()
+	if m.started >= m.conf.MaxTrials {
+		m.mu.Unlock()
+		return nil, nil
+	}
+	if _, busy := m.inFlight[worker]; busy {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("tune: worker %s already has a trial", worker)
+	}
+	m.started++
+	alpha := m.alphaLocked()
+	m.mu.Unlock()
+
+	trial, err := m.adv.Next(worker)
+	if err != nil {
+		m.mu.Lock()
+		m.started--
+		m.mu.Unlock()
+		return nil, fmt.Errorf("tune: advisor: %w", err)
+	}
+	if trial == nil { // advisor exhausted (Algorithm 1 line 7: break)
+		m.mu.Lock()
+		m.started = m.conf.MaxTrials
+		m.mu.Unlock()
+		return nil, nil
+	}
+
+	asg := &Assignment{Trial: trial}
+	if m.conf.CoStudy && !m.rngBernoulli(alpha) {
+		if best, err := m.ps.BestForModelVisible(m.conf.Model, m.conf.Name); err == nil {
+			compat := 1.0
+			if m.conf.ArchKnob != "" {
+				compat = m.archCompat(trial)
+			}
+			asg.Warm = &surrogate.WarmStart{Quality: best.Quality, Compat: compat}
+			asg.WarmKey = checkpointKey(m.conf.Name, best.TrialID)
+		}
+		// No checkpoint yet: fall through to random init.
+	}
+
+	m.mu.Lock()
+	m.inFlight[worker] = &workerTrial{
+		trial: trial,
+		warm:  asg.Warm != nil,
+		start: now,
+	}
+	m.mu.Unlock()
+	return asg, nil
+}
+
+func (m *Master) rngBernoulli(p float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.Bernoulli(p)
+}
+
+// archCompat returns the fraction of the trial's layers that can be
+// initialized from stored checkpoints via shape-matched fetch ("we just
+// store all Ws in a parameter server and fetch the shape matched W to
+// initialize the layers in new trials").
+func (m *Master) archCompat(trial *advisor.Trial) float64 {
+	depth, err := trial.Float(m.conf.ArchKnob)
+	if err != nil {
+		return 1 // knob absent: same-architecture study
+	}
+	sigs := archSignatures(int(depth))
+	matched := m.ps.FetchMatching(sigs)
+	return float64(len(matched)) / float64(len(sigs))
+}
+
+// ReportEpoch handles kReport (Algorithm 2 lines 6–13): the master records
+// the trial's progress, orders a checkpoint when the report beats the study
+// best by Delta, and orders early stopping when the trial stalls.
+func (m *Master) ReportEpoch(worker string, acc float64) (Directive, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wt, ok := m.inFlight[worker]
+	if !ok {
+		return DirNone, fmt.Errorf("tune: report from idle worker %s", worker)
+	}
+	wt.epochs++
+	m.epochs++
+	improved := acc > wt.best+m.conf.MinDelta
+	if improved {
+		wt.best = acc
+		wt.sinceBest = 0
+	} else {
+		wt.sinceBest++
+	}
+	if !m.conf.CoStudy {
+		// Algorithm 1's master neither checkpoints mid-trial nor stops
+		// trials; workers early-stop locally.
+		return DirNone, nil
+	}
+	if acc-m.bestP > m.conf.Delta {
+		m.bestP = acc
+		return DirPut, nil
+	}
+	if wt.sinceBest >= m.conf.Patience {
+		return DirStop, nil
+	}
+	return DirNone, nil
+}
+
+// FinishTrial handles kFinish (Algorithm 1 lines 13–17): the advisor
+// collects the result, and under Algorithm 1 the master asks the best
+// trial's worker to persist its parameters (returns putFinal=true).
+func (m *Master) FinishTrial(worker string, res surrogate.Result, now float64) (putFinal bool, err error) {
+	m.mu.Lock()
+	wt, ok := m.inFlight[worker]
+	if !ok {
+		m.mu.Unlock()
+		return false, fmt.Errorf("tune: finish from idle worker %s", worker)
+	}
+	delete(m.inFlight, worker)
+	m.finished++
+	idx := m.finished
+	isBest := res.FinalAccuracy > m.bestP
+	if isBest {
+		m.bestP = res.FinalAccuracy
+	}
+	m.history = append(m.history, TrialRecord{
+		Index:     idx,
+		TrialID:   wt.trial.ID,
+		Worker:    worker,
+		Accuracy:  res.FinalAccuracy,
+		Epochs:    res.Epochs,
+		WarmStart: wt.warm,
+		Start:     wt.start,
+		End:       now,
+	})
+	trial := wt.trial
+	m.mu.Unlock()
+
+	m.adv.Collect(worker, trial, res.FinalAccuracy)
+	// Algorithm 1 line 15: if adv.is_best(msg.worker) send kPut. Under
+	// CoStudy the mid-trial kPut already persisted the best parameters.
+	return isBest && !m.conf.CoStudy, nil
+}
+
+// BestTrial returns the best trial and its performance (Algorithm 1 line
+// 20's return value).
+func (m *Master) BestTrial() (*advisor.Trial, float64) {
+	return m.adv.Best()
+}
+
+// BestPerf returns the best performance reported so far.
+func (m *Master) BestPerf() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bestP
+}
+
+// TotalEpochs returns the cumulative epochs trained across all trials.
+func (m *Master) TotalEpochs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epochs
+}
+
+// History returns the finished-trial log in completion order.
+func (m *Master) History() []TrialRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]TrialRecord(nil), m.history...)
+}
+
+// checkpointKey derives the parameter-server key for a trial's checkpoint.
+func checkpointKey(study, trialID string) string {
+	return study + "/" + trialID
+}
+
+// masterState is the gob-serializable snapshot for failure recovery
+// (Section 6.3: "the master for the training service records the current
+// best hyper-parameter trial").
+type masterState struct {
+	BestP    float64
+	Started  int
+	Finished int
+	Epochs   int
+	History  []TrialRecord
+}
+
+// Snapshot implements cluster.Checkpointer.
+func (m *Master) Snapshot() ([]byte, error) {
+	m.mu.Lock()
+	st := masterState{
+		BestP:    m.bestP,
+		Started:  m.started,
+		Finished: m.finished,
+		Epochs:   m.epochs,
+		History:  append([]TrialRecord(nil), m.history...),
+	}
+	m.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("tune: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements cluster.Checkpointer. In-flight trials are abandoned
+// (their workers re-request; the trial budget already counted them, so the
+// restored count rewinds to finished trials only).
+func (m *Master) Restore(snapshot []byte) error {
+	var st masterState
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
+		return fmt.Errorf("tune: restore: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bestP = st.BestP
+	m.started = st.Finished // in-flight trials at snapshot time are re-run
+	m.finished = st.Finished
+	m.epochs = st.Epochs
+	m.history = st.History
+	m.inFlight = map[string]*workerTrial{}
+	return nil
+}

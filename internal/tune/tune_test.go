@@ -1,0 +1,537 @@
+package tune
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+)
+
+func testSpace(t *testing.T) *advisor.HyperSpace {
+	t.Helper()
+	h, err := advisor.CIFAR10ConvNetSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func newMaster(t *testing.T, conf Config, seed int64) (*Master, *ps.Server) {
+	t.Helper()
+	pserver := ps.New(4, nil)
+	adv := advisor.NewRandomAdvisor(testSpace(t), sim.NewRNG(seed))
+	m, err := NewMaster(conf, adv, pserver, sim.NewRNG(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pserver
+}
+
+func smallConf(coStudy bool, trials int) Config {
+	c := DefaultConfig("test", coStudy)
+	c.MaxTrials = trials
+	return c
+}
+
+func TestMasterValidation(t *testing.T) {
+	adv := advisor.NewRandomAdvisor(testSpace(t), sim.NewRNG(1))
+	if _, err := NewMaster(Config{MaxTrials: 0}, adv, nil, sim.NewRNG(1)); err == nil {
+		t.Fatal("zero trials should error")
+	}
+	if _, err := NewMaster(Config{MaxTrials: 1, CoStudy: true}, adv, nil, sim.NewRNG(1)); err == nil {
+		t.Fatal("CoStudy without PS should error")
+	}
+	if _, err := NewMaster(Config{MaxTrials: 1}, nil, nil, sim.NewRNG(1)); err == nil {
+		t.Fatal("nil advisor should error")
+	}
+}
+
+func TestRequestTrialBudget(t *testing.T) {
+	m, _ := newMaster(t, smallConf(false, 2), 2)
+	a1, err := m.RequestTrial("w1", 0)
+	if err != nil || a1 == nil {
+		t.Fatalf("first assignment: %v %v", a1, err)
+	}
+	// Busy worker cannot double-request.
+	if _, err := m.RequestTrial("w1", 0); err == nil {
+		t.Fatal("busy worker should error")
+	}
+	a2, _ := m.RequestTrial("w2", 0)
+	if a2 == nil {
+		t.Fatal("second assignment missing")
+	}
+	// Budget exhausted.
+	if a3, _ := m.RequestTrial("w3", 0); a3 != nil {
+		t.Fatal("budget should be exhausted")
+	}
+	if !m.Done() {
+		t.Fatal("master should be done")
+	}
+}
+
+func TestReportFromIdleWorkerErrors(t *testing.T) {
+	m, _ := newMaster(t, smallConf(true, 2), 3)
+	if _, err := m.ReportEpoch("ghost", 0.5); err == nil {
+		t.Fatal("idle report should error")
+	}
+	if _, err := m.FinishTrial("ghost", surrogate.Result{}, 0); err == nil {
+		t.Fatal("idle finish should error")
+	}
+}
+
+func TestStudyMasterNeverDirectsPutsOrStops(t *testing.T) {
+	m, _ := newMaster(t, smallConf(false, 1), 4)
+	if _, err := m.RequestTrial("w", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		dir, err := m.ReportEpoch("w", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dir != DirNone {
+			t.Fatalf("Algorithm 1 master issued %v", dir)
+		}
+	}
+}
+
+func TestCoStudyPutAndStopDirectives(t *testing.T) {
+	conf := smallConf(true, 1)
+	conf.Delta = 0.01
+	conf.Patience = 3
+	m, _ := newMaster(t, conf, 5)
+	if _, err := m.RequestTrial("w", 0); err != nil {
+		t.Fatal(err)
+	}
+	// First strong report: beats best (0) by more than delta → kPut.
+	dir, _ := m.ReportEpoch("w", 0.5)
+	if dir != DirPut {
+		t.Fatalf("dir = %v, want kPut", dir)
+	}
+	// Stalled reports below best+delta: after Patience, kStop.
+	var got Directive
+	for i := 0; i < 3; i++ {
+		got, _ = m.ReportEpoch("w", 0.4)
+	}
+	if got != DirStop {
+		t.Fatalf("dir = %v, want kStop after patience", got)
+	}
+}
+
+func TestFinishTrialPutFinalOnlyForStudyBest(t *testing.T) {
+	m, _ := newMaster(t, smallConf(false, 3), 6)
+	m.RequestTrial("w", 0)
+	put, err := m.FinishTrial("w", surrogate.Result{FinalAccuracy: 0.7}, 1)
+	if err != nil || !put {
+		t.Fatalf("first finish should be best: put=%v err=%v", put, err)
+	}
+	m.RequestTrial("w", 1)
+	put, _ = m.FinishTrial("w", surrogate.Result{FinalAccuracy: 0.6}, 2)
+	if put {
+		t.Fatal("worse trial should not checkpoint")
+	}
+	m.RequestTrial("w", 2)
+	put, _ = m.FinishTrial("w", surrogate.Result{FinalAccuracy: 0.8}, 3)
+	if !put {
+		t.Fatal("new best should checkpoint")
+	}
+	if m.Finished() != 3 || m.BestPerf() != 0.8 {
+		t.Fatalf("finished=%d best=%v", m.Finished(), m.BestPerf())
+	}
+	h := m.History()
+	if len(h) != 3 || h[2].Accuracy != 0.8 || h[2].Index != 3 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestAlphaGreedyWarmStartsAppear(t *testing.T) {
+	conf := smallConf(true, 30)
+	conf.Alpha0 = 0.0 // always warm start when a checkpoint exists
+	conf.AlphaMin = 0.0
+	m, pserver := newMaster(t, conf, 7)
+	// No checkpoint yet: first assignment must be cold.
+	a, _ := m.RequestTrial("w", 0)
+	if a.Warm != nil {
+		t.Fatal("warm start without any checkpoint")
+	}
+	m.FinishTrial("w", surrogate.Result{FinalAccuracy: 0.5, FinalQuality: 0.5}, 1)
+	// Store a checkpoint like a kPut would.
+	if err := saveCheckpoint(pserver, conf.Name, conf.Model, "t0", 0.5, 0.5, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := m.RequestTrial("w", 1)
+	if a2.Warm == nil {
+		t.Fatal("expected warm start from stored checkpoint")
+	}
+	if a2.Warm.Quality != 0.5 || a2.Warm.Compat != 1 {
+		t.Fatalf("warm = %+v", a2.Warm)
+	}
+}
+
+func TestAlphaScheduleDecays(t *testing.T) {
+	conf := smallConf(true, 100)
+	conf.Alpha0, conf.AlphaDecay, conf.AlphaMin = 1.0, 0.5, 0.1
+	m, _ := newMaster(t, conf, 8)
+	if a := m.alphaLocked(); a != 1.0 {
+		t.Fatalf("alpha(0) = %v", a)
+	}
+	m.finished = 2
+	if a := m.alphaLocked(); a != 0.25 {
+		t.Fatalf("alpha(2) = %v", a)
+	}
+	m.finished = 50
+	if a := m.alphaLocked(); a != 0.1 {
+		t.Fatalf("alpha(50) = %v, want floor", a)
+	}
+}
+
+func TestWorkerRunsFullStudyLive(t *testing.T) {
+	conf := smallConf(true, 12)
+	m, pserver := newMaster(t, conf, 9)
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	w := NewWorker("w0", m, trainer, pserver, sim.NewRNG(10))
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Finished() != 12 {
+		t.Fatalf("finished = %d, want 12", m.Finished())
+	}
+	best, perf := m.BestTrial()
+	if best == nil || perf <= 0 {
+		t.Fatal("no best trial recorded")
+	}
+}
+
+func TestConcurrentWorkersLive(t *testing.T) {
+	conf := smallConf(true, 24)
+	m, pserver := newMaster(t, conf, 11)
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewWorker(workerName(i), m, trainer, pserver, sim.NewRNG(int64(100+i)))
+			if err := w.Run(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m.Finished() != 24 {
+		t.Fatalf("finished = %d, want 24", m.Finished())
+	}
+}
+
+func workerName(i int) string { return string(rune('a'+i)) + "-worker" }
+
+func TestSnapshotRestore(t *testing.T) {
+	m, _ := newMaster(t, smallConf(true, 10), 12)
+	m.RequestTrial("w", 0)
+	m.FinishTrial("w", surrogate.Result{FinalAccuracy: 0.77, Epochs: 9}, 5)
+	m.RequestTrial("w", 5) // in-flight at snapshot time
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := newMaster(t, smallConf(true, 10), 13)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m2.BestPerf() != 0.77 || m2.Finished() != 1 {
+		t.Fatalf("restored best=%v finished=%d", m2.BestPerf(), m2.Finished())
+	}
+	// The in-flight trial was rewound: a new worker can request it again.
+	if a, err := m2.RequestTrial("w2", 6); err != nil || a == nil {
+		t.Fatalf("restored master refused trial: %v %v", a, err)
+	}
+	if len(m2.History()) != 1 {
+		t.Fatal("history not restored")
+	}
+	if err := m2.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot should error")
+	}
+}
+
+func TestRunSimBasics(t *testing.T) {
+	res, err := RunSim(SimOptions{
+		Conf:    smallConf(false, 20),
+		Advisor: RandomSearch,
+		Workers: 2,
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 20 {
+		t.Fatalf("history = %d trials", len(res.History))
+	}
+	if res.WallSeconds <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.BestSoFar.Len() != 20 || res.BestByEpochs.Len() != 20 {
+		t.Fatal("best-so-far series incomplete")
+	}
+	// Trials must carry consistent timing.
+	for _, r := range res.History {
+		if r.End <= r.Start {
+			t.Fatalf("trial %d has non-positive duration", r.Index)
+		}
+		if r.Epochs <= 0 {
+			t.Fatalf("trial %d has no epochs", r.Index)
+		}
+	}
+	if err := validateMonotone(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validateMonotone(res *SimResult) error {
+	prev := 0.0
+	for _, p := range res.BestSoFar.Points() {
+		if p.V < prev {
+			return errMonotone
+		}
+		prev = p.V
+	}
+	return nil
+}
+
+var errMonotone = errTest("best-so-far decreased")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestRunSimDeterministic(t *testing.T) {
+	opt := SimOptions{Conf: smallConf(true, 15), Advisor: RandomSearch, Workers: 3, Seed: 7}
+	a, err := RunSim(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestAccuracy() != b.BestAccuracy() || a.WallSeconds != b.WallSeconds {
+		t.Fatal("simulated studies not reproducible")
+	}
+}
+
+func TestRunSimValidation(t *testing.T) {
+	if _, err := RunSim(SimOptions{Conf: smallConf(false, 5), Workers: 0}); err == nil {
+		t.Fatal("zero workers should error")
+	}
+	if _, err := RunSim(SimOptions{Conf: smallConf(false, 5), Workers: 1, Advisor: "annealing"}); err == nil {
+		t.Fatal("unknown advisor should error")
+	}
+}
+
+// TestCoStudyBeatsStudy is the Figure 8 headline: with the same random-
+// search advisor and trial budget, CoStudy reaches a higher best accuracy
+// and produces more high-accuracy trials.
+func TestCoStudyBeatsStudy(t *testing.T) {
+	trials := 120
+	study, err := RunSim(SimOptions{Conf: smallConf(false, trials), Advisor: RandomSearch, Workers: 3, Seed: 1804})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := RunSim(SimOptions{Conf: smallConf(true, trials), Advisor: RandomSearch, Workers: 3, Seed: 1804})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.BestAccuracy() <= study.BestAccuracy() {
+		t.Fatalf("CoStudy best %v should beat Study best %v", co.BestAccuracy(), study.BestAccuracy())
+	}
+	if co.BestAccuracy() < 0.91 {
+		t.Fatalf("CoStudy best %v below the paper's >91%% band", co.BestAccuracy())
+	}
+	highStudy, highCo := 0, 0
+	for _, r := range study.History {
+		if r.Accuracy > 0.5 {
+			highStudy++
+		}
+	}
+	for _, r := range co.History {
+		if r.Accuracy > 0.5 {
+			highCo++
+		}
+	}
+	if highCo <= highStudy {
+		t.Fatalf("CoStudy high-accuracy trials %d should exceed Study's %d (Figure 8b)", highCo, highStudy)
+	}
+}
+
+// TestScalabilityNearLinear is the Figure 11 headline: doubling workers
+// roughly halves wall time for the same trial budget.
+func TestScalabilityNearLinear(t *testing.T) {
+	wall := map[int]float64{}
+	for _, w := range []int{1, 2, 4, 8} {
+		res, err := RunSim(SimOptions{Conf: smallConf(true, 64), Advisor: RandomSearch, Workers: w, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall[w] = res.WallSeconds
+	}
+	if !(wall[1] > wall[2] && wall[2] > wall[4] && wall[4] > wall[8]) {
+		t.Fatalf("wall times not decreasing: %v", wall)
+	}
+	speedup := wall[1] / wall[8]
+	if speedup < 4 {
+		t.Fatalf("8-worker speedup = %.1fx, want near-linear (>4x)", speedup)
+	}
+}
+
+func TestBayesSimRuns(t *testing.T) {
+	conf := smallConf(true, 30)
+	res, err := RunSim(SimOptions{Conf: conf, Advisor: BayesOpt, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 30 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+	if math.IsNaN(res.BestAccuracy()) || res.BestAccuracy() <= 0 {
+		t.Fatal("BO study produced no accuracy")
+	}
+}
+
+// TestPrivacySharingAcrossStudies covers Section 6.2's cross-study sharing:
+// a public study's checkpoints warm-start other studies tuning the same
+// model; a private study's do not.
+func TestPrivacySharingAcrossStudies(t *testing.T) {
+	pserver := ps.New(4, nil)
+	mkMaster := func(name string, public bool, seed int64) *Master {
+		conf := DefaultConfig(name, true)
+		conf.MaxTrials = 5
+		conf.Public = public
+		conf.Alpha0, conf.AlphaMin = 0, 0 // always warm start when visible
+		adv := advisor.NewRandomAdvisor(testSpace(t), sim.NewRNG(seed))
+		m, err := NewMaster(conf, adv, pserver, sim.NewRNG(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// A private study deposits a strong checkpoint.
+	private := mkMaster("private-study", false, 100)
+	if err := saveCheckpoint(pserver, "private-study", "convnet8", "p0", 0.9, 0.9, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The private study itself can see its own checkpoint.
+	a, err := private.RequestTrial("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Warm == nil || a.Warm.Quality != 0.9 {
+		t.Fatalf("owner should warm start from its own checkpoint: %+v", a.Warm)
+	}
+
+	// A different study must NOT see it.
+	other := mkMaster("other-study", true, 200)
+	b, err := other.RequestTrial("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Warm != nil {
+		t.Fatalf("private checkpoint leaked across studies: %+v", b.Warm)
+	}
+
+	// A public checkpoint IS visible across studies — the paper's training
+	// warm-up via parameters pre-trained on other datasets.
+	if err := saveCheckpoint(pserver, "public-study", "convnet8", "q0", 0.8, 0.8, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	third := mkMaster("third-study", false, 300)
+	c, err := third.RequestTrial("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Warm == nil || c.Warm.Quality != 0.8 {
+		t.Fatalf("public checkpoint should be shared: %+v", c.Warm)
+	}
+}
+
+// TestArchitectureTuningShapeMatch covers Section 4.2.2's architecture
+// tuning: trials vary the network depth, checkpoints carry per-layer shape
+// signatures, and warm starts are scaled by the fraction of layers the
+// parameter server could shape-match.
+func TestArchitectureTuningShapeMatch(t *testing.T) {
+	space := testSpace(t)
+	if err := space.AddRangeKnob("num_layers", advisor.Int, 4, 12,
+		advisor.WithGroup(advisor.GroupArchitecture)); err != nil {
+		t.Fatal(err)
+	}
+	pserver := ps.New(4, nil)
+	conf := DefaultConfig("arch-study", true)
+	conf.MaxTrials = 30
+	conf.ArchKnob = "num_layers"
+	conf.Alpha0, conf.AlphaMin = 0, 0 // always warm start once possible
+	m, err := NewMaster(conf, advisor.NewRandomAdvisor(space, sim.NewRNG(70)), pserver, sim.NewRNG(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	w := NewWorker("w", m, trainer, pserver, sim.NewRNG(72))
+
+	// Seed with a depth-8 checkpoint so compat arithmetic is predictable:
+	// a depth-8 trial matches 9/9 signatures; depth-12 matches 9/13.
+	if err := saveCheckpoint(pserver, conf.Name, conf.Model, "seed", 0.85, 0.85, false, ArchLayers(8, 0.85, 0.85)); err != nil {
+		t.Fatal(err)
+	}
+	trial8 := &advisor.Trial{ID: "t8", Params: map[string]advisor.Value{"num_layers": {Num: 8}}}
+	if got := m.archCompat(trial8); got != 1 {
+		t.Fatalf("depth-8 compat = %v, want 1 (all layers matched)", got)
+	}
+	trial12 := &advisor.Trial{ID: "t12", Params: map[string]advisor.Value{"num_layers": {Num: 12}}}
+	want := 9.0 / 13.0
+	if got := m.archCompat(trial12); got != want {
+		t.Fatalf("depth-12 compat = %v, want %v", got, want)
+	}
+	trial4 := &advisor.Trial{ID: "t4", Params: map[string]advisor.Value{"num_layers": {Num: 4}}}
+	if got := m.archCompat(trial4); got != 1 {
+		t.Fatalf("depth-4 compat = %v, want 1 (subset of stored layers)", got)
+	}
+
+	// The study completes, produces warm starts with partial compat, and
+	// stores depth-specific checkpoints.
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Finished() != conf.MaxTrials {
+		t.Fatalf("finished = %d", m.Finished())
+	}
+	best, err := pserver.BestForModel(conf.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints must carry the per-depth layer lists (depth + fc head).
+	if n := len(best.Layers); n < 5 || n > 13 {
+		t.Fatalf("best checkpoint has %d layers; want depth-specific list", n)
+	}
+}
+
+// TestArchSignatures pins the signature enumeration.
+func TestArchSignatures(t *testing.T) {
+	sigs := archSignatures(3)
+	if len(sigs) != 4 || sigs[0] != "conv1:3x3x32" || sigs[3] != "fc:256x10" {
+		t.Fatalf("sigs = %v", sigs)
+	}
+	if got := archSignatures(0); len(got) != 2 {
+		t.Fatalf("degenerate depth should clamp to 1 conv: %v", got)
+	}
+	layers := ArchLayers(2, 0.5, 0.6)
+	if len(layers) != 3 || layers[0].ShapeKey() != "conv1:3x3x32" || layers[2].ShapeKey() != "fc:256x10" {
+		t.Fatalf("layers = %+v", layers)
+	}
+}

@@ -1,0 +1,129 @@
+package tune
+
+import (
+	"fmt"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+)
+
+// Worker evaluates trials against the surrogate trainer, speaking the
+// kRequest/kReport/kFinish protocol with its master. One Worker runs one
+// trial at a time (the paper: "At one time, each worker trains the model
+// with a given trial").
+type Worker struct {
+	Name    string
+	master  *Master
+	trainer *surrogate.Trainer
+	ps      *ps.Server
+	rng     *sim.RNG
+}
+
+// NewWorker returns a worker bound to a master. ps may be nil when the study
+// never checkpoints (plain Study without final puts would still want one;
+// pass a server in normal use).
+func NewWorker(name string, master *Master, trainer *surrogate.Trainer, pserver *ps.Server, rng *sim.RNG) *Worker {
+	return &Worker{Name: name, master: master, trainer: trainer, ps: pserver, rng: rng}
+}
+
+// RunOneTrial requests, trains and reports a single trial. It returns false
+// when the master has no more trials. Used by the live (goroutine) mode;
+// the virtual-time driver steps sessions itself.
+func (w *Worker) RunOneTrial() (bool, error) {
+	asg, err := w.master.RequestTrial(w.Name, 0)
+	if err != nil {
+		return false, err
+	}
+	if asg == nil {
+		return false, nil
+	}
+	hyp, err := surrogate.FromTrial(asg.Trial)
+	if err != nil {
+		return false, err
+	}
+	session := w.trainer.NewSession(hyp, asg.Warm, w.rng)
+	for {
+		acc, done := session.Step()
+		dir, err := w.master.ReportEpoch(w.Name, acc)
+		if err != nil {
+			return false, err
+		}
+		switch dir {
+		case DirPut:
+			if err := w.putCheckpoint(asg.Trial, acc, session.Quality()); err != nil {
+				return false, err
+			}
+		case DirStop:
+			session.Abort()
+			done = true
+		}
+		if done {
+			break
+		}
+	}
+	res := session.Result()
+	putFinal, err := w.master.FinishTrial(w.Name, res, 0)
+	if err != nil {
+		return false, err
+	}
+	if putFinal {
+		if err := w.putCheckpoint(asg.Trial, res.FinalAccuracy, res.FinalQuality); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Run loops RunOneTrial until the study completes.
+func (w *Worker) Run() error {
+	for {
+		more, err := w.RunOneTrial()
+		if err != nil {
+			return fmt.Errorf("tune: worker %s: %w", w.Name, err)
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// putCheckpoint persists the worker's current model parameters. Under
+// architecture tuning the checkpoint carries the trial's per-layer shape
+// signatures so future trials can shape-match against it.
+func (w *Worker) putCheckpoint(trial *advisor.Trial, acc, quality float64) error {
+	if w.ps == nil {
+		return fmt.Errorf("tune: worker %s ordered to checkpoint without a parameter server", w.Name)
+	}
+	c := w.master.conf
+	var layers []ps.Layer
+	if c.ArchKnob != "" {
+		if depth, err := trial.Float(c.ArchKnob); err == nil {
+			layers = ArchLayers(int(depth), quality, acc)
+		}
+	}
+	return saveCheckpoint(w.ps, c.Name, c.Model, trial.ID, acc, quality, c.Public, layers)
+}
+
+// saveCheckpoint writes a trial checkpoint to the parameter server. layers
+// may be nil for the fixed-architecture stand-in payload; the checkpoint
+// metadata — accuracy and latent quality — is what warm starts consume.
+func saveCheckpoint(pserver *ps.Server, study, model, trialID string, acc, quality float64, public bool, layers []ps.Layer) error {
+	if layers == nil {
+		layers = []ps.Layer{
+			{Name: "conv", Shape: []int{3, 3, 32}, Data: []float64{quality}},
+			{Name: "fc", Shape: []int{256, 10}, Data: []float64{acc}},
+		}
+	}
+	ck := &ps.Checkpoint{
+		Model:    model,
+		TrialID:  trialID,
+		Accuracy: acc,
+		Quality:  quality,
+		Owner:    study,
+		Public:   public,
+		Layers:   layers,
+	}
+	return pserver.Put(checkpointKey(study, trialID), ck)
+}

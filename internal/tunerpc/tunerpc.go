@@ -1,0 +1,359 @@
+// Package tunerpc exposes the tuning master over the network, matching the
+// paper's deployment model where masters and workers run in separate Docker
+// containers and "communicate with the training and inference programs ...
+// via RPC" (Section 2.3). The wire protocol is the stdlib net/rpc gob codec;
+// the messages mirror Algorithm 1/2's kRequest, kReport and kFinish, with
+// the master's kPut/kStop directives carried in the replies.
+//
+// A remote worker drives the same tune.Master as the in-process workers, so
+// a study can mix local goroutine workers with workers on other machines.
+package tunerpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+	"rafiki/internal/tune"
+)
+
+// wire-format types: advisor.Trial contains hooks-free data only, but we
+// flatten it for gob friendliness and forward compatibility.
+
+// TrialWire is the serialized form of a trial.
+type TrialWire struct {
+	ID     string
+	Keys   []string
+	Nums   []float64
+	Strs   []string
+	IsCats []bool
+}
+
+func toWire(t *advisor.Trial) TrialWire {
+	w := TrialWire{ID: t.ID}
+	for k, v := range t.Params {
+		w.Keys = append(w.Keys, k)
+		w.Nums = append(w.Nums, v.Num)
+		w.Strs = append(w.Strs, v.Str)
+		w.IsCats = append(w.IsCats, v.Cat)
+	}
+	return w
+}
+
+func fromWire(w TrialWire) *advisor.Trial {
+	t := &advisor.Trial{ID: w.ID, Params: map[string]advisor.Value{}}
+	for i, k := range w.Keys {
+		t.Params[k] = advisor.Value{Num: w.Nums[i], Str: w.Strs[i], Cat: w.IsCats[i]}
+	}
+	return t
+}
+
+// RequestArgs is the kRequest message.
+type RequestArgs struct {
+	Worker string
+}
+
+// RequestReply answers kRequest: a trial plus warm-start instructions.
+// Exhausted is set when the study is over.
+type RequestReply struct {
+	Exhausted   bool
+	Trial       TrialWire
+	UseWarm     bool
+	WarmQuality float64
+	WarmCompat  float64
+}
+
+// ReportArgs is the kReport message (one per epoch).
+type ReportArgs struct {
+	Worker   string
+	Epoch    int
+	Accuracy float64
+}
+
+// ReportReply carries the master's directive (none/kPut/kStop).
+type ReportReply struct {
+	Directive tune.Directive
+}
+
+// FinishArgs is the kFinish message.
+type FinishArgs struct {
+	Worker        string
+	FinalAccuracy float64
+	FinalQuality  float64
+	Epochs        int
+	Stopped       bool
+}
+
+// FinishReply tells the worker whether to persist its final parameters
+// (Algorithm 1's is_best → kPut).
+type FinishReply struct {
+	PutFinal bool
+}
+
+// PutArgs uploads a checkpoint to the master's parameter server (remote
+// workers have no direct PS handle).
+type PutArgs struct {
+	TrialID  string
+	Accuracy float64
+	Quality  float64
+}
+
+// PutReply is empty.
+type PutReply struct{}
+
+// StatusReply reports study progress.
+type StatusReply struct {
+	Done     bool
+	Finished int
+	BestPerf float64
+}
+
+// MasterService is the RPC-exported facade over a tune.Master.
+type MasterService struct {
+	master *tune.Master
+	ps     *ps.Server
+	study  string
+	model  string
+}
+
+// Request handles kRequest.
+func (s *MasterService) Request(args RequestArgs, reply *RequestReply) error {
+	asg, err := s.master.RequestTrial(args.Worker, 0)
+	if err != nil {
+		return err
+	}
+	if asg == nil {
+		reply.Exhausted = true
+		return nil
+	}
+	reply.Trial = toWire(asg.Trial)
+	if asg.Warm != nil {
+		reply.UseWarm = true
+		reply.WarmQuality = asg.Warm.Quality
+		reply.WarmCompat = asg.Warm.Compat
+	}
+	return nil
+}
+
+// Report handles kReport.
+func (s *MasterService) Report(args ReportArgs, reply *ReportReply) error {
+	dir, err := s.master.ReportEpoch(args.Worker, args.Accuracy)
+	if err != nil {
+		return err
+	}
+	reply.Directive = dir
+	return nil
+}
+
+// Finish handles kFinish.
+func (s *MasterService) Finish(args FinishArgs, reply *FinishReply) error {
+	put, err := s.master.FinishTrial(args.Worker, surrogate.Result{
+		FinalAccuracy: args.FinalAccuracy,
+		FinalQuality:  args.FinalQuality,
+		Epochs:        args.Epochs,
+		Stopped:       args.Stopped,
+	}, 0)
+	if err != nil {
+		return err
+	}
+	reply.PutFinal = put
+	return nil
+}
+
+// Put stores a worker checkpoint into the parameter server.
+func (s *MasterService) Put(args PutArgs, _ *PutReply) error {
+	ck := &ps.Checkpoint{
+		Model:    s.model,
+		TrialID:  args.TrialID,
+		Accuracy: args.Accuracy,
+		Quality:  args.Quality,
+		Layers: []ps.Layer{
+			{Name: "conv", Shape: []int{3, 3, 32}, Data: []float64{args.Quality}},
+			{Name: "fc", Shape: []int{256, 10}, Data: []float64{args.Accuracy}},
+		},
+	}
+	return s.ps.Put(s.study+"/"+args.TrialID, ck)
+}
+
+// Status reports progress.
+func (s *MasterService) Status(_ struct{}, reply *StatusReply) error {
+	reply.Done = s.master.Done()
+	reply.Finished = s.master.Finished()
+	reply.BestPerf = s.master.BestPerf()
+	return nil
+}
+
+// Server hosts one or more master services over TCP.
+type Server struct {
+	rpcServer *rpc.Server
+	ln        net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer creates a server listening on addr ("127.0.0.1:0" for an
+// ephemeral test port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tunerpc: listen: %w", err)
+	}
+	s := &Server{rpcServer: rpc.NewServer(), ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Register exposes a master under a service name (the study name).
+func (s *Server) Register(name, model string, master *tune.Master, pserver *ps.Server) error {
+	svc := &MasterService{master: master, ps: pserver, study: name, model: model}
+	if err := s.rpcServer.RegisterName(name, svc); err != nil {
+		return fmt.Errorf("tunerpc: register %s: %w", name, err)
+	}
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		go s.rpcServer.ServeConn(conn)
+	}
+}
+
+// RemoteWorker evaluates trials against a remote master over RPC.
+type RemoteWorker struct {
+	Name    string
+	service string
+	client  *rpc.Client
+	trainer *surrogate.Trainer
+	rng     *sim.RNG
+}
+
+// Dial connects a worker to a master service.
+func Dial(addr, service, workerName string, trainer *surrogate.Trainer, rng *sim.RNG) (*RemoteWorker, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tunerpc: dial %s: %w", addr, err)
+	}
+	return &RemoteWorker{
+		Name:    workerName,
+		service: service,
+		client:  client,
+		trainer: trainer,
+		rng:     rng,
+	}, nil
+}
+
+// Close tears down the connection.
+func (w *RemoteWorker) Close() error { return w.client.Close() }
+
+func (w *RemoteWorker) call(method string, args, reply any) error {
+	return w.client.Call(w.service+"."+method, args, reply)
+}
+
+// RunOneTrial runs a single trial against the remote master. It returns
+// false when the study is exhausted.
+func (w *RemoteWorker) RunOneTrial() (bool, error) {
+	var req RequestReply
+	if err := w.call("Request", RequestArgs{Worker: w.Name}, &req); err != nil {
+		return false, err
+	}
+	if req.Exhausted {
+		return false, nil
+	}
+	trial := fromWire(req.Trial)
+	hyp, err := surrogate.FromTrial(trial)
+	if err != nil {
+		return false, err
+	}
+	var warm *surrogate.WarmStart
+	if req.UseWarm {
+		warm = &surrogate.WarmStart{Quality: req.WarmQuality, Compat: req.WarmCompat}
+	}
+	session := w.trainer.NewSession(hyp, warm, w.rng)
+	for {
+		acc, done := session.Step()
+		var rep ReportReply
+		if err := w.call("Report", ReportArgs{Worker: w.Name, Epoch: session.Epoch(), Accuracy: acc}, &rep); err != nil {
+			return false, err
+		}
+		switch rep.Directive {
+		case tune.DirPut:
+			if err := w.call("Put", PutArgs{TrialID: trial.ID, Accuracy: acc, Quality: session.Quality()}, &PutReply{}); err != nil {
+				return false, err
+			}
+		case tune.DirStop:
+			session.Abort()
+			done = true
+		}
+		if done {
+			break
+		}
+	}
+	res := session.Result()
+	var fin FinishReply
+	if err := w.call("Finish", FinishArgs{
+		Worker:        w.Name,
+		FinalAccuracy: res.FinalAccuracy,
+		FinalQuality:  res.FinalQuality,
+		Epochs:        res.Epochs,
+		Stopped:       res.Stopped,
+	}, &fin); err != nil {
+		return false, err
+	}
+	if fin.PutFinal {
+		if err := w.call("Put", PutArgs{TrialID: trial.ID, Accuracy: res.FinalAccuracy, Quality: res.FinalQuality}, &PutReply{}); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Run loops trials until the study completes.
+func (w *RemoteWorker) Run() error {
+	for {
+		more, err := w.RunOneTrial()
+		if err != nil {
+			return fmt.Errorf("tunerpc: worker %s: %w", w.Name, err)
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// Status fetches the study's progress from the master.
+func (w *RemoteWorker) Status() (StatusReply, error) {
+	var st StatusReply
+	err := w.call("Status", struct{}{}, &st)
+	return st, err
+}
+
+// ErrClosed is returned by operations on a closed server.
+var ErrClosed = errors.New("tunerpc: server closed")

@@ -1,0 +1,208 @@
+package tunerpc
+
+import (
+	"sync"
+	"testing"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/surrogate"
+	"rafiki/internal/tune"
+)
+
+func newRig(t *testing.T, coStudy bool, trials int) (*Server, *tune.Master, *ps.Server) {
+	t.Helper()
+	space, err := advisor.CIFAR10ConvNetSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pserver := ps.New(4, nil)
+	conf := tune.DefaultConfig("rpcstudy", coStudy)
+	conf.MaxTrials = trials
+	master, err := tune.NewMaster(conf, advisor.NewRandomAdvisor(space, sim.NewRNG(1)), pserver, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if err := srv.Register("rpcstudy", "convnet8", master, pserver); err != nil {
+		t.Fatal(err)
+	}
+	return srv, master, pserver
+}
+
+func dialWorker(t *testing.T, srv *Server, name string, seed int64) *RemoteWorker {
+	t.Helper()
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	w, err := Dial(srv.Addr(), "rpcstudy", name, trainer, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func TestTrialWireRoundTrip(t *testing.T) {
+	in := &advisor.Trial{ID: "t1", Params: map[string]advisor.Value{
+		"lr":     {Num: 0.01},
+		"kernel": {Str: "rbf", Cat: true},
+	}}
+	out := fromWire(toWire(in))
+	if out.ID != "t1" {
+		t.Fatalf("id = %s", out.ID)
+	}
+	lr, err := out.Float("lr")
+	if err != nil || lr != 0.01 {
+		t.Fatalf("lr = %v %v", lr, err)
+	}
+	k, err := out.Cat("kernel")
+	if err != nil || k != "rbf" {
+		t.Fatalf("kernel = %v %v", k, err)
+	}
+}
+
+func TestRemoteWorkerRunsStudy(t *testing.T) {
+	srv, master, _ := newRig(t, true, 8)
+	w := dialWorker(t, srv, "remote-0", 3)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if master.Finished() != 8 {
+		t.Fatalf("finished = %d, want 8", master.Finished())
+	}
+	st, err := w.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Finished != 8 || st.BestPerf <= 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestMultipleRemoteWorkersShareOneMaster(t *testing.T) {
+	srv, master, pserver := newRig(t, true, 20)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		w := dialWorker(t, srv, string(rune('a'+i)), int64(10+i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if master.Finished() != 20 {
+		t.Fatalf("finished = %d, want 20", master.Finished())
+	}
+	// CoStudy's kPut checkpoints must have landed in the shared PS.
+	if len(pserver.Keys()) == 0 {
+		t.Fatal("no checkpoints stored over RPC")
+	}
+	if _, err := pserver.BestForModel("convnet8"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedLocalAndRemoteWorkers(t *testing.T) {
+	srv, master, pserver := newRig(t, true, 16)
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	local := tune.NewWorker("local-0", master, trainer, pserver, sim.NewRNG(30))
+	remote := dialWorker(t, srv, "remote-0", 31)
+	// Guarantee the remote worker lands at least one trial before the
+	// (much faster) in-process worker can drain the budget.
+	if more, err := remote.RunOneTrial(); err != nil || !more {
+		t.Fatalf("remote first trial: more=%v err=%v", more, err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := local.Run(); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := remote.Run(); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if master.Finished() != 16 {
+		t.Fatalf("finished = %d", master.Finished())
+	}
+	// Both worker names must appear in the history.
+	names := map[string]bool{}
+	for _, r := range master.History() {
+		names[r.Worker] = true
+	}
+	if !names["local-0"] || !names["remote-0"] {
+		t.Fatalf("history workers = %v", names)
+	}
+}
+
+func TestStudyAlgorithmOverRPC(t *testing.T) {
+	// Algorithm 1 (no CoStudy): the master never orders mid-trial puts; the
+	// final best still checkpoints via the PutFinal reply.
+	srv, master, pserver := newRig(t, false, 6)
+	w := dialWorker(t, srv, "w", 40)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if master.Finished() != 6 {
+		t.Fatalf("finished = %d", master.Finished())
+	}
+	best, err := pserver.BestForModel("convnet8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Accuracy != master.BestPerf() {
+		t.Fatalf("checkpointed best %v != master best %v", best.Accuracy, master.BestPerf())
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	if _, err := Dial("127.0.0.1:1", "x", "w", trainer, sim.NewRNG(1)); err == nil {
+		t.Fatal("dialing a dead address should error")
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	srv, _, _ := newRig(t, true, 4)
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trainer := surrogate.NewTrainer(surrogate.DefaultConfig())
+	if _, err := Dial(addr, "rpcstudy", "w", trainer, sim.NewRNG(1)); err == nil {
+		t.Fatal("dial after close should error")
+	}
+}
+
+func TestRPCErrorsPropagate(t *testing.T) {
+	srv, _, _ := newRig(t, true, 4)
+	w := dialWorker(t, srv, "w", 50)
+	// Reporting without an assigned trial is a master-side error; it must
+	// surface through the RPC boundary.
+	var rep ReportReply
+	if err := w.call("Report", ReportArgs{Worker: "ghost", Accuracy: 0.5}, &rep); err == nil {
+		t.Fatal("report from idle worker should error over RPC")
+	}
+}

@@ -1,0 +1,141 @@
+// Package workload generates the request arrival processes of Section 7.2.
+//
+// The paper drives its serving experiments with a sine-modulated arrival
+// rate anchored to the deployment's maximum or minimum throughput: the rate
+// must exceed the anchor for 20% of every cycle (to simulate "overwhelming
+// requests coming at times") and peak at 1.1× the anchor (so the queue is
+// stressed but not unboundedly flooded); a N(0,0.1) multiplicative noise
+// term stops the RL agent from memorizing the sine (Equations 8–9).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"rafiki/internal/sim"
+)
+
+// SineArrival is the paper's arrival-rate process r(t) = γ·sin(2πt/T) + c.
+type SineArrival struct {
+	// Anchor is the throughput the rate is calibrated against (ru or rl).
+	Anchor float64
+	// Period is the cycle length T in seconds (the paper uses 500·τ).
+	Period float64
+	// Gamma and Intercept are the solved sine parameters.
+	Gamma, Intercept float64
+	// NoiseStd is the multiplicative noise σ (paper: 0.1).
+	NoiseStd float64
+
+	rng *sim.RNG
+}
+
+// overFraction is the fraction of each cycle during which the rate exceeds
+// the anchor (the paper's 20%), and peakFactor the peak rate relative to the
+// anchor (the paper's 1.1×).
+const (
+	overFraction = 0.20
+	peakFactor   = 1.1
+)
+
+// NewSineArrival solves Equations 8–9 for the given anchor throughput.
+//
+// Derivation: with r(t) = γ·sin(ωt) + c, the set {t : sin(ωt) > s0} covers
+// fraction (π − 2·asin(s0))/(2π) of a cycle; setting that to overFraction
+// gives s0 = sin(π/2 − overFraction·π) = sin(0.3π) ≈ 0.809. Then
+//
+//	γ·s0 + c = anchor        (rate crosses the anchor at the 20% boundary)
+//	γ   + c = 1.1·anchor     (peak rate)
+//
+// which solves to γ = 0.1·anchor/(1−s0), c = 1.1·anchor − γ.
+func NewSineArrival(anchor, period float64, rng *sim.RNG) (*SineArrival, error) {
+	if anchor <= 0 {
+		return nil, fmt.Errorf("workload: anchor throughput must be positive, got %v", anchor)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: period must be positive, got %v", period)
+	}
+	s0 := math.Sin(math.Pi/2 - overFraction*math.Pi)
+	gamma := (peakFactor - 1) * anchor / (1 - s0)
+	intercept := peakFactor*anchor - gamma
+	return &SineArrival{
+		Anchor: anchor, Period: period,
+		Gamma: gamma, Intercept: intercept,
+		NoiseStd: 0.1, rng: rng,
+	}, nil
+}
+
+// Rate returns the noiseless arrival rate at time t (requests/second),
+// clamped at zero.
+func (s *SineArrival) Rate(t float64) float64 {
+	r := s.Gamma*math.Sin(2*math.Pi*t/s.Period) + s.Intercept
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Count returns the number of new requests arriving in (t, t+delta]:
+// δ·r(t)·(1+φ) with φ ~ N(0, σ), stochastically rounded so fractional
+// expected counts are preserved over many ticks.
+func (s *SineArrival) Count(t, delta float64) int {
+	mean := delta * s.Rate(t) * (1 + s.rng.Normal(0, s.NoiseStd))
+	if mean <= 0 {
+		return 0
+	}
+	base := math.Floor(mean)
+	n := int(base)
+	if s.rng.Float64() < mean-base {
+		n++
+	}
+	return n
+}
+
+// PeakRate returns the maximum of the noiseless rate.
+func (s *SineArrival) PeakRate() float64 { return s.Gamma + s.Intercept }
+
+// TroughRate returns the minimum of the noiseless rate (clamped at 0).
+func (s *SineArrival) TroughRate() float64 {
+	r := s.Intercept - s.Gamma
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Request is one inference request flowing through the serving system.
+type Request struct {
+	ID      uint64  // stable identity; keys the zoo.Predictor simulation
+	Arrival float64 // virtual arrival time (seconds)
+}
+
+// Source turns an arrival process into concrete requests with stable IDs.
+type Source struct {
+	arrival *SineArrival
+	nextID  uint64
+}
+
+// NewSource returns a request source over the given arrival process.
+func NewSource(arrival *SineArrival) *Source {
+	return &Source{arrival: arrival}
+}
+
+// Tick returns the requests arriving in (t, t+delta], stamped with arrival
+// times spread uniformly across the tick.
+func (s *Source) Tick(t, delta float64) []Request {
+	n := s.arrival.Count(t, delta)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{
+			ID:      s.nextID,
+			Arrival: t + delta*(float64(i)+0.5)/float64(n),
+		}
+		s.nextID++
+	}
+	return out
+}
+
+// Issued returns how many requests the source has produced so far.
+func (s *Source) Issued() uint64 { return s.nextID }

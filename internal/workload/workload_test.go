@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rafiki/internal/sim"
+)
+
+func TestSineArrivalSolvesPaperConstraints(t *testing.T) {
+	rng := sim.NewRNG(1)
+	s, err := NewSineArrival(272, 280, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak must be 1.1x the anchor (Equation 9).
+	if math.Abs(s.PeakRate()-1.1*272) > 1e-9 {
+		t.Fatalf("peak = %v, want %v", s.PeakRate(), 1.1*272)
+	}
+	// The rate must exceed the anchor for 20% of each cycle (Equation 8).
+	n, over := 100000, 0
+	for i := 0; i < n; i++ {
+		tt := s.Period * float64(i) / float64(n)
+		if s.Rate(tt) > s.Anchor {
+			over++
+		}
+	}
+	frac := float64(over) / float64(n)
+	if math.Abs(frac-0.20) > 0.005 {
+		t.Fatalf("fraction above anchor = %v, want 0.20", frac)
+	}
+	// Rate is never negative.
+	if s.TroughRate() < 0 {
+		t.Fatal("negative trough")
+	}
+}
+
+func TestSineArrivalErrors(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := NewSineArrival(0, 100, rng); err == nil {
+		t.Fatal("zero anchor should error")
+	}
+	if _, err := NewSineArrival(100, -1, rng); err == nil {
+		t.Fatal("negative period should error")
+	}
+}
+
+func TestSineArrivalPeriodicity(t *testing.T) {
+	rng := sim.NewRNG(2)
+	s, _ := NewSineArrival(128, 100, rng)
+	for _, tt := range []float64{0, 13.7, 42, 99} {
+		if math.Abs(s.Rate(tt)-s.Rate(tt+100)) > 1e-9 {
+			t.Fatalf("rate not periodic at t=%v", tt)
+		}
+	}
+}
+
+func TestCountMatchesRateInExpectation(t *testing.T) {
+	rng := sim.NewRNG(3)
+	s, _ := NewSineArrival(272, 280, rng)
+	// Integrate counts over several full cycles; compare with the integral
+	// of the rate (= intercept * duration for whole cycles).
+	delta := 0.1
+	total := 0
+	cycles := 20.0
+	steps := int(cycles * s.Period / delta)
+	for i := 0; i < steps; i++ {
+		total += s.Count(float64(i)*delta, delta)
+	}
+	want := s.Intercept * cycles * s.Period
+	got := float64(total)
+	if math.Abs(got-want) > 0.03*want {
+		t.Fatalf("total arrivals = %v, want ~%v", got, want)
+	}
+}
+
+func TestCountNonNegativeAndZeroRate(t *testing.T) {
+	rng := sim.NewRNG(4)
+	s, _ := NewSineArrival(100, 100, rng)
+	s.Intercept = -1000 // force the clamped-to-zero branch
+	for i := 0; i < 100; i++ {
+		if n := s.Count(float64(i), 0.1); n != 0 {
+			t.Fatalf("count at zero rate = %d", n)
+		}
+	}
+}
+
+func TestSourceStableIDsAndArrivalTimes(t *testing.T) {
+	rng := sim.NewRNG(5)
+	s, _ := NewSineArrival(272, 280, rng)
+	src := NewSource(s)
+	var lastID uint64
+	first := true
+	for step := 0; step < 200; step++ {
+		t0 := float64(step) * 0.1
+		reqs := src.Tick(t0, 0.1)
+		for _, r := range reqs {
+			if !first && r.ID != lastID+1 {
+				t.Fatalf("IDs not consecutive: %d after %d", r.ID, lastID)
+			}
+			lastID, first = r.ID, false
+			if r.Arrival < t0 || r.Arrival > t0+0.1 {
+				t.Fatalf("arrival %v outside tick [%v,%v]", r.Arrival, t0, t0+0.1)
+			}
+		}
+	}
+	if src.Issued() == 0 {
+		t.Fatal("no requests issued in 20 seconds at 272 r/s")
+	}
+}
+
+func TestSourceDeterministicPerSeed(t *testing.T) {
+	mk := func() uint64 {
+		rng := sim.NewRNG(6)
+		s, _ := NewSineArrival(128, 100, rng)
+		src := NewSource(s)
+		for step := 0; step < 500; step++ {
+			src.Tick(float64(step)*0.1, 0.1)
+		}
+		return src.Issued()
+	}
+	if mk() != mk() {
+		t.Fatal("source not deterministic for fixed seed")
+	}
+}

@@ -1,0 +1,274 @@
+// Package zoo is Rafiki's built-in model registry: the task→model catalogue
+// from Figure 2, the accuracy/latency/memory profiles of the 16 open-source
+// ConvNets from Figure 3, the batch-latency surface c(m,b) used by the
+// serving schedulers, and a correlated-error prediction simulator that stands
+// in for the ImageNet validation set (see DESIGN.md §2 for the substitution
+// argument).
+package zoo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task identifies an analytics task with built-in models (Figure 2's table).
+type Task string
+
+// Built-in tasks.
+const (
+	ImageClassification Task = "ImageClassification"
+	ObjectDetection     Task = "ObjectDetection"
+	SentimentAnalysis   Task = "SentimentAnalysis"
+)
+
+// Profile describes one built-in model: its identity, quality and cost
+// metadata (the "meta data including its training cost ... and the
+// performance on each dataset" of Section 4.1).
+type Profile struct {
+	Name string
+	Task Task
+
+	// Top1Accuracy is top-1 validation accuracy on the task's benchmark
+	// (ImageNet for the ConvNets), as plotted in Figure 3.
+	Top1Accuracy float64
+
+	// IterTime50 is the seconds per inference iteration at batch size 50,
+	// the x-axis of Figure 3.
+	IterTime50 float64
+
+	// MemoryMB is the parameter memory footprint in megabytes.
+	MemoryMB float64
+
+	// latency surface c(m,b) = FixedCost + PerImage·b (seconds).
+	FixedCost float64
+	PerImage  float64
+
+	// TrainCostPerEpoch is the relative training cost used by the training
+	// service's model-selection metadata (arbitrary units, 1.0 = ResNet-50).
+	TrainCostPerEpoch float64
+}
+
+// BatchLatency returns c(m,b): the seconds to run one inference pass over a
+// batch of b requests. b must be positive.
+func (p *Profile) BatchLatency(b int) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("zoo: batch latency for non-positive batch %d", b))
+	}
+	return p.FixedCost + p.PerImage*float64(b)
+}
+
+// Throughput returns the steady-state requests/second the model sustains at
+// batch size b.
+func (p *Profile) Throughput(b int) float64 {
+	return float64(b) / p.BatchLatency(b)
+}
+
+// affine builds the latency surface from an anchor time at batch 50 with a
+// 6.4% fixed-cost fraction — the fraction implied by the paper's inception_v3
+// anchors (c(16)=0.07 s, c(64)=0.235 s on a GTX 1080Ti).
+func affine(t50 float64) (fixed, perImage float64) {
+	const fixedFrac = 0.064
+	fixed = fixedFrac * t50
+	perImage = (t50 - fixed) / 50
+	return fixed, perImage
+}
+
+// exact builds the latency surface from an exact (c0, k) pair; used for the
+// three models the paper anchors numerically.
+func exact(fixed, perImage float64) (float64, float64) { return fixed, perImage }
+
+func convnet(name string, acc, t50, memMB, trainCost float64) Profile {
+	fixed, per := affine(t50)
+	return Profile{
+		Name: name, Task: ImageClassification,
+		Top1Accuracy: acc, IterTime50: t50, MemoryMB: memMB,
+		FixedCost: fixed, PerImage: per, TrainCostPerEpoch: trainCost,
+	}
+}
+
+func convnetExact(name string, acc, memMB, trainCost, fixed, per float64) Profile {
+	f, k := exact(fixed, per)
+	return Profile{
+		Name: name, Task: ImageClassification,
+		Top1Accuracy: acc, IterTime50: f + k*50, MemoryMB: memMB,
+		FixedCost: f, PerImage: k, TrainCostPerEpoch: trainCost,
+	}
+}
+
+// profiles digitizes Figure 3. Three models use exact latency surfaces
+// derived from the paper's Section 7.2 anchors:
+//
+//	inception_v3:        c(16)=0.070, c(64)=0.235  → thr 272 r/s @64, 228 @16
+//	inception_v4:        c(64)=0.372               → thr 172 r/s @64
+//	inception_resnet_v2: c(64)=0.500               → thr 128 r/s @64
+//
+// so the multi-model list {iv3, iv4, irv2} reproduces the paper's maximum
+// (572 r/s) and minimum (128 r/s) ensemble throughputs.
+var profiles = []Profile{
+	convnet("mobilenet_v1", 0.709, 0.040, 17, 0.4),
+	convnet("nasnet_mobile", 0.740, 0.090, 21, 0.7),
+	convnet("inception_v1", 0.698, 0.080, 27, 0.5),
+	convnet("inception_v2", 0.739, 0.110, 45, 0.7),
+	convnet("resnet_v1_50", 0.752, 0.160, 102, 1.0),
+	convnet("resnet_v2_50", 0.756, 0.170, 102, 1.0),
+	convnetExact("inception_v3", 0.780, 104, 1.4, 0.015, 0.0034375),
+	convnet("resnet_v1_101", 0.764, 0.260, 178, 1.7),
+	convnet("resnet_v2_101", 0.770, 0.270, 178, 1.7),
+	convnet("vgg_16", 0.715, 0.300, 528, 2.0),
+	convnetExact("inception_v4", 0.802, 171, 2.1, 0.0237, 0.00544),
+	convnet("vgg_19", 0.711, 0.350, 549, 2.3),
+	convnet("resnet_v1_152", 0.768, 0.370, 241, 2.4),
+	convnet("resnet_v2_152", 0.778, 0.380, 241, 2.4),
+	convnetExact("inception_resnet_v2", 0.804, 224, 2.8, 0.0319, 0.0073),
+	convnet("nasnet_large", 0.827, 1.000, 356, 5.0),
+}
+
+// taskModels is the Figure 2 catalogue: built-in models per task. The object
+// detection and sentiment models carry representative profiles so the full
+// registry round-trips through the training/serving services.
+var taskModels = map[Task][]string{
+	ImageClassification: {
+		"vgg_16", "vgg_19", "resnet_v1_50", "resnet_v2_50", "resnet_v1_101",
+		"resnet_v2_101", "resnet_v1_152", "resnet_v2_152", "squeezenet",
+		"xceptionnet", "inception_v1", "inception_v2", "inception_v3",
+		"inception_v4", "inception_resnet_v2", "mobilenet_v1",
+		"nasnet_mobile", "nasnet_large",
+	},
+	ObjectDetection:   {"yolo", "ssd", "faster_rcnn"},
+	SentimentAnalysis: {"temporal_cnn", "fasttext", "character_rnn"},
+}
+
+// extraProfiles covers the catalogue models that are not among the 16
+// Figure 3 ConvNets, so every registered model has serving metadata.
+var extraProfiles = []Profile{
+	convnet("squeezenet", 0.575, 0.045, 5, 0.3),
+	convnet("xceptionnet", 0.790, 0.250, 91, 1.6),
+	{Name: "yolo", Task: ObjectDetection, Top1Accuracy: 0.634, IterTime50: 0.35, MemoryMB: 237, FixedCost: 0.0224, PerImage: 0.006552, TrainCostPerEpoch: 2.2},
+	{Name: "ssd", Task: ObjectDetection, Top1Accuracy: 0.612, IterTime50: 0.22, MemoryMB: 105, FixedCost: 0.0141, PerImage: 0.004118, TrainCostPerEpoch: 1.5},
+	{Name: "faster_rcnn", Task: ObjectDetection, Top1Accuracy: 0.702, IterTime50: 0.80, MemoryMB: 521, FixedCost: 0.0512, PerImage: 0.014976, TrainCostPerEpoch: 3.8},
+	{Name: "temporal_cnn", Task: SentimentAnalysis, Top1Accuracy: 0.855, IterTime50: 0.020, MemoryMB: 12, FixedCost: 0.00128, PerImage: 0.000374, TrainCostPerEpoch: 0.2},
+	{Name: "fasttext", Task: SentimentAnalysis, Top1Accuracy: 0.842, IterTime50: 0.004, MemoryMB: 8, FixedCost: 0.000256, PerImage: 0.0000749, TrainCostPerEpoch: 0.05},
+	{Name: "character_rnn", Task: SentimentAnalysis, Top1Accuracy: 0.861, IterTime50: 0.060, MemoryMB: 24, FixedCost: 0.00384, PerImage: 0.001123, TrainCostPerEpoch: 0.6},
+}
+
+var byName = func() map[string]*Profile {
+	m := make(map[string]*Profile, len(profiles)+len(extraProfiles))
+	for i := range profiles {
+		m[profiles[i].Name] = &profiles[i]
+	}
+	for i := range extraProfiles {
+		m[extraProfiles[i].Name] = &extraProfiles[i]
+	}
+	return m
+}()
+
+// Lookup returns the profile for a model name.
+func Lookup(name string) (*Profile, error) {
+	p, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown model %q", name)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for names known at compile time; it panics on a miss.
+func MustLookup(name string) *Profile {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Figure3Models returns the 16 ConvNet profiles of Figure 3, sorted by
+// iteration time (the x-axis of the figure).
+func Figure3Models() []Profile {
+	out := append([]Profile(nil), profiles...)
+	sort.Slice(out, func(i, j int) bool { return out[i].IterTime50 < out[j].IterTime50 })
+	return out
+}
+
+// Tasks returns the registered tasks in stable order.
+func Tasks() []Task {
+	out := make([]Task, 0, len(taskModels))
+	for t := range taskModels {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ModelsForTask returns the built-in model names registered under a task
+// (Section 4.1: "Every built-in model in Rafiki is registered under a task").
+func ModelsForTask(t Task) ([]string, error) {
+	names, ok := taskModels[t]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown task %q", t)
+	}
+	return append([]string(nil), names...), nil
+}
+
+// SelectDiverse implements Section 4.1's model selection: among a task's
+// models, pick up to k whose accuracy is within accuracyWindow of the best
+// but whose architectures differ (distinct family prefixes), "to create a
+// diverse model set whose performance would be boosted when applying
+// ensemble modeling".
+func SelectDiverse(t Task, k int, accuracyWindow float64) ([]string, error) {
+	names, err := ModelsForTask(t)
+	if err != nil {
+		return nil, err
+	}
+	var cands []*Profile
+	for _, n := range names {
+		if p, ok := byName[n]; ok {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("zoo: no profiled models for task %q", t)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Top1Accuracy > cands[j].Top1Accuracy })
+	best := cands[0].Top1Accuracy
+	seenFamily := map[string]bool{}
+	var out []string
+	for _, p := range cands {
+		if p.Top1Accuracy < best-accuracyWindow {
+			break
+		}
+		fam := family(p.Name)
+		if seenFamily[fam] {
+			continue
+		}
+		seenFamily[fam] = true
+		out = append(out, p.Name)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// family extracts the architecture family from a model name, e.g.
+// "resnet_v2_101" → "resnet", "inception_resnet_v2" → "inception_resnet".
+func family(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '_' {
+			rest := name[i+1:]
+			if len(rest) > 0 && (rest[0] == 'v' || rest[0] >= '0' && rest[0] <= '9') {
+				return name[:i]
+			}
+		}
+	}
+	// Names like "inception_resnet_v2": strip trailing version segment.
+	last := -1
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			last = i
+			break
+		}
+	}
+	if last > 0 {
+		return name[:last]
+	}
+	return name
+}

@@ -1,0 +1,270 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLookupKnownAndUnknown(t *testing.T) {
+	p, err := Lookup("inception_v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Top1Accuracy != 0.780 {
+		t.Fatalf("iv3 accuracy = %v", p.Top1Accuracy)
+	}
+	if _, err := Lookup("alexnet_9000"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLookup("nope")
+}
+
+// TestPaperLatencyAnchors pins the latency surface to the numbers the paper
+// derives its experiments from (Section 7.2).
+func TestPaperLatencyAnchors(t *testing.T) {
+	iv3 := MustLookup("inception_v3")
+	if got := iv3.BatchLatency(16); math.Abs(got-0.070) > 1e-9 {
+		t.Fatalf("c(iv3,16) = %v, want 0.070", got)
+	}
+	if got := iv3.BatchLatency(64); math.Abs(got-0.235) > 1e-9 {
+		t.Fatalf("c(iv3,64) = %v, want 0.235", got)
+	}
+	// Paper: max throughput 272 r/s (b=64), min 228 r/s (b=16).
+	if thr := iv3.Throughput(64); math.Abs(thr-272.3) > 1 {
+		t.Fatalf("iv3 throughput@64 = %v, want ~272", thr)
+	}
+	if thr := iv3.Throughput(16); math.Abs(thr-228.6) > 1 {
+		t.Fatalf("iv3 throughput@16 = %v, want ~228", thr)
+	}
+	// Multi-model anchors: sum 572, min 128 (Section 7.2.2).
+	iv4, irv2 := MustLookup("inception_v4"), MustLookup("inception_resnet_v2")
+	sum := iv3.Throughput(64) + iv4.Throughput(64) + irv2.Throughput(64)
+	if math.Abs(sum-572) > 5 {
+		t.Fatalf("ensemble max throughput = %v, want ~572", sum)
+	}
+	if minThr := irv2.Throughput(64); math.Abs(minThr-128) > 2 {
+		t.Fatalf("ensemble min throughput = %v, want ~128", minThr)
+	}
+}
+
+func TestBatchLatencyMonotone(t *testing.T) {
+	for _, p := range Figure3Models() {
+		prev := 0.0
+		for _, b := range []int{1, 16, 32, 48, 64} {
+			c := p.BatchLatency(b)
+			if c <= prev {
+				t.Fatalf("%s: c(%d)=%v not increasing", p.Name, b, c)
+			}
+			prev = c
+		}
+		// Larger batches must improve throughput (the premise of batching).
+		if p.Throughput(64) <= p.Throughput(16) {
+			t.Fatalf("%s: batching does not improve throughput", p.Name)
+		}
+	}
+}
+
+func TestBatchLatencyPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLookup("vgg_16").BatchLatency(0)
+}
+
+func TestFigure3ModelsSortedAndComplete(t *testing.T) {
+	ms := Figure3Models()
+	if len(ms) != 16 {
+		t.Fatalf("Figure 3 should have 16 ConvNets, got %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].IterTime50 < ms[i-1].IterTime50 {
+			t.Fatal("not sorted by iteration time")
+		}
+	}
+	// nasnet_large must be the most accurate and the slowest (the paper's
+	// straggler example in Section 5.2).
+	last := ms[len(ms)-1]
+	if last.Name != "nasnet_large" || last.Top1Accuracy != 0.827 {
+		t.Fatalf("slowest model = %+v, want nasnet_large @0.827", last)
+	}
+}
+
+func TestTasksAndModels(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	for _, task := range tasks {
+		names, err := ModelsForTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) == 0 {
+			t.Fatalf("task %s has no models", task)
+		}
+	}
+	if _, err := ModelsForTask("VideoUnderstanding"); err == nil {
+		t.Fatal("unknown task should error")
+	}
+	// Returned slice must be a copy.
+	names, _ := ModelsForTask(ObjectDetection)
+	names[0] = "mutated"
+	names2, _ := ModelsForTask(ObjectDetection)
+	if names2[0] == "mutated" {
+		t.Fatal("ModelsForTask leaks internal slice")
+	}
+}
+
+func TestEveryCatalogueModelHasProfile(t *testing.T) {
+	for _, task := range Tasks() {
+		names, _ := ModelsForTask(task)
+		for _, n := range names {
+			if _, err := Lookup(n); err != nil {
+				t.Fatalf("catalogue model %s has no profile: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestSelectDiverse(t *testing.T) {
+	models, err := SelectDiverse(ImageClassification, 3, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("no models selected")
+	}
+	// All selected models must be within the window of the best.
+	best := MustLookup(models[0]).Top1Accuracy
+	fams := map[string]bool{}
+	for _, m := range models {
+		p := MustLookup(m)
+		if p.Top1Accuracy < best-0.06 {
+			t.Fatalf("%s outside accuracy window", m)
+		}
+		f := family(m)
+		if fams[f] {
+			t.Fatalf("duplicate family %s in %v", f, models)
+		}
+		fams[f] = true
+	}
+}
+
+func TestFamilyExtraction(t *testing.T) {
+	cases := map[string]string{
+		"resnet_v2_101":       "resnet",
+		"resnet_v1_50":        "resnet",
+		"inception_v3":        "inception",
+		"inception_resnet_v2": "inception_resnet",
+		"vgg_16":              "vgg",
+		"nasnet_large":        "nasnet",
+		"mobilenet_v1":        "mobilenet",
+		"yolo":                "yolo",
+	}
+	for in, want := range cases {
+		if got := family(in); got != want {
+			t.Fatalf("family(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestPredictorDeterminism(t *testing.T) {
+	a, b := NewPredictor(99), NewPredictor(99)
+	for r := uint64(0); r < 50; r++ {
+		pa, err := a.Predict(r, "inception_v3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := b.Predict(r, "inception_v3")
+		if pa != pb {
+			t.Fatal("predictor not deterministic")
+		}
+		if a.Truth(r) != b.Truth(r) {
+			t.Fatal("truth not deterministic")
+		}
+	}
+}
+
+func TestPredictorOrderIndependence(t *testing.T) {
+	p := NewPredictor(7)
+	for r := uint64(0); r < 20; r++ {
+		x, _, err := p.PredictAll(r, []string{"inception_v3", "inception_v4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, _, _ := p.PredictAll(r, []string{"inception_v4", "inception_v3"})
+		if x[0] != y[1] || x[1] != y[0] {
+			t.Fatal("prediction depends on model iteration order")
+		}
+	}
+}
+
+func TestPredictorMarginalAccuracy(t *testing.T) {
+	p := NewPredictor(3)
+	for _, m := range []string{"inception_v3", "inception_resnet_v2", "mobilenet_v1"} {
+		prof := MustLookup(m)
+		n, correct := 30000, 0
+		for r := 0; r < n; r++ {
+			pred, err := p.Predict(uint64(r), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred == p.Truth(uint64(r)) {
+				correct++
+			}
+		}
+		got := float64(correct) / float64(n)
+		if math.Abs(got-prof.Top1Accuracy) > 0.01 {
+			t.Fatalf("%s marginal accuracy = %v, want %v", m, got, prof.Top1Accuracy)
+		}
+	}
+}
+
+func TestPredictorCorrelationStructure(t *testing.T) {
+	p := NewPredictor(4)
+	a, b := "inception_v3", "inception_v4"
+	pa, pb := MustLookup(a).Top1Accuracy, MustLookup(b).Top1Accuracy
+	n, both := 30000, 0
+	for r := 0; r < n; r++ {
+		preds, truth, err := p.PredictAll(uint64(r), []string{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[0] == truth && preds[1] == truth {
+			both++
+		}
+	}
+	got := float64(both) / float64(n)
+	want := p.Rho*p.Rho*math.Min(pa, pb) + (1-p.Rho*p.Rho)*pa*pb
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("P(both correct) = %v, analytic %v", got, want)
+	}
+	if got <= pa*pb+0.02 {
+		t.Fatal("correct decisions should be positively correlated")
+	}
+}
+
+func TestDistractorNeverTruth(t *testing.T) {
+	p := NewPredictor(5)
+	for r := uint64(0); r < 3000; r++ {
+		truth := p.Truth(r)
+		pred, err := p.Predict(r, "mobilenet_v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred < 0 || pred >= p.Classes {
+			t.Fatalf("prediction out of label space: %d", pred)
+		}
+		_ = truth // wrong predictions may be any label except truth; checked via marginals
+	}
+}

@@ -1,0 +1,177 @@
+// Package rafiki is a Go reproduction of "Rafiki: Machine Learning as an
+// Analytics Service System" (Wang et al., VLDB 2018): a machine-learning
+// analytics service offering a distributed hyper-parameter tuning training
+// service (Study/CoStudy, Section 4) and a latency/accuracy-aware ensemble
+// inference service (greedy batching and an actor-critic RL scheduler,
+// Section 5), over shared substrates — a parameter server, an HDFS-like
+// block store and a cluster manager (Section 6).
+//
+// This package is the public SDK, mirroring the paper's Figure 2 workflow:
+//
+//	sys, _ := rafiki.New(rafiki.Options{})
+//	data, _ := sys.ImportImages("food", map[string]int{"pizza": 500, ...})
+//	job, _ := sys.Train(rafiki.TrainConfig{
+//		Name: "train", Data: data.Name, Task: rafiki.ImageClassification,
+//		InputShape: []int{3, 256, 256}, OutputShape: []int{10},
+//		Hyper: rafiki.HyperConf{MaxTrials: 40, CoStudy: true},
+//	})
+//	job.Wait()
+//	models, _ := sys.GetModels(job.ID)
+//	inf, _ := sys.Inference(models)
+//	ret, _ := sys.Query(inf.ID, []byte("pizza-photo.jpg"))
+//
+// GPU training is simulated by a calibrated surrogate (see DESIGN.md §2);
+// everything else — the tuning protocol, parameter server, scheduling,
+// storage, serving — is implemented for real on the standard library.
+package rafiki
+
+import (
+	"fmt"
+	"sync"
+
+	"rafiki/internal/cluster"
+	"rafiki/internal/ps"
+	"rafiki/internal/sim"
+	"rafiki/internal/store"
+	"rafiki/internal/zoo"
+)
+
+// Task names re-exported for SDK users.
+const (
+	ImageClassification = string(zoo.ImageClassification)
+	ObjectDetection     = string(zoo.ObjectDetection)
+	SentimentAnalysis   = string(zoo.SentimentAnalysis)
+)
+
+// Options configures a System.
+type Options struct {
+	// Nodes is the simulated cluster size (default 3, the paper's testbed).
+	Nodes int
+	// NodeCapacity is containers per node (default 8).
+	NodeCapacity int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Workers is the number of tuning workers per training job (default 3).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.NodeCapacity <= 0 {
+		o.NodeCapacity = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	return o
+}
+
+// System is an in-process Rafiki deployment: cluster manager, parameter
+// server, distributed storage and the two services.
+type System struct {
+	opts Options
+
+	cluster *cluster.Manager
+	ps      *ps.Server
+	fs      *store.FS
+	rng     *sim.RNG
+
+	mu        sync.Mutex
+	seq       int
+	trainJobs map[string]*TrainJob
+	inferJobs map[string]*InferenceJob
+	datasets  map[string]*Dataset
+}
+
+// New boots a System: it provisions the simulated cluster nodes, the block
+// store's datanodes and the parameter server shards.
+func New(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	fs, err := store.NewFS(opts.Nodes, 1<<20, 2)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: storage: %w", err)
+	}
+	mgr := cluster.NewManager(30)
+	for i := 0; i < opts.Nodes; i++ {
+		if err := mgr.AddNode(fmt.Sprintf("node-%d", i), opts.NodeCapacity); err != nil {
+			return nil, fmt.Errorf("rafiki: cluster: %w", err)
+		}
+	}
+	return &System{
+		opts:      opts,
+		cluster:   mgr,
+		ps:        ps.New(16, fs),
+		fs:        fs,
+		rng:       sim.NewRNG(opts.Seed),
+		trainJobs: map[string]*TrainJob{},
+		inferJobs: map[string]*InferenceJob{},
+		datasets:  map[string]*Dataset{},
+	}, nil
+}
+
+// nextID mints a job/dataset identifier.
+func (s *System) nextID(prefix string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("%s-%04d", prefix, s.seq)
+}
+
+// Dataset summarizes an imported dataset.
+type Dataset struct {
+	Name     string
+	Classes  []string
+	NumTrain int
+	NumValid int
+}
+
+// ImportImages loads a labeled image folder into Rafiki's distributed
+// storage (the paper's rafiki.import_images: subfolder name = label).
+// folders maps each class subfolder to its image count; 20% of each class
+// is held out for validation.
+func (s *System) ImportImages(name string, folders map[string]int) (*Dataset, error) {
+	d, err := store.ImportImages(s.fs, name, folders, 0.2)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: import: %w", err)
+	}
+	out := &Dataset{
+		Name:     d.Name,
+		Classes:  append([]string(nil), d.Classes...),
+		NumTrain: len(d.Train),
+		NumValid: len(d.Valid),
+	}
+	s.mu.Lock()
+	s.datasets[name] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Dataset returns a previously imported dataset.
+func (s *System) Dataset(name string) (*Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("rafiki: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// Tasks lists the built-in tasks and their registered models (the Figure 2
+// catalogue).
+func (s *System) Tasks() map[string][]string {
+	out := map[string][]string{}
+	for _, t := range zoo.Tasks() {
+		names, err := zoo.ModelsForTask(t)
+		if err != nil {
+			continue // registry invariant: Tasks() only returns known tasks
+		}
+		out[string(t)] = names
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package rafiki
+
+import (
+	"strings"
+	"testing"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Options{Seed: 42, Workers: 2, NodeCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func importFood(t *testing.T, sys *System) *Dataset {
+	t.Helper()
+	d, err := sys.ImportImages("food", map[string]int{
+		"pizza": 60, "ramen": 60, "salad": 60, "burger": 60, "sushi": 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func trainFood(t *testing.T, sys *System, d *Dataset) *TrainJob {
+	t.Helper()
+	job, err := sys.Train(TrainConfig{
+		Name:        "train-food",
+		Data:        d.Name,
+		Task:        ImageClassification,
+		InputShape:  []int{3, 256, 256},
+		OutputShape: []int{len(d.Classes)},
+		Hyper:       HyperConf{MaxTrials: 10, CoStudy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestImportImages(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	if len(d.Classes) != 5 {
+		t.Fatalf("classes = %v", d.Classes)
+	}
+	if d.NumTrain != 5*48 || d.NumValid != 5*12 {
+		t.Fatalf("split = %d/%d", d.NumTrain, d.NumValid)
+	}
+	if _, err := sys.Dataset("food"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Dataset("ghost"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := sys.ImportImages("bad", nil); err == nil {
+		t.Fatal("empty import should error")
+	}
+}
+
+func TestTasksCatalogue(t *testing.T) {
+	sys := newSystem(t)
+	tasks := sys.Tasks()
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	if len(tasks[ImageClassification]) == 0 {
+		t.Fatal("image classification has no models")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	if _, err := sys.Train(TrainConfig{Data: d.Name, Task: ImageClassification}); err == nil {
+		t.Fatal("unnamed job should error")
+	}
+	if _, err := sys.Train(TrainConfig{Name: "x", Data: "ghost", Task: ImageClassification}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := sys.Train(TrainConfig{Name: "x", Data: d.Name, Task: "Nope"}); err == nil {
+		t.Fatal("unknown task should error")
+	}
+	if _, err := sys.Train(TrainConfig{Name: "x", Data: d.Name, Task: ImageClassification, OutputShape: []int{99}}); err == nil {
+		t.Fatal("mismatched output shape should error")
+	}
+	if _, err := sys.Train(TrainConfig{Name: "x", Data: d.Name, Task: ImageClassification, Models: []string{"ghostnet"}}); err == nil {
+		t.Fatal("unknown pinned model should error")
+	}
+	if _, err := sys.Train(TrainConfig{Name: "x", Data: d.Name, Task: ImageClassification, Hyper: HyperConf{Advisor: "annealing"}}); err == nil {
+		t.Fatal("unknown advisor should error")
+	}
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	job := trainFood(t, sys, d)
+
+	st := job.Status()
+	if !st.Done {
+		t.Fatal("job should be done after Wait")
+	}
+	if len(st.Models) == 0 {
+		t.Fatal("no models selected")
+	}
+	if st.Finished != len(st.Models)*10 {
+		t.Fatalf("finished = %d, want %d", st.Finished, len(st.Models)*10)
+	}
+	for m, acc := range st.BestAccuracy {
+		if acc < 0.3 {
+			t.Fatalf("model %s best accuracy %v implausibly low", m, acc)
+		}
+	}
+	// Model selection must be architecture-diverse (Section 4.1).
+	fams := map[string]bool{}
+	for _, m := range st.Models {
+		fam := strings.SplitN(m, "_", 2)[0]
+		if fams[fam] {
+			t.Fatalf("selected two models of family %s: %v", fam, st.Models)
+		}
+		fams[fam] = true
+	}
+	// The cluster registered a master and workers per model.
+	containers := 0
+	for _, name := range sysContainers(sys) {
+		if strings.HasPrefix(name, job.ID+"/") {
+			containers++
+		}
+	}
+	want := len(st.Models) * (1 + 2) // master + 2 workers each
+	if containers != want {
+		t.Fatalf("containers = %d, want %d", containers, want)
+	}
+}
+
+func sysContainers(s *System) []string { return s.cluster.Containers() }
+
+func TestGetModelsAndInference(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	job := trainFood(t, sys, d)
+
+	if _, err := sys.GetModels("ghost"); err == nil {
+		t.Fatal("unknown job should error")
+	}
+	models, err := sys.GetModels(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("no trained models")
+	}
+	for _, m := range models {
+		if m.Accuracy <= 0 || m.CheckpointKey == "" || len(m.ParamNames) == 0 {
+			t.Fatalf("model instance incomplete: %+v", m)
+		}
+	}
+
+	inf, err := sys.Inference(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Classes) != len(d.Classes) {
+		t.Fatalf("inference classes = %v", inf.Classes)
+	}
+	if _, err := sys.Inference(nil); err == nil {
+		t.Fatal("empty deployment should error")
+	}
+	if _, err := sys.InferenceJobByID("ghost"); err == nil {
+		t.Fatal("unknown inference job should error")
+	}
+}
+
+func TestQuerySemantics(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	job := trainFood(t, sys, d)
+	models, _ := sys.GetModels(job.ID)
+	inf, _ := sys.Inference(models)
+
+	// Deterministic: same payload, same answer.
+	a, err := sys.Query(inf.ID, []byte("photo_of_pizza_123.jpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sys.Query(inf.ID, []byte("photo_of_pizza_123.jpg"))
+	if a.Label != b.Label {
+		t.Fatal("query not deterministic")
+	}
+	if a.Confidence <= 0 || a.Confidence > 1 {
+		t.Fatalf("confidence = %v", a.Confidence)
+	}
+	if len(a.Votes) != len(models) {
+		t.Fatalf("votes = %v", a.Votes)
+	}
+
+	// Grounded truth: payloads embedding a class name must be classified
+	// correctly at roughly the ensemble accuracy.
+	correct, n := 0, 300
+	for i := 0; i < n; i++ {
+		res, err := sys.Query(inf.ID, []byte("img_"+string(rune('a'+i%26))+"_ramen_"+string(rune('0'+i%10))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Label == "ramen" {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.75 {
+		t.Fatalf("grounded query accuracy = %v, want >= ~the trained accuracy", acc)
+	}
+	if acc == 1.0 {
+		t.Fatal("simulated predictions should not be perfect")
+	}
+
+	// Errors.
+	if _, err := sys.Query("ghost", []byte("x")); err == nil {
+		t.Fatal("unknown job should error")
+	}
+	if _, err := sys.Query(inf.ID, nil); err == nil {
+		t.Fatal("empty payload should error")
+	}
+}
+
+func TestGetModelsWhileRunning(t *testing.T) {
+	sys := newSystem(t)
+	d := importFood(t, sys)
+	job, err := sys.Train(TrainConfig{
+		Name: "slow", Data: d.Name, Task: ImageClassification,
+		Hyper: HyperConf{MaxTrials: 200, CoStudy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either it's still running (error expected) or it already finished;
+	// both are legal — only "running -> error" is asserted.
+	if _, err := sys.GetModels(job.ID); err == nil {
+		st := job.Status()
+		if !st.Done {
+			t.Fatal("GetModels on a running job should error")
+		}
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.GetModels(job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsembleConfidence(t *testing.T) {
+	if c := ensembleConfidence(nil); c != 0 {
+		t.Fatalf("empty = %v", c)
+	}
+	single := ensembleConfidence([]float64{0.8})
+	if single != 0.8 {
+		t.Fatalf("single = %v", single)
+	}
+	three := ensembleConfidence([]float64{0.8, 0.78, 0.8})
+	if three <= single || three > 0.99 {
+		t.Fatalf("ensemble confidence = %v, want boosted above %v", three, single)
+	}
+}

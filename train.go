@@ -1,0 +1,320 @@
+package rafiki
+
+import (
+	"fmt"
+	"sync"
+
+	"rafiki/internal/advisor"
+	"rafiki/internal/cluster"
+	"rafiki/internal/ps"
+	"rafiki/internal/surrogate"
+	"rafiki/internal/tune"
+	"rafiki/internal/zoo"
+)
+
+// HyperConf configures hyper-parameter tuning for a training job (the
+// paper's rafiki.HyperConf).
+type HyperConf struct {
+	// MaxTrials is the tuning budget per selected model (default 30).
+	MaxTrials int
+	// CoStudy enables collaborative tuning (Algorithm 2; default true).
+	CoStudy bool
+	// Advisor picks the search algorithm: "random" (default), "bayes" or
+	// "grid".
+	Advisor string
+	// Delta is the CoStudy checkpointing threshold (default 0.005).
+	Delta float64
+}
+
+func (h HyperConf) withDefaults() HyperConf {
+	if h.MaxTrials <= 0 {
+		h.MaxTrials = 30
+	}
+	if h.Advisor == "" {
+		h.Advisor = "random"
+	}
+	if h.Delta <= 0 {
+		h.Delta = 0.005
+	}
+	return h
+}
+
+// TrainConfig mirrors the Figure 2 train.py call.
+type TrainConfig struct {
+	Name string
+	// Data names a dataset previously imported with ImportImages.
+	Data string
+	// Task selects the built-in model catalogue (e.g. ImageClassification).
+	Task string
+	// InputShape and OutputShape customize the model head (the paper: the
+	// output shape "could be the total number of classes").
+	InputShape  []int
+	OutputShape []int
+	Hyper       HyperConf
+	// Models optionally pins the architectures to tune; empty selects a
+	// diverse set per Section 4.1.
+	Models []string
+}
+
+// TrainStatus reports a training job's progress.
+type TrainStatus struct {
+	JobID     string
+	Done      bool
+	Models    []string
+	Finished  int // trials completed across all models
+	MaxTrials int // total budget
+	// BestAccuracy per model name.
+	BestAccuracy map[string]float64
+}
+
+// TrainJob is a running or finished training job.
+type TrainJob struct {
+	ID   string
+	Conf TrainConfig
+
+	sys     *System
+	models  []string
+	masters map[string]*tune.Master
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+	done bool
+}
+
+// Train submits a training job (Figure 2's rafiki.Train(...).run()): Rafiki
+// selects built-in models for the task (Section 4.1's diverse-set
+// selection), spawns a Study/CoStudy master per model plus tuning workers as
+// cluster containers, and tunes asynchronously. Use Wait or Status to track
+// it; checkpoints land in the shared parameter server, so the job's models
+// are instantly deployable afterwards.
+func (s *System) Train(cfg TrainConfig) (*TrainJob, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("rafiki: training job needs a name")
+	}
+	cfg.Hyper = cfg.Hyper.withDefaults()
+	ds, err := s.Dataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.OutputShape) == 1 && cfg.OutputShape[0] != len(ds.Classes) {
+		return nil, fmt.Errorf("rafiki: output shape %d != dataset classes %d", cfg.OutputShape[0], len(ds.Classes))
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		models, err = zoo.SelectDiverse(zoo.Task(cfg.Task), 2, 0.06)
+		if err != nil {
+			return nil, fmt.Errorf("rafiki: model selection: %w", err)
+		}
+	} else {
+		for _, m := range models {
+			if _, err := zoo.Lookup(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	job := &TrainJob{
+		ID:      s.nextID("train"),
+		Conf:    cfg,
+		sys:     s,
+		models:  models,
+		masters: map[string]*tune.Master{},
+	}
+	s.mu.Lock()
+	s.trainJobs[job.ID] = job
+	s.mu.Unlock()
+
+	for _, model := range models {
+		var adv advisor.Advisor
+		space, err := advisor.CIFAR10ConvNetSpace()
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.Hyper.Advisor {
+		case "random":
+			adv = advisor.NewRandomAdvisor(space, s.rng.SplitNamed(job.ID+model+"adv"))
+		case "bayes":
+			adv = advisor.NewBayesAdvisor(space, s.rng.SplitNamed(job.ID+model+"adv"))
+		case "grid":
+			g, err := advisor.NewGridAdvisor(space, 3)
+			if err != nil {
+				return nil, err
+			}
+			adv = g
+		default:
+			return nil, fmt.Errorf("rafiki: unknown advisor %q", cfg.Hyper.Advisor)
+		}
+		mconf := tune.Config{
+			Name:       job.ID + "/" + model,
+			Model:      model,
+			MaxTrials:  cfg.Hyper.MaxTrials,
+			CoStudy:    cfg.Hyper.CoStudy,
+			Delta:      cfg.Hyper.Delta,
+			Patience:   5,
+			MinDelta:   0.001,
+			Alpha0:     1.0,
+			AlphaDecay: 0.9,
+			AlphaMin:   0.05,
+		}
+		master, err := tune.NewMaster(mconf, adv, s.ps, s.rng.SplitNamed(job.ID+model+"master"))
+		if err != nil {
+			return nil, err
+		}
+		job.masters[model] = master
+
+		// Register the master container (checkpointable) and workers with
+		// the cluster manager.
+		if _, err := s.cluster.Launch(cluster.Spec{
+			Name: job.ID + "/" + model + "/master",
+			Kind: cluster.KindMaster,
+			Job:  job.ID,
+			// The master implements Snapshot/Restore (Section 6.3).
+			Checkpoint: master,
+		}, 0); err != nil {
+			return nil, fmt.Errorf("rafiki: launch master: %w", err)
+		}
+
+		trainer := surrogate.NewTrainer(trainerFor(model, len(ds.Classes)))
+		for w := 0; w < s.opts.Workers; w++ {
+			workerName := fmt.Sprintf("%s/%s/worker-%d", job.ID, model, w)
+			if _, err := s.cluster.Launch(cluster.Spec{
+				Name: workerName,
+				Kind: cluster.KindWorker,
+				Job:  job.ID,
+			}, 0); err != nil {
+				return nil, fmt.Errorf("rafiki: launch worker: %w", err)
+			}
+			worker := tune.NewWorker(workerName, master, trainer, s.ps, s.rng.SplitNamed(workerName))
+			job.wg.Add(1)
+			go func() {
+				defer job.wg.Done()
+				if err := worker.Run(); err != nil {
+					job.mu.Lock()
+					job.errs = append(job.errs, err)
+					job.mu.Unlock()
+				}
+			}()
+		}
+	}
+	go func() {
+		job.wg.Wait()
+		job.mu.Lock()
+		job.done = true
+		job.mu.Unlock()
+	}()
+	return job, nil
+}
+
+// trainerFor derives the surrogate config for an architecture: the ceiling
+// scales with the architecture's ImageNet profile (stronger architectures
+// reach higher accuracy on the user's dataset too), and the random-guess
+// floor follows the dataset's class count.
+func trainerFor(model string, classes int) surrogate.Config {
+	cfg := surrogate.DefaultConfig()
+	cfg.Classes = classes
+	if p, err := zoo.Lookup(model); err == nil {
+		lo, hi := 0.698, 0.827 // zoo profile accuracy range
+		f := (p.Top1Accuracy - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		cfg.Ceiling = 0.90 + 0.05*f
+	}
+	return cfg
+}
+
+// Wait blocks until the job finishes and returns its first error, if any.
+func (j *TrainJob) Wait() error {
+	j.wg.Wait()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done = true // workers are finished; don't race the monitor goroutine
+	if len(j.errs) > 0 {
+		return j.errs[0]
+	}
+	return nil
+}
+
+// Status reports progress (usable while the job runs).
+func (j *TrainJob) Status() TrainStatus {
+	j.mu.Lock()
+	done := j.done
+	j.mu.Unlock()
+	st := TrainStatus{
+		JobID:        j.ID,
+		Done:         done,
+		Models:       append([]string(nil), j.models...),
+		MaxTrials:    len(j.models) * j.Conf.Hyper.MaxTrials,
+		BestAccuracy: map[string]float64{},
+	}
+	for model, m := range j.masters {
+		st.Finished += m.Finished()
+		st.BestAccuracy[model] = m.BestPerf()
+	}
+	return st
+}
+
+// TrainJobByID returns a submitted training job.
+func (s *System) TrainJobByID(id string) (*TrainJob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.trainJobs[id]
+	if !ok {
+		return nil, fmt.Errorf("rafiki: unknown training job %q", id)
+	}
+	return job, nil
+}
+
+// ModelInstance identifies a trained, deployable model: its architecture,
+// the parameter-server key holding its parameters, and its validation
+// accuracy (the paper's "model name and the parameter names for retrieving
+// the parameter values from Rafiki's parameter server").
+type ModelInstance struct {
+	Model         string
+	CheckpointKey string
+	ParamNames    []string
+	Accuracy      float64
+}
+
+// GetModels returns the best trained instance of each model in a finished
+// training job (Figure 2's rafiki.get_models).
+func (s *System) GetModels(trainJobID string) ([]ModelInstance, error) {
+	s.mu.Lock()
+	job, ok := s.trainJobs[trainJobID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rafiki: unknown training job %q", trainJobID)
+	}
+	job.mu.Lock()
+	done := job.done
+	job.mu.Unlock()
+	if !done {
+		return nil, fmt.Errorf("rafiki: training job %s still running", trainJobID)
+	}
+	var out []ModelInstance
+	for _, model := range job.models {
+		best, err := s.ps.BestForModel(model)
+		if err != nil {
+			return nil, fmt.Errorf("rafiki: no checkpoint for %s: %w", model, err)
+		}
+		inst := ModelInstance{
+			Model:         model,
+			CheckpointKey: trainJobID + "/" + model + "/" + best.TrialID,
+			Accuracy:      best.Accuracy,
+		}
+		for _, l := range best.Layers {
+			inst.ParamNames = append(inst.ParamNames, l.Name)
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// bestCheckpoint fetches the stored checkpoint backing a model instance.
+func (s *System) bestCheckpoint(model string) (*ps.Checkpoint, error) {
+	return s.ps.BestForModel(model)
+}
