@@ -1,0 +1,28 @@
+# Standard verification gate: `make check` is what CI (and every PR) runs.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Queue and serving micro-benchmarks (ring buffer vs the seed's copy-shift).
+bench:
+	$(GO) test ./internal/infer/ -run none -bench BenchmarkQueuePopN -benchmem

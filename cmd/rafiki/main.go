@@ -15,6 +15,11 @@
 //	curl localhost:8080/api/v1/train/train-0001
 //	curl -X POST localhost:8080/api/v1/inference -d '{"train_job_id":"train-0001"}'
 //	curl -X POST localhost:8080/api/v1/query/infer-0002 -d '{"img":"my_pizza.jpg"}'
+//	curl localhost:8080/api/v1/inference/infer-0002/stats
+//
+// Queries run through the deployment's batching runtime: concurrent clients
+// share batches under the -slo deadline (Algorithm 3), observable on the
+// stats endpoint as dispatches < served.
 package main
 
 import (
@@ -31,13 +36,18 @@ func main() {
 	nodes := flag.Int("nodes", 3, "simulated cluster nodes")
 	workers := flag.Int("workers", 3, "tuning workers per training job")
 	seed := flag.Int64("seed", 1, "random seed")
+	slo := flag.Float64("slo", 0.25, "serving latency SLO tau in seconds")
+	speedup := flag.Float64("speedup", 1, "serving clock speedup (1 = profiled GPU latencies in real time)")
 	flag.Parse()
 
-	sys, err := rafiki.New(rafiki.Options{Nodes: *nodes, Workers: *workers, Seed: *seed})
+	sys, err := rafiki.New(rafiki.Options{
+		Nodes: *nodes, Workers: *workers, Seed: *seed,
+		ServeSLO: *slo, ServeSpeedup: *speedup,
+	})
 	if err != nil {
 		log.Fatalf("rafiki: %v", err)
 	}
-	log.Printf("rafiki listening on %s (%d nodes, %d workers/job)", *addr, *nodes, *workers)
+	log.Printf("rafiki listening on %s (%d nodes, %d workers/job, serving slo %.3fs)", *addr, *nodes, *workers, *slo)
 	if err := http.ListenAndServe(*addr, rest.NewServer(sys)); err != nil {
 		log.Fatalf("rafiki: %v", err)
 	}

@@ -1,28 +1,53 @@
 package rafiki
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"rafiki/internal/ensemble"
+	"rafiki/internal/infer"
 	"rafiki/internal/sim"
+	"rafiki/internal/zoo"
 )
 
-// InferenceJob is a deployed ensemble serving queries (Figure 2's infer.py).
+// InferenceJob is a deployed ensemble serving queries (Figure 2's infer.py)
+// through a wall-clock batching runtime: concurrent Query callers are
+// grouped into shared batches by a scheduling Policy (Section 5), exactly
+// the machinery the serving simulator evaluates.
 type InferenceJob struct {
 	ID     string
 	Models []ModelInstance
 	// Classes is the label vocabulary (from the training dataset).
 	Classes []string
-	// queries counts served requests.
-	queries uint64
+	// queries counts served requests; read and written concurrently by
+	// Query callers holding only the job pointer.
+	queries atomic.Uint64
+
+	byName  map[string]ModelInstance
+	runtime *infer.Runtime
+}
+
+// InferenceStats is a snapshot of a deployment's serving metrics, surfaced
+// over GET /api/v1/inference/{id}/stats: the runtime's engine counters
+// (served/overdue/dropped/dispatches, latency percentiles in profiled
+// seconds — batching shows as dispatches < served) plus the SDK-level
+// completed-query count.
+type InferenceStats struct {
+	// Queries counts completed System.Query calls.
+	Queries uint64 `json:"queries"`
+	infer.Stats
 }
 
 // Inference deploys trained models for serving (Figure 2's
 // rafiki.Inference(models).run()). Deployment is instant: the parameters are
 // already in the shared parameter server — the paper's point about unifying
-// the two services.
+// the two services. The returned job owns a batching runtime: its Policy is
+// the full-ensemble greedy scheduler (Algorithm 3 over all deployed models),
+// so every query is answered by the whole ensemble, batched with whatever
+// concurrent queries share the queue.
 func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("rafiki: inference job needs at least one model")
@@ -58,12 +83,48 @@ func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
 		ID:      s.nextID("infer"),
 		Models:  append([]ModelInstance(nil), models...),
 		Classes: append([]string(nil), classes...),
+		byName:  make(map[string]ModelInstance, len(models)),
 	}
+	for _, m := range models {
+		job.byName[m.Model] = m
+	}
+
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Model
+	}
+	dep, err := infer.NewDeployment(names, servingBatches, s.opts.ServeSLO, 1)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: deployment: %w", err)
+	}
+	rt, err := infer.NewRuntime(
+		dep,
+		&infer.SyncAll{D: dep},
+		ensemble.NewAccuracyTable(zoo.NewPredictor(s.opts.Seed), 2000),
+		job.executeBatch,
+		infer.RuntimeConfig{Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup}},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: runtime: %w", err)
+	}
+	job.runtime = rt
+
 	s.mu.Lock()
 	s.inferJobs[job.ID] = job
 	s.mu.Unlock()
 	return job, nil
 }
+
+// servingBatches are the runtime's candidate batch sizes. Unlike the
+// simulator experiments (which start at 16, reproducing the paper's GPU
+// setup), the online path includes batch 1 so Algorithm 3's deadline rule
+// can flush a lone interactive query instead of stalling below the smallest
+// candidate.
+var servingBatches = []int{1, 2, 4, 8, 16}
+
+// ErrUnknownInferenceJob reports a lookup of an undeployed inference job ID
+// (wrapped with the offending ID; match with errors.Is).
+var ErrUnknownInferenceJob = errors.New("unknown inference job")
 
 // InferenceJobByID returns a deployed job.
 func (s *System) InferenceJobByID(id string) (*InferenceJob, error) {
@@ -71,31 +132,39 @@ func (s *System) InferenceJobByID(id string) (*InferenceJob, error) {
 	defer s.mu.Unlock()
 	job, ok := s.inferJobs[id]
 	if !ok {
-		return nil, fmt.Errorf("rafiki: unknown inference job %q", id)
+		return nil, fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
 	}
 	return job, nil
+}
+
+// Stats snapshots the job's serving metrics.
+func (j *InferenceJob) Stats() InferenceStats {
+	return InferenceStats{Queries: j.queries.Load(), Stats: j.runtime.Stats()}
 }
 
 // QueryResult is a prediction (Figure 2's query.py response).
 type QueryResult struct {
 	// Label is the predicted class name.
-	Label string
+	Label string `json:"label"`
 	// Confidence is the deployed ensemble's estimated accuracy.
-	Confidence float64
+	Confidence float64 `json:"confidence"`
 	// Votes maps each model to its individual prediction.
-	Votes map[string]string
+	Votes map[string]string `json:"votes"`
 }
 
 // Query classifies one payload against a deployed ensemble using majority
 // voting with the best-model tie-break (Section 5.2).
 //
-// Predictions are simulated (DESIGN.md §2): each deployed model answers
-// correctly with probability equal to its trained validation accuracy,
-// with errors correlated across models through a shared per-request
-// difficulty draw. The ground-truth label is recovered from the payload when
-// it embeds a class name (handy for demos: querying "my_pizza.jpg" grounds
-// the truth at "pizza"), otherwise it is a deterministic hash of the
-// payload.
+// The request travels the real serving path: it is enqueued into the job's
+// runtime, the scheduling policy batches it with concurrent queries, and the
+// call blocks on the batch's future until the (profiled) service time
+// elapses. Predictions are simulated (DESIGN.md §2): each deployed model
+// answers correctly with probability equal to its trained validation
+// accuracy, with errors correlated across models through a shared
+// per-request difficulty draw. The ground-truth label is recovered from the
+// payload when it embeds a class name (handy for demos: querying
+// "my_pizza.jpg" grounds the truth at "pizza"), otherwise it is a
+// deterministic hash of the payload.
 func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 	job, err := s.InferenceJobByID(jobID)
 	if err != nil {
@@ -104,18 +173,57 @@ func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 	if len(payload) == 0 {
 		return nil, fmt.Errorf("rafiki: empty query payload")
 	}
-	truth := s.truthFor(job, payload)
+	fut, err := job.runtime.Submit(append([]byte(nil), payload...))
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: query %s: %w", jobID, err)
+	}
+	res, err := fut.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: query %s: %w", jobID, err)
+	}
+	job.queries.Add(1)
+	return res.(*QueryResult), nil
+}
+
+// executeBatch is the job's infer.Executor: it computes the simulated
+// prediction of every request in a dispatched batch against the model
+// subset the policy selected.
+func (j *InferenceJob) executeBatch(ids []uint64, payloads []any, models []string) ([]any, error) {
+	out := make([]any, len(ids))
+	for i := range ids {
+		payload, ok := payloads[i].([]byte)
+		if !ok {
+			return nil, fmt.Errorf("rafiki: batch payload %d is %T, not []byte", i, payloads[i])
+		}
+		res, err := j.predict(payload, models)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// predict simulates one request's per-model predictions and votes them into
+// a QueryResult. Predictions are a pure function of (payload, model name),
+// so a query's answer does not depend on which batch served it.
+func (j *InferenceJob) predict(payload []byte, models []string) (*QueryResult, error) {
+	truth := j.truthFor(payload)
 
 	// Shared difficulty draw (see zoo.Predictor for the construction).
 	req := sim.NewRNG(int64(payloadHash(payload)) ^ 0x5f3759df)
 	sharedU := req.Float64()
-	sharedDistractor := otherClass(req, len(job.Classes), truth)
+	sharedDistractor := otherClass(req, len(j.Classes), truth)
 	const rho = 0.75
 
-	preds := make([]int, len(job.Models))
-	accs := make([]float64, len(job.Models))
+	preds := make([]int, len(models))
+	accs := make([]float64, len(models))
 	votes := map[string]string{}
-	for i, m := range job.Models {
+	for i, name := range models {
+		m, ok := j.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("rafiki: batch model %q not deployed", name)
+		}
 		mr := sim.NewRNG(int64(payloadHash(payload)) ^ int64(payloadHash([]byte(m.Model))))
 		u := sharedU
 		if !mr.Bernoulli(rho) {
@@ -126,18 +234,17 @@ func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 		} else if mr.Bernoulli(0.4) {
 			preds[i] = sharedDistractor
 		} else {
-			preds[i] = otherClass(mr, len(job.Classes), truth)
+			preds[i] = otherClass(mr, len(j.Classes), truth)
 		}
 		accs[i] = m.Accuracy
-		votes[m.Model] = job.Classes[preds[i]]
+		votes[m.Model] = j.Classes[preds[i]]
 	}
 	winner, err := ensemble.Vote(preds, accs)
 	if err != nil {
 		return nil, err
 	}
-	job.queries++
 	return &QueryResult{
-		Label:      job.Classes[winner],
+		Label:      j.Classes[winner],
 		Confidence: ensembleConfidence(accs),
 		Votes:      votes,
 	}, nil
@@ -145,12 +252,12 @@ func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 
 // truthFor grounds the simulated true label: an embedded class name wins,
 // otherwise a payload hash.
-func (s *System) truthFor(job *InferenceJob, payload []byte) int {
+func (j *InferenceJob) truthFor(payload []byte) int {
 	lower := strings.ToLower(string(payload))
 	// Longest class-name match wins ("seafood_pizza" should match the most
 	// specific embedded class).
 	best, bestLen := -1, 0
-	for i, c := range job.Classes {
+	for i, c := range j.Classes {
 		if strings.Contains(lower, strings.ToLower(c)) && len(c) > bestLen {
 			best, bestLen = i, len(c)
 		}
@@ -158,7 +265,7 @@ func (s *System) truthFor(job *InferenceJob, payload []byte) int {
 	if best >= 0 {
 		return best
 	}
-	return int(payloadHash(payload) % uint64(len(job.Classes)))
+	return int(payloadHash(payload) % uint64(len(j.Classes)))
 }
 
 func otherClass(r *sim.RNG, n, truth int) int {

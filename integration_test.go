@@ -93,7 +93,7 @@ func TestMasterFailureRecoveryMidStudy(t *testing.T) {
 // models with no copy step, because both services share the parameter
 // server.
 func TestInstantDeploymentSharedPS(t *testing.T) {
-	sys, err := New(Options{Seed: 21, Workers: 2})
+	sys, err := New(Options{Seed: 21, Workers: 2, ServeSpeedup: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestParameterServerSpillDuringTraining(t *testing.T) {
 // TestSentimentAnalysisWorkflow exercises a second task end to end: the
 // catalogue's sentiment models train and serve a two-class text problem.
 func TestSentimentAnalysisWorkflow(t *testing.T) {
-	sys, err := New(Options{Seed: 31, Workers: 2})
+	sys, err := New(Options{Seed: 31, Workers: 2, ServeSpeedup: 200})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,280 @@
+package infer
+
+import (
+	"fmt"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/metrics"
+	"rafiki/internal/zoo"
+)
+
+// DispatchOutcome records one executed dispatch decision: which requests
+// went to which models and when the work completes. The driver owning the
+// clock is responsible for scheduling a new decision point (Engine.Step) at
+// every ModelFinish time, and for delivering results at Finish.
+type DispatchOutcome struct {
+	// Requests is the dispatched batch, oldest first.
+	Requests []Request
+	// Models are the serving model indices; ModelNames the matching names.
+	Models     []int
+	ModelNames []string
+	// Batch is the chosen candidate batch size (≥ len(Requests)).
+	Batch int
+	// Decided is the decision time; ModelFinish[i] is when Models[i] frees
+	// up; Finish is the ensemble completion (the slowest selected model).
+	Decided     float64
+	ModelFinish []float64
+	Finish      float64
+	// Overdue counts batch requests whose latency exceeds τ.
+	Overdue int
+	// Reward is the action's Equation 7 reward.
+	Reward float64
+}
+
+// Engine is the clock-agnostic core of the serving service: the FIFO queue,
+// model-occupancy tracking, policy invocation with Equation 7 reward
+// accounting, and metrics. It never reads a clock — every entry point takes
+// the current time as an argument and completion times come back to the
+// caller as data — so the same engine serves the virtual-time Simulator and
+// the wall-clock Runtime (DESIGN.md §6).
+//
+// The engine is not safe for concurrent use; drivers serialize access
+// (the Simulator is single-threaded, the Runtime holds a mutex).
+type Engine struct {
+	Deployment *Deployment
+	Policy     Policy
+	// AccTable provides the surrogate ensemble accuracy a(M[v]) for rewards.
+	AccTable *ensemble.AccuracyTable
+	// Predictor, when non-nil, simulates real per-request predictions for
+	// measured accuracy; nil skips accuracy measurement.
+	Predictor *zoo.Predictor
+	// MeasureFrom discards metrics before this time (RL warm-up).
+	MeasureFrom float64
+
+	queue   *Queue
+	busy    []float64 // per-model busy-until
+	met     *Metrics
+	maxAccT float64
+}
+
+// NewEngine wires an engine with a queue of the given capacity
+// (0 = unbounded; the paper drops arrivals beyond a full queue).
+func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap int) *Engine {
+	return &Engine{
+		Deployment: d,
+		Policy:     p,
+		AccTable:   acc,
+		queue:      NewQueue(queueCap),
+		busy:       make([]float64, len(d.Profiles)),
+		met: &Metrics{
+			OverdueRate: metrics.NewWindowCounter(1),
+			ArrivalRate: metrics.NewWindowCounter(1),
+			Accuracy:    metrics.NewTimeSeries("accuracy"),
+		},
+	}
+}
+
+// Metrics returns the engine's live metrics. Callers must not mutate them
+// and, under a concurrent driver, must hold the driver's lock.
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// QueueLen returns the number of queued (not yet dispatched) requests.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// Enqueue admits a request at time now, recording arrival/drop metrics.
+func (e *Engine) Enqueue(now float64, r Request) bool {
+	if e.queue.Push(r) {
+		if now >= e.MeasureFrom {
+			e.met.ArrivalRate.Add(r.Arrival, 1)
+		}
+		return true
+	}
+	if now >= e.MeasureFrom {
+		e.met.Dropped++
+	}
+	return false
+}
+
+// Step runs one decision point at time now: it invokes the policy until it
+// waits, the queue empties, or no model is free, and returns the executed
+// dispatches. The driver must call Step again at every returned ModelFinish
+// time (each model freeing is a new decision point).
+func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
+	var outs []DispatchOutcome
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return outs, fmt.Errorf("infer: policy %s dispatched 64 times in one decision point", e.Policy.Name())
+		}
+		if e.queue.Len() == 0 {
+			return outs, nil
+		}
+		st := e.state(now)
+		anyFree := false
+		for _, f := range st.FreeModels {
+			if f {
+				anyFree = true
+				break
+			}
+		}
+		if !anyFree {
+			return outs, nil
+		}
+		e.met.Decisions++
+		act := e.Policy.Decide(st)
+		if act.Wait {
+			e.Policy.Feedback(0)
+			return outs, nil
+		}
+		out, err := e.dispatch(now, act)
+		if err != nil {
+			return outs, err
+		}
+		e.Policy.Feedback(out.Reward)
+		outs = append(outs, out)
+	}
+}
+
+// state builds the policy's decision state at time now.
+func (e *Engine) state(now float64) *State {
+	d := e.Deployment
+	st := &State{
+		Now:          now,
+		QueueLen:     e.queue.Len(),
+		Waits:        e.queue.Waits(now, 16),
+		FreeModels:   make([]bool, len(d.Profiles)),
+		BusyLeft:     make([]float64, len(d.Profiles)),
+		Tau:          d.Tau,
+		Batches:      d.Batches,
+		LatencyTable: d.LatencyTable(),
+	}
+	for i, until := range e.busy {
+		left := until - now
+		if left <= 1e-12 {
+			st.FreeModels[i] = true
+			left = 0
+		}
+		st.BusyLeft[i] = left
+	}
+	return st
+}
+
+// dispatch validates and executes an action at time now, returning its
+// outcome with the Equation 7 reward: a(M[v]) · (b − β·|overdue in batch|),
+// normalized by the maximum batch size so rewards stay O(1).
+func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
+	d := e.Deployment
+	if len(act.Models) == 0 {
+		return DispatchOutcome{}, fmt.Errorf("infer: dispatch with empty model subset")
+	}
+	validBatch := false
+	for _, b := range d.Batches {
+		if act.Batch == b {
+			validBatch = true
+			break
+		}
+	}
+	if !validBatch {
+		return DispatchOutcome{}, fmt.Errorf("infer: batch %d not a candidate of %v", act.Batch, d.Batches)
+	}
+	names := make([]string, len(act.Models))
+	for i, mi := range act.Models {
+		if mi < 0 || mi >= len(d.Profiles) {
+			return DispatchOutcome{}, fmt.Errorf("infer: model index %d out of range", mi)
+		}
+		if e.busy[mi] > now+1e-12 {
+			return DispatchOutcome{}, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], e.busy[mi])
+		}
+		names[i] = d.ModelNames[mi]
+	}
+	n := act.Batch
+	if n > e.queue.Len() {
+		n = e.queue.Len()
+	}
+	if n == 0 {
+		return DispatchOutcome{}, fmt.Errorf("infer: dispatch on empty queue")
+	}
+	batch := e.queue.PopN(n)
+
+	out := DispatchOutcome{
+		Requests:    batch,
+		Models:      append([]int(nil), act.Models...),
+		ModelNames:  names,
+		Batch:       act.Batch,
+		Decided:     now,
+		ModelFinish: make([]float64, len(act.Models)),
+		Finish:      now,
+	}
+	// Occupy the selected models; the ensemble completes with the slowest.
+	for i, mi := range act.Models {
+		f := now + d.Profiles[mi].BatchLatency(n)
+		e.busy[mi] = f
+		out.ModelFinish[i] = f
+		if f > out.Finish {
+			out.Finish = f
+		}
+	}
+
+	measured := now >= e.MeasureFrom
+	for _, r := range batch {
+		lat := out.Finish - r.Arrival
+		if measured {
+			e.met.addLatency(lat)
+			e.met.Served++
+		}
+		if lat > d.Tau {
+			out.Overdue++
+			if measured {
+				e.met.Overdue++
+				e.met.OverdueRate.Add(out.Finish, 1)
+			}
+		}
+	}
+
+	acc, err := e.AccTable.Accuracy(names)
+	if err != nil {
+		return DispatchOutcome{}, err
+	}
+	rewardAcc := acc
+	if d.AccuracyEmphasis > 1 {
+		pivot := 0.0
+		for _, p := range d.Profiles {
+			pivot += p.Top1Accuracy
+		}
+		pivot /= float64(len(d.Profiles))
+		rewardAcc = pivot + d.AccuracyEmphasis*(acc-pivot)
+	}
+	out.Reward = rewardAcc * (float64(n) - d.Beta*float64(out.Overdue)) / float64(d.MaxBatch())
+	if measured {
+		e.met.Reward += out.Reward
+		e.met.Dispatches++
+	}
+
+	// Measured accuracy via simulated predictions.
+	if e.Predictor != nil && measured {
+		correct := 0
+		for _, r := range batch {
+			preds, truth, err := e.Predictor.PredictAll(r.ID, names)
+			if err != nil {
+				return DispatchOutcome{}, err
+			}
+			vote, err := ensemble.VoteModels(names, preds)
+			if err != nil {
+				return DispatchOutcome{}, err
+			}
+			if vote == truth {
+				correct++
+			}
+		}
+		// Finish times are not globally monotone across models; clamp to the
+		// newest accuracy sample time so the series stays time ordered.
+		at := out.Finish
+		if at < e.maxAccT {
+			at = e.maxAccT
+		}
+		e.maxAccT = at
+		if err := e.met.Accuracy.Append(at, float64(correct)/float64(n)); err != nil {
+			return DispatchOutcome{}, err
+		}
+	}
+	return out, nil
+}

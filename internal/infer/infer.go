@@ -2,19 +2,21 @@
 // request queue with an SLO τ, the greedy max-batch scheduler of Algorithm 3
 // with its AIMD-style back-off check, the synchronous (all models, full
 // ensemble) and asynchronous (one model per batch, no ensemble) baselines of
-// Section 7.2.2, and a discrete-event serving simulator that drives any
-// scheduling policy — including the RL scheduler in internal/rl — over the
-// paper's sine-modulated workloads in virtual time.
+// Section 7.2.2, and a clock-agnostic dispatch Engine that drives any
+// scheduling policy — including the RL scheduler in internal/rl.
+//
+// The engine has two drivers (DESIGN.md §6): the discrete-event Simulator
+// replays the paper's sine-modulated workloads deterministically in virtual
+// time, and the wall-clock Runtime batches real concurrent callers through
+// the same policies with per-request futures.
 package infer
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
-	"rafiki/internal/ensemble"
 	"rafiki/internal/metrics"
-	"rafiki/internal/sim"
-	"rafiki/internal/workload"
 	"rafiki/internal/zoo"
 )
 
@@ -25,10 +27,13 @@ type Request struct {
 }
 
 // Queue is the FIFO request queue ("we process the requests in the queue
-// sequentially following FIFO").
+// sequentially following FIFO"), backed by a growable ring buffer so PopN is
+// O(n popped) rather than O(queue length).
 type Queue struct {
-	reqs    []Request
-	Cap     int // maximum length; arrivals beyond it are dropped
+	buf     []Request // ring storage; len(buf) is the current capacity
+	head    int       // index of the oldest request
+	n       int       // live element count
+	Cap     int       // maximum length; arrivals beyond it are dropped
 	Dropped int
 }
 
@@ -36,49 +41,75 @@ type Queue struct {
 func NewQueue(capacity int) *Queue { return &Queue{Cap: capacity} }
 
 // Len returns the queue length.
-func (q *Queue) Len() int { return len(q.reqs) }
+func (q *Queue) Len() int { return q.n }
+
+// at returns the i-th oldest request (0 ≤ i < Len).
+func (q *Queue) at(i int) Request { return q.buf[(q.head+i)%len(q.buf)] }
+
+// grow doubles the ring, unrolling it so head returns to index 0.
+func (q *Queue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]Request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.at(i)
+	}
+	q.buf, q.head = buf, 0
+}
 
 // Push appends a request, dropping it if the queue is full.
 func (q *Queue) Push(r Request) bool {
-	if q.Cap > 0 && len(q.reqs) >= q.Cap {
+	if q.Cap > 0 && q.n >= q.Cap {
 		q.Dropped++
 		return false
 	}
-	q.reqs = append(q.reqs, r)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
 	return true
 }
 
 // PopN removes and returns the oldest n requests (n ≤ Len).
 func (q *Queue) PopN(n int) []Request {
-	if n > len(q.reqs) {
-		panic(fmt.Sprintf("infer: pop %d from queue of %d", n, len(q.reqs)))
+	if n > q.n {
+		panic(fmt.Sprintf("infer: pop %d from queue of %d", n, q.n))
 	}
-	out := append([]Request(nil), q.reqs[:n]...)
-	rest := q.reqs[n:]
-	copy(q.reqs, rest)
-	q.reqs = q.reqs[:len(rest)]
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = q.buf[q.head]
+		q.buf[q.head] = Request{} // drop the reference for hygiene
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.n -= n
+	if q.n == 0 {
+		q.head = 0
+	}
 	return out
 }
 
 // OldestWait returns how long the head request has waited at time now, or 0
 // for an empty queue.
 func (q *Queue) OldestWait(now float64) float64 {
-	if len(q.reqs) == 0 {
+	if q.n == 0 {
 		return 0
 	}
-	return now - q.reqs[0].Arrival
+	return now - q.at(0).Arrival
 }
 
 // Waits returns up to k head-of-queue waiting times at now (the queue-status
 // feature vector of Section 5.2, before padding).
 func (q *Queue) Waits(now float64, k int) []float64 {
 	n := k
-	if n > len(q.reqs) {
-		n = len(q.reqs)
+	if n > q.n {
+		n = q.n
 	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		out[i] = now - q.reqs[i].Arrival
+		out[i] = now - q.at(i).Arrival
 	}
 	return out
 }
@@ -233,267 +264,61 @@ type Metrics struct {
 	// Accuracy is the per-batch ensemble accuracy over time (Figures
 	// 14a/15a...); only populated when ground truth simulation is on.
 	Accuracy *metrics.TimeSeries
-	// Latencies collects per-request latency for summary statistics.
+	// Latencies collects per-request latency for summary statistics. With
+	// LatencyCap = 0 (simulator runs, which end) it is the full history;
+	// otherwise it is a ring of the most recent LatencyCap samples.
 	Latencies []float64
+	// LatencyCap, when > 0, bounds Latencies to a sliding window so a
+	// long-lived serving runtime does not grow memory per request.
+	LatencyCap int
+	latHead    int
 	// Reward is the cumulative Equation 7 reward.
 	Reward float64
 	// Decisions counts policy invocations.
 	Decisions int
+	// Dispatches counts executed batch dispatches (Decisions minus waits);
+	// batching shows up as Dispatches ≪ Served.
+	Dispatches int
 }
 
-// Simulator drives a deployment+policy over a workload in virtual time.
-type Simulator struct {
-	Deployment *Deployment
-	Policy     Policy
-	Source     *workload.Source
-	// AccTable provides the surrogate ensemble accuracy a(M[v]) for rewards.
-	AccTable *ensemble.AccuracyTable
-	// Predictor, when non-nil, simulates real per-request predictions for
-	// measured accuracy; nil skips accuracy measurement (single-model runs).
-	Predictor *zoo.Predictor
-	// ArrivalTick is the simulator's arrival granularity (seconds).
-	ArrivalTick float64
-	// QueueCap bounds the queue (paper: full queues drop new requests).
-	QueueCap int
-	// MeasureFrom discards metrics before this virtual time (RL warm-up).
-	MeasureFrom float64
-
-	loop    *sim.EventLoop
-	queue   *Queue
-	busy    []float64 // per-model busy-until
-	met     *Metrics
-	maxAccT float64
-	err     error
+// addLatency records one request latency, honouring LatencyCap.
+func (m *Metrics) addLatency(l float64) {
+	if m.LatencyCap > 0 && len(m.Latencies) >= m.LatencyCap {
+		m.Latencies[m.latHead] = l
+		m.latHead = (m.latHead + 1) % m.LatencyCap
+		return
+	}
+	m.Latencies = append(m.Latencies, l)
 }
 
-// NewSimulator wires a serving simulation.
-func NewSimulator(d *Deployment, p Policy, src *workload.Source, acc *ensemble.AccuracyTable) *Simulator {
-	return &Simulator{
-		Deployment:  d,
-		Policy:      p,
-		Source:      src,
-		AccTable:    acc,
-		ArrivalTick: 0.02,
-		QueueCap:    4096,
+// percentiles sorts samples in place and reads the requested percentiles
+// (each in [0,100]); all zeros for an empty sample set.
+func percentiles(samples []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(samples) == 0 {
+		return out
 	}
+	sort.Float64s(samples)
+	for j, p := range ps {
+		i := int(math.Ceil(p/100*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		out[j] = samples[i]
+	}
+	return out
 }
 
-// Run simulates [0, duration) virtual seconds and returns the metrics.
-func (s *Simulator) Run(duration float64) (*Metrics, error) {
-	d := s.Deployment
-	s.loop = sim.NewEventLoop()
-	s.queue = NewQueue(s.QueueCap)
-	s.busy = make([]float64, len(d.Profiles))
-	s.met = &Metrics{
-		OverdueRate: metrics.NewWindowCounter(1),
-		ArrivalRate: metrics.NewWindowCounter(1),
-		Accuracy:    metrics.NewTimeSeries("accuracy"),
-	}
-	var arrivalTick func()
-	arrivalTick = func() {
-		now := s.loop.Now()
-		for _, r := range s.Source.Tick(now, s.ArrivalTick) {
-			if s.queue.Push(Request{ID: r.ID, Arrival: r.Arrival}) {
-				if now >= s.MeasureFrom {
-					s.met.ArrivalRate.Add(r.Arrival, 1)
-				}
-			} else if now >= s.MeasureFrom {
-				s.met.Dropped++
-			}
-		}
-		s.fail(s.dispatchLoop())
-		if s.err == nil && now+s.ArrivalTick < duration {
-			s.loop.After(s.ArrivalTick, arrivalTick)
-		}
-	}
-	s.loop.Schedule(0, arrivalTick)
-	for s.loop.Step() {
-		if s.err != nil {
-			return nil, s.err
-		}
-	}
-	if s.err != nil {
-		return nil, s.err
-	}
-	return s.met, nil
+// LatencyPercentiles returns the requested latency percentiles over the
+// collected window with a single copy+sort.
+func (m *Metrics) LatencyPercentiles(ps ...float64) []float64 {
+	return percentiles(append([]float64(nil), m.Latencies...), ps...)
 }
 
-func (s *Simulator) fail(err error) {
-	if err != nil && s.err == nil {
-		s.err = err
-	}
-}
-
-// state builds the policy's decision state.
-func (s *Simulator) state() *State {
-	d := s.Deployment
-	now := s.loop.Now()
-	st := &State{
-		Now:          now,
-		QueueLen:     s.queue.Len(),
-		Waits:        s.queue.Waits(now, 16),
-		FreeModels:   make([]bool, len(d.Profiles)),
-		BusyLeft:     make([]float64, len(d.Profiles)),
-		Tau:          d.Tau,
-		Batches:      d.Batches,
-		LatencyTable: d.LatencyTable(),
-	}
-	for i, until := range s.busy {
-		left := until - now
-		if left <= 1e-12 {
-			st.FreeModels[i] = true
-			left = 0
-		}
-		st.BusyLeft[i] = left
-	}
-	return st
-}
-
-// dispatchLoop invokes the policy until it waits or cannot dispatch.
-func (s *Simulator) dispatchLoop() error {
-	for iter := 0; ; iter++ {
-		if iter > 64 {
-			return fmt.Errorf("infer: policy %s dispatched 64 times in one decision point", s.Policy.Name())
-		}
-		if s.queue.Len() == 0 {
-			return nil
-		}
-		st := s.state()
-		anyFree := false
-		for _, f := range st.FreeModels {
-			if f {
-				anyFree = true
-				break
-			}
-		}
-		if !anyFree {
-			return nil
-		}
-		s.met.Decisions++
-		act := s.Policy.Decide(st)
-		if act.Wait {
-			s.Policy.Feedback(0)
-			return nil
-		}
-		reward, err := s.dispatch(act)
-		if err != nil {
-			return err
-		}
-		s.Policy.Feedback(reward)
-	}
-}
-
-// dispatch validates and executes an action, returning its Equation 7
-// reward: a(M[v]) · (b − β·|overdue in batch|), normalized by the maximum
-// batch size so rewards stay O(1).
-func (s *Simulator) dispatch(act Action) (float64, error) {
-	d := s.Deployment
-	now := s.loop.Now()
-	if len(act.Models) == 0 {
-		return 0, fmt.Errorf("infer: dispatch with empty model subset")
-	}
-	validBatch := false
-	for _, b := range d.Batches {
-		if act.Batch == b {
-			validBatch = true
-			break
-		}
-	}
-	if !validBatch {
-		return 0, fmt.Errorf("infer: batch %d not a candidate of %v", act.Batch, d.Batches)
-	}
-	names := make([]string, len(act.Models))
-	for i, mi := range act.Models {
-		if mi < 0 || mi >= len(d.Profiles) {
-			return 0, fmt.Errorf("infer: model index %d out of range", mi)
-		}
-		if s.busy[mi] > now+1e-12 {
-			return 0, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], s.busy[mi])
-		}
-		names[i] = d.ModelNames[mi]
-	}
-	n := act.Batch
-	if n > s.queue.Len() {
-		n = s.queue.Len()
-	}
-	if n == 0 {
-		return 0, fmt.Errorf("infer: dispatch on empty queue")
-	}
-	batch := s.queue.PopN(n)
-
-	// Occupy the selected models; the ensemble completes with the slowest.
-	finish := now
-	for _, mi := range act.Models {
-		f := now + d.Profiles[mi].BatchLatency(n)
-		s.busy[mi] = f
-		if f > finish {
-			finish = f
-		}
-		// Each model freeing is a new decision point.
-		s.loop.Schedule(f, func() { s.fail(s.dispatchLoop()) })
-	}
-
-	overdue := 0
-	measured := now >= s.MeasureFrom
-	for _, r := range batch {
-		lat := finish - r.Arrival
-		if measured {
-			s.met.Latencies = append(s.met.Latencies, lat)
-			s.met.Served++
-		}
-		if lat > d.Tau {
-			overdue++
-			if measured {
-				s.met.Overdue++
-				s.met.OverdueRate.Add(finish, 1)
-			}
-		}
-	}
-
-	acc, err := s.AccTable.Accuracy(names)
-	if err != nil {
-		return 0, err
-	}
-	rewardAcc := acc
-	if d.AccuracyEmphasis > 1 {
-		pivot := 0.0
-		for _, p := range d.Profiles {
-			pivot += p.Top1Accuracy
-		}
-		pivot /= float64(len(d.Profiles))
-		rewardAcc = pivot + d.AccuracyEmphasis*(acc-pivot)
-	}
-	reward := rewardAcc * (float64(n) - d.Beta*float64(overdue)) / float64(d.MaxBatch())
-	if measured {
-		s.met.Reward += reward
-	}
-
-	// Measured accuracy via simulated predictions.
-	if s.Predictor != nil && measured {
-		correct := 0
-		for _, r := range batch {
-			preds, truth, err := s.Predictor.PredictAll(r.ID, names)
-			if err != nil {
-				return 0, err
-			}
-			vote, err := ensemble.VoteModels(names, preds)
-			if err != nil {
-				return 0, err
-			}
-			if vote == truth {
-				correct++
-			}
-		}
-		// Finish times are not globally monotone across models; clamp to the
-		// newest accuracy sample time so the series stays time ordered.
-		at := finish
-		if at < s.maxAccT {
-			at = s.maxAccT
-		}
-		s.maxAccT = at
-		if err := s.met.Accuracy.Append(at, float64(correct)/float64(n)); err != nil {
-			return 0, err
-		}
-	}
-	return reward, nil
+// LatencyPercentile returns one latency percentile (p in [0,100]).
+func (m *Metrics) LatencyPercentile(p float64) float64 {
+	return m.LatencyPercentiles(p)[0]
 }

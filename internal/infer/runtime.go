@@ -1,0 +1,309 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/sim"
+	"rafiki/internal/zoo"
+)
+
+// Runtime errors.
+var (
+	// ErrQueueFull reports an arrival rejected by a full queue (the paper's
+	// drop behaviour surfaced to the caller instead of silently counted).
+	ErrQueueFull = errors.New("infer: request queue full")
+	// ErrClosed reports a submission to a closed runtime.
+	ErrClosed = errors.New("infer: runtime closed")
+)
+
+// Executor computes the results of one dispatched batch: ids and payloads
+// are the batch requests (parallel slices, oldest first) and models the
+// serving model subset. It must return one result per request. Executors
+// run outside the runtime lock and may be called from timer goroutines.
+type Executor func(ids []uint64, payloads []any, models []string) ([]any, error)
+
+// Future is a pending wall-clock request: it resolves when the batch the
+// scheduler placed the request in completes.
+type Future struct {
+	done    chan struct{}
+	payload any
+	// dispatched flips when the request leaves the queue for a batch;
+	// guarded by the runtime mutex.
+	dispatched bool
+
+	// set before done is closed, immutable afterwards.
+	result  any
+	err     error
+	models  []string
+	latency float64
+}
+
+// Wait blocks until the batch completes and returns the request's result.
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.result, f.err
+}
+
+// Done returns a channel closed when the result is ready, for callers that
+// want select semantics.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Models returns the model subset that served the request (after Wait).
+func (f *Future) Models() []string { return f.models }
+
+// Latency returns the request's queue+service latency in timeline seconds
+// (after Wait).
+func (f *Future) Latency() float64 { return f.latency }
+
+// Stats is a point-in-time snapshot of a runtime's serving metrics, safe to
+// read while the runtime keeps serving.
+type Stats struct {
+	Served     int     `json:"served"`
+	Overdue    int     `json:"overdue"`
+	Dropped    int     `json:"dropped"`
+	Decisions  int     `json:"decisions"`
+	Dispatches int     `json:"dispatches"`
+	QueueLen   int     `json:"queue_len"`
+	P50Latency float64 `json:"p50_latency_seconds"`
+	P99Latency float64 `json:"p99_latency_seconds"`
+	Reward     float64 `json:"reward"`
+}
+
+// RuntimeConfig tunes a Runtime.
+type RuntimeConfig struct {
+	// Timeline drives time; nil defaults to a real-time WallTimeline.
+	Timeline sim.Timeline
+	// QueueCap bounds the queue (0 = the simulator's default, 4096).
+	QueueCap int
+	// PollInterval is the re-decision cadence (timeline seconds) while
+	// requests wait in a non-empty queue — the wall-clock analogue of the
+	// Simulator's arrival tick, which lets deadline-pressure dispatches
+	// (Algorithm 3 line 7) fire without a new arrival. 0 defaults to τ/25.
+	PollInterval float64
+	// Predictor enables measured-accuracy bookkeeping (see Engine).
+	Predictor *zoo.Predictor
+	// MeasureFrom discards metrics before this timeline time.
+	MeasureFrom float64
+}
+
+// Runtime is the wall-clock driver of the dispatch Engine: goroutine-safe,
+// channel-fed, with per-request futures. Concurrent callers Submit payloads;
+// the scheduling Policy groups them into shared batches; the Executor
+// computes each batch's results when the (profiled) service time elapses.
+//
+// Decision points mirror the Simulator's: every submission, every model
+// freeing up, and a poll tick while requests wait.
+type Runtime struct {
+	tl   sim.Timeline
+	exec Executor
+	poll float64
+
+	mu       sync.Mutex
+	eng      *Engine
+	pending  map[uint64]*Future
+	nextID   uint64
+	pollSet  bool
+	closed   bool
+	err      error // first engine error; poisons the runtime
+	inflight sync.WaitGroup
+}
+
+// NewRuntime wires a wall-clock serving runtime for a deployment, policy and
+// executor. The accuracy table feeds Equation 7 reward accounting, exactly
+// as in the simulator.
+func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Executor, cfg RuntimeConfig) (*Runtime, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("infer: runtime needs an executor")
+	}
+	tl := cfg.Timeline
+	if tl == nil {
+		tl = &sim.WallTimeline{}
+	}
+	queueCap := cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = 4096
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = d.Tau / 25
+	}
+	eng := NewEngine(d, p, acc, queueCap)
+	eng.Predictor = cfg.Predictor
+	eng.MeasureFrom = cfg.MeasureFrom
+	// A runtime lives as long as its deployment: bound the latency history
+	// so memory stays flat and Stats percentiles cover a recent window.
+	eng.Metrics().LatencyCap = 4096
+	return &Runtime{
+		tl:      tl,
+		exec:    exec,
+		poll:    poll,
+		eng:     eng,
+		pending: map[uint64]*Future{},
+	}, nil
+}
+
+// Submit enqueues a payload and returns a future for its batched result.
+func (r *Runtime) Submit(payload any) (*Future, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, ErrClosed
+	}
+	now := r.tl.Now()
+	id := r.nextID
+	r.nextID++
+	if !r.eng.Enqueue(now, Request{ID: id, Arrival: now}) {
+		return nil, ErrQueueFull
+	}
+	f := &Future{done: make(chan struct{}), payload: payload}
+	r.pending[id] = f
+	if err := r.step(now); err != nil {
+		// The engine failed at this decision point. If this request made it
+		// into a batch before the error, that batch still completes — hand
+		// the caller its future; the error reaches everyone else.
+		if f.dispatched {
+			return f, nil
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// step runs a decision point with r.mu held, launching any dispatches and
+// arming the wait poll.
+func (r *Runtime) step(now float64) error {
+	outs, err := r.eng.Step(now)
+	for _, out := range outs {
+		r.launch(now, out)
+	}
+	if err != nil {
+		// A policy/dispatch error poisons the runtime: requests left in the
+		// engine queue have no valid schedule anymore, so close the runtime
+		// and fail the undispatched futures rather than let later
+		// submissions batch with orphaned queue entries. Already-dispatched
+		// batches still complete normally.
+		r.closed = true
+		r.err = err
+		r.failLocked(err)
+		return err
+	}
+	if r.eng.QueueLen() > 0 && !r.pollSet && !r.closed {
+		r.pollSet = true
+		r.tl.AfterFunc(r.poll, r.pollTick)
+	}
+	return nil
+}
+
+// pollTick is the recurring decision point while requests wait.
+func (r *Runtime) pollTick() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pollSet = false
+	if r.closed {
+		return
+	}
+	_ = r.step(r.tl.Now())
+}
+
+// launch schedules a dispatched batch's completion and the follow-up
+// decision points at each model's finish time. Called with r.mu held.
+func (r *Runtime) launch(now float64, out DispatchOutcome) {
+	futs := make([]*Future, len(out.Requests))
+	for i, req := range out.Requests {
+		futs[i] = r.pending[req.ID]
+		delete(r.pending, req.ID)
+		if futs[i] != nil {
+			futs[i].dispatched = true
+		}
+	}
+	r.inflight.Add(1)
+	r.tl.AfterFunc(out.Finish-now, func() { r.complete(out, futs) })
+	for _, f := range out.ModelFinish {
+		r.tl.AfterFunc(f-now, func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if !r.closed {
+				_ = r.step(r.tl.Now())
+			}
+		})
+	}
+}
+
+// complete runs the executor for a finished batch and resolves its futures.
+func (r *Runtime) complete(out DispatchOutcome, futs []*Future) {
+	defer r.inflight.Done()
+	ids := make([]uint64, len(out.Requests))
+	payloads := make([]any, len(out.Requests))
+	for i, req := range out.Requests {
+		ids[i] = req.ID
+		if futs[i] != nil {
+			payloads[i] = futs[i].payload
+		}
+	}
+	results, err := r.exec(ids, payloads, out.ModelNames)
+	if err == nil && len(results) != len(futs) {
+		err = fmt.Errorf("infer: executor returned %d results for a batch of %d", len(results), len(futs))
+	}
+	for i, f := range futs {
+		if f == nil {
+			continue
+		}
+		f.models = out.ModelNames
+		f.latency = out.Finish - out.Requests[i].Arrival
+		if err != nil {
+			f.err = err
+		} else {
+			f.result = results[i]
+		}
+		close(f.done)
+	}
+}
+
+// failLocked resolves every pending future with err. Called with r.mu held.
+func (r *Runtime) failLocked(err error) {
+	for id, f := range r.pending {
+		f.err = err
+		close(f.done)
+		delete(r.pending, id)
+	}
+}
+
+// Stats snapshots the serving metrics. The percentile sort runs on a copy
+// outside the runtime lock, so scraping stats never stalls serving.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	m := r.eng.Metrics()
+	st := Stats{
+		Served:     m.Served,
+		Overdue:    m.Overdue,
+		Dropped:    m.Dropped,
+		Decisions:  m.Decisions,
+		Dispatches: m.Dispatches,
+		QueueLen:   r.eng.QueueLen(),
+		Reward:     m.Reward,
+	}
+	lat := append([]float64(nil), m.Latencies...)
+	r.mu.Unlock()
+	pct := percentiles(lat, 50, 99)
+	st.P50Latency, st.P99Latency = pct[0], pct[1]
+	return st
+}
+
+// Close rejects new submissions and fails queued (undispatched) futures
+// with ErrClosed; already-dispatched batches still complete. Close is
+// idempotent.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.failLocked(ErrClosed)
+	}
+	r.mu.Unlock()
+	r.inflight.Wait()
+}

@@ -1,0 +1,228 @@
+package infer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/sim"
+	"rafiki/internal/zoo"
+)
+
+// echoExec returns each request's payload tagged with the serving subset.
+func echoExec(ids []uint64, payloads []any, models []string) ([]any, error) {
+	out := make([]any, len(ids))
+	for i := range ids {
+		out[i] = fmt.Sprintf("%v@%d", payloads[i], len(models))
+	}
+	return out, nil
+}
+
+func runtimeDeployment(t *testing.T, tau float64) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(
+		[]string{"inception_v3", "inception_v4", "inception_resnet_v2"},
+		[]int{1, 2, 4, 8, 16}, tau, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRuntimeDeterministicBatching drives the wall-clock Runtime over the
+// virtual-time EventLoop: submissions are scheduled as events, so batching
+// decisions replay deterministically and can be asserted exactly.
+func TestRuntimeDeterministicBatching(t *testing.T) {
+	d := runtimeDeployment(t, 0.5)
+	loop := sim.NewEventLoop()
+	rt, err := NewRuntime(d, &SyncAll{D: d}, ensemble.NewAccuracyTable(zoo.NewPredictor(1), 500),
+		echoExec, RuntimeConfig{Timeline: loop})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40
+	futs := make([]*Future, 0, n)
+	// 16 requests land together at t=0.01, the rest trickle in.
+	loop.Schedule(0.01, func() {
+		for i := 0; i < 16; i++ {
+			f, err := rt.Submit(fmt.Sprintf("req-%d", len(futs)))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			futs = append(futs, f)
+		}
+	})
+	for i := 16; i < n; i++ {
+		loop.Schedule(0.02+0.005*float64(i), func() {
+			f, err := rt.Submit(fmt.Sprintf("req-%d", len(futs)))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			futs = append(futs, f)
+		})
+	}
+	loop.RunUntil(30)
+
+	st := rt.Stats()
+	if st.Served != n || st.QueueLen != 0 {
+		t.Fatalf("served = %d queue = %d, want %d/0", st.Served, st.QueueLen, n)
+	}
+	if st.Dispatches >= n {
+		t.Fatalf("dispatches = %d, want < %d (requests must share batches)", st.Dispatches, n)
+	}
+	if st.Dispatches == 0 || st.Decisions < st.Dispatches {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if st.P50Latency <= 0 || st.P99Latency < st.P50Latency {
+		t.Fatalf("latency percentiles: %+v", st)
+	}
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		want := fmt.Sprintf("req-%d@3", i)
+		if res != want {
+			t.Fatalf("future %d = %v, want %s", i, res, want)
+		}
+		if len(f.Models()) != 3 {
+			t.Fatalf("future %d served by %v, want full ensemble", i, f.Models())
+		}
+		if f.Latency() <= 0 {
+			t.Fatalf("future %d latency %v", i, f.Latency())
+		}
+	}
+	// Rerun: identical submission schedule must reproduce identical stats.
+	loop2 := sim.NewEventLoop()
+	rt2, err := NewRuntime(d, &SyncAll{D: d}, ensemble.NewAccuracyTable(zoo.NewPredictor(1), 500),
+		echoExec, RuntimeConfig{Timeline: loop2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop2.Schedule(0.01, func() {
+		for i := 0; i < 16; i++ {
+			_, _ = rt2.Submit("x")
+		}
+	})
+	for i := 16; i < n; i++ {
+		loop2.Schedule(0.02+0.005*float64(i), func() { _, _ = rt2.Submit("x") })
+	}
+	loop2.RunUntil(30)
+	st2 := rt2.Stats()
+	if st2.Served != st.Served || st2.Dispatches != st.Dispatches || st2.Decisions != st.Decisions {
+		t.Fatalf("runtime not deterministic over the event loop: %+v vs %+v", st, st2)
+	}
+}
+
+// TestRuntimeConcurrentWallClock hammers one deployment from many
+// goroutines through the real wall-clock timeline (run under -race): every
+// caller gets its result, and the policy groups callers into shared batches.
+func TestRuntimeConcurrentWallClock(t *testing.T) {
+	d := runtimeDeployment(t, 0.25)
+	rt, err := NewRuntime(d, &SyncAll{D: d}, ensemble.NewAccuracyTable(zoo.NewPredictor(2), 500),
+		echoExec, RuntimeConfig{Timeline: &sim.WallTimeline{Speedup: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := rt.Submit(fmt.Sprintf("c-%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := f.Wait()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := fmt.Sprintf("c-%d@3", i); res != want {
+				errs <- fmt.Errorf("got %v, want %s", res, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := rt.Stats()
+	if st.Served != n {
+		t.Fatalf("served = %d, want %d", st.Served, n)
+	}
+	if st.Dispatches >= st.Served {
+		t.Fatalf("dispatches = %d for %d served: concurrent callers were not batched", st.Dispatches, st.Served)
+	}
+	rt.Close()
+	if _, err := rt.Submit("late"); err != ErrClosed {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRuntimePoisonsOnPolicyError: an invalid policy action must fail the
+// stranded futures AND close the runtime, so later submissions cannot batch
+// with orphaned queue entries.
+func TestRuntimePoisonsOnPolicyError(t *testing.T) {
+	d := runtimeDeployment(t, 0.5)
+	loop := sim.NewEventLoop()
+	rt, err := NewRuntime(d, &badPolicy{act: Action{Batch: 3, Models: []int{0}}},
+		ensemble.NewAccuracyTable(zoo.NewPredictor(4), 200),
+		echoExec, RuntimeConfig{Timeline: loop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fut *Future
+	var subErr error
+	loop.Schedule(0, func() { fut, subErr = rt.Submit("doomed") })
+	loop.RunUntil(5)
+	if subErr == nil {
+		t.Fatal("invalid action should surface from Submit")
+	}
+	if fut != nil {
+		t.Fatal("no future should be handed out for a poisoned submission")
+	}
+	if _, err := rt.Submit("after"); err == nil || err == ErrClosed {
+		t.Fatalf("poisoned runtime Submit err = %v, want the policy error", err)
+	}
+}
+
+// TestRuntimeQueueFull surfaces the paper's drop behaviour as ErrQueueFull.
+func TestRuntimeQueueFull(t *testing.T) {
+	d := runtimeDeployment(t, 0.5)
+	loop := sim.NewEventLoop()
+	rt, err := NewRuntime(d, &SyncAll{D: d}, ensemble.NewAccuracyTable(zoo.NewPredictor(3), 200),
+		echoExec, RuntimeConfig{Timeline: loop, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	loop.Schedule(0, func() {
+		// The first submission dispatches alone only after its deadline
+		// nears, so the next ones pile up in the 4-slot queue.
+		for i := 0; i < 10; i++ {
+			if _, err := rt.Submit(i); err == ErrQueueFull {
+				full++
+			} else if err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+	})
+	loop.RunUntil(10)
+	if full == 0 {
+		t.Fatal("bounded queue never reported ErrQueueFull")
+	}
+	if st := rt.Stats(); st.Dropped != full {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, full)
+	}
+}

@@ -128,6 +128,15 @@ func (c *Client) Inference(trainJobID string) (string, error) {
 	return out.JobID, nil
 }
 
+// InferenceStats fetches a deployed job's serving metrics.
+func (c *Client) InferenceStats(inferJobID string) (*rafiki.InferenceStats, error) {
+	var out rafiki.InferenceStats
+	if err := c.do(http.MethodGet, "/api/v1/inference/"+inferJobID+"/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Query classifies a payload against a deployed job.
 func (c *Client) Query(inferJobID, img string) (*rafiki.QueryResult, error) {
 	var out rafiki.QueryResult

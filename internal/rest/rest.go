@@ -11,16 +11,24 @@
 //	GET  /api/v1/train/{id}            training job status
 //	GET  /api/v1/train/{id}/models     trained model instances
 //	POST /api/v1/inference             deploy models for serving
+//	GET  /api/v1/inference/{id}/stats  serving metrics (batching, SLO, latency)
 //	POST /api/v1/query/{id}            classify a payload
+//
+// Queries are served through the deployment's batching runtime: concurrent
+// POST /query callers are grouped into shared batches by the serving policy
+// (Section 5), which the stats endpoint makes observable (dispatches <
+// served under concurrency).
 package rest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
 	"rafiki"
+	"rafiki/internal/infer"
 )
 
 // Server is the HTTP facade over a System.
@@ -39,6 +47,7 @@ func NewServer(sys *rafiki.System) *Server {
 	s.mux.HandleFunc("GET /api/v1/train/{id}", s.handleTrainStatus)
 	s.mux.HandleFunc("GET /api/v1/train/{id}/models", s.handleTrainModels)
 	s.mux.HandleFunc("POST /api/v1/inference", s.handleInference)
+	s.mux.HandleFunc("GET /api/v1/inference/{id}/stats", s.handleInferenceStats)
 	s.mux.HandleFunc("POST /api/v1/query/{id}", s.handleQuery)
 	return s
 }
@@ -194,6 +203,15 @@ func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, InferenceResponse{JobID: job.ID})
 }
 
+func (s *Server) handleInferenceStats(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sys.InferenceJobByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Stats())
+}
+
 // QueryRequest is a classification request: Image carries the payload (an
 // image path, raw text, or base64 data — the simulation hashes it).
 type QueryRequest struct {
@@ -213,7 +231,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sys.Query(id, []byte(req.Image))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		// Only a missing deployment is 404; overload (full queue) and
+		// shutdown are transient 503s, and anything else — executor
+		// failures, a poisoned runtime — is a genuine server fault.
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, rafiki.ErrUnknownInferenceJob):
+			status = http.StatusNotFound
+		case errors.Is(err, infer.ErrQueueFull), errors.Is(err, infer.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

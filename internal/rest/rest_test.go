@@ -1,8 +1,10 @@
 package rest
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,7 +13,10 @@ import (
 
 func newTestServer(t *testing.T) (*Client, *httptest.Server) {
 	t.Helper()
-	sys, err := rafiki.New(rafiki.Options{Seed: 7, Workers: 2, NodeCapacity: 16})
+	// Speedup 50 keeps serving fast while leaving models busy for
+	// milliseconds of wall time, so concurrent test queries reliably
+	// overlap into shared batches even on a loaded machine.
+	sys, err := rafiki.New(rafiki.Options{Seed: 7, Workers: 2, NodeCapacity: 16, ServeSpeedup: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +94,79 @@ func TestFullWorkflowOverREST(t *testing.T) {
 	}
 	if res.Label == "" || res.Confidence <= 0 {
 		t.Fatalf("query result = %+v", res)
+	}
+
+	st2, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Served != 1 || st2.Queries != 1 || st2.Dispatches != 1 {
+		t.Fatalf("stats after one query = %+v", st2)
+	}
+	if st2.P50Latency <= 0 {
+		t.Fatalf("stats missing latency: %+v", st2)
+	}
+}
+
+// TestConcurrentQueriesAreBatched hammers one deployment with parallel HTTP
+// queries: every caller gets its prediction, and the stats endpoint shows
+// the scheduler grouping them into shared batches (dispatches < served).
+func TestConcurrentQueriesAreBatched(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, err := c.ImportImages("food", map[string]int{"pizza": 40, "ramen": 40}); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.Train(TrainRequest{
+		Name: "t", Data: "food", Task: "ImageClassification",
+		Hyper: rafiki.HyperConf{MaxTrials: 6, CoStudy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 200); err != nil {
+		t.Fatal(err)
+	}
+	infID, err := c.Inference(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Query(infID, fmt.Sprintf("photo_%d_of_pizza.jpg", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Label == "" {
+				errs <- fmt.Errorf("query %d: empty label", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != n || st.Queries != n {
+		t.Fatalf("served = %d queries = %d, want %d", st.Served, st.Queries, n)
+	}
+	if st.Dispatches >= n {
+		t.Fatalf("dispatches = %d for %d queries: no batching happened", st.Dispatches, n)
+	}
+	// Unknown job on the stats route.
+	if _, err := c.InferenceStats("ghost"); err == nil {
+		t.Fatal("stats for unknown job should error")
 	}
 }
 

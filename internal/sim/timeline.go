@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Timeline abstracts "what time is it, and run this later" so serving code
+// can be driven either by the virtual-time EventLoop (deterministic
+// experiments) or by the process clock (real concurrent traffic). Times are
+// seconds since the timeline's origin.
+//
+// Implementations differ in execution model: EventLoop fires callbacks
+// single-threaded from Step/RunUntil, while WallTimeline fires them from
+// timer goroutines — Timeline consumers must do their own locking if they
+// can be driven concurrently.
+type Timeline interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// AfterFunc schedules fn to run d seconds from now. Non-positive d
+	// schedules fn as soon as possible.
+	AfterFunc(d float64, fn func())
+}
+
+// AfterFunc implements Timeline over the event loop's virtual clock.
+func (l *EventLoop) AfterFunc(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	l.After(d, fn)
+}
+
+// WallTimeline is the process-clock Timeline: Now is the wall time elapsed
+// since the first observation, scaled by Speedup, and AfterFunc arms real
+// timers. It is safe for concurrent use.
+//
+// Speedup is the number of timeline seconds that pass per wall-clock second
+// (default 1: timeline time is wall time). Serving latencies in this
+// codebase are simulated from profiled GPU costs, so a test or demo can run
+// a "wall-clock" deployment hundreds of times faster than real time while
+// every duration, SLO and latency metric stays in profiled seconds.
+type WallTimeline struct {
+	Speedup float64
+
+	once  sync.Once
+	start time.Time
+}
+
+func (w *WallTimeline) speedup() float64 {
+	if w.Speedup <= 0 {
+		return 1
+	}
+	return w.Speedup
+}
+
+func (w *WallTimeline) init() {
+	w.once.Do(func() { w.start = time.Now() })
+}
+
+// Now implements Timeline.
+func (w *WallTimeline) Now() float64 {
+	w.init()
+	return time.Since(w.start).Seconds() * w.speedup()
+}
+
+// AfterFunc implements Timeline: fn runs on its own goroutine after d
+// timeline seconds (d/Speedup wall seconds).
+func (w *WallTimeline) AfterFunc(d float64, fn func()) {
+	w.init()
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(time.Duration(d/w.speedup()*float64(time.Second)), fn)
+}

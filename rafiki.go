@@ -53,6 +53,15 @@ type Options struct {
 	Seed int64
 	// Workers is the number of tuning workers per training job (default 3).
 	Workers int
+	// ServeSLO is the inference service's latency SLO τ in seconds
+	// (default 0.25): deployed runtimes batch queries under this deadline
+	// per Algorithm 3.
+	ServeSLO float64
+	// ServeSpeedup compresses the serving runtime's wall clock (default 1,
+	// real time): with speedup k, one profiled GPU-second of simulated
+	// model latency elapses in 1/k wall seconds. Latency metrics stay in
+	// profiled seconds either way. Tests and demos use large speedups.
+	ServeSpeedup float64
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +76,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 3
+	}
+	if o.ServeSLO <= 0 {
+		o.ServeSLO = 0.25
+	}
+	if o.ServeSpeedup <= 0 {
+		o.ServeSpeedup = 1
 	}
 	return o
 }

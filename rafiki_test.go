@@ -1,13 +1,15 @@
 package rafiki
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
 func newSystem(t *testing.T) *System {
 	t.Helper()
-	sys, err := New(Options{Seed: 42, Workers: 2, NodeCapacity: 16})
+	sys, err := New(Options{Seed: 42, Workers: 2, NodeCapacity: 16, ServeSpeedup: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,6 +229,69 @@ func TestQuerySemantics(t *testing.T) {
 	}
 	if _, err := sys.Query(inf.ID, nil); err == nil {
 		t.Fatal("empty payload should error")
+	}
+}
+
+// TestConcurrentQueriesShareBatches drives one deployment from many
+// goroutines (run under -race): the runtime must answer every caller with
+// its own deterministic prediction while the serving policy groups the
+// concurrent requests into shared batches.
+func TestConcurrentQueriesShareBatches(t *testing.T) {
+	// Lower speedup than newSystem's: models stay busy for milliseconds of
+	// wall time, so the goroutines' queries reliably overlap into shared
+	// batches even under heavy scheduler load.
+	sys, err := New(Options{Seed: 42, Workers: 2, NodeCapacity: 16, ServeSpeedup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := importFood(t, sys)
+	job := trainFood(t, sys, d)
+	models, _ := sys.GetModels(job.ID)
+	inf, err := sys.Inference(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 60
+	results := make([]*QueryResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sys.Query(inf.ID, []byte(fmt.Sprintf("batch_photo_%d_pizza.jpg", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if len(results[i].Votes) != len(models) {
+			t.Fatalf("query %d votes = %v", i, results[i].Votes)
+		}
+	}
+	// Batched answers must equal the sequential answers for the same payloads.
+	for i := 0; i < n; i += 17 {
+		again, err := sys.Query(inf.ID, []byte(fmt.Sprintf("batch_photo_%d_pizza.jpg", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Label != results[i].Label {
+			t.Fatalf("query %d not stable across batchings: %q vs %q", i, again.Label, results[i].Label)
+		}
+	}
+
+	st := inf.Stats()
+	if st.Served < n || st.Queries < n {
+		t.Fatalf("stats = %+v, want ≥ %d served", st, n)
+	}
+	if st.Dispatches >= n {
+		t.Fatalf("dispatches = %d for %d concurrent queries: no batching", st.Dispatches, n)
+	}
+	if st.P50Latency <= 0 || st.P99Latency < st.P50Latency {
+		t.Fatalf("latency stats inconsistent: %+v", st)
 	}
 }
 
