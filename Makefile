@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
-check: fmt vet build race
+check: fmt vet build race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,3 +26,8 @@ race:
 # Queue and serving micro-benchmarks (ring buffer vs the seed's copy-shift).
 bench:
 	$(GO) test ./internal/infer/ -run none -bench BenchmarkQueuePopN -benchmem
+
+# One pass of the replica-scaling benchmark (virtual time, deterministic):
+# a cheap gate that the dispatch hot path still scales with replicas.
+bench-smoke:
+	$(GO) test ./internal/infer/ -run none -bench BenchmarkReplicaScaling -benchtime 1x

@@ -13,13 +13,18 @@
 //	curl -X POST localhost:8080/api/v1/train \
 //	     -d '{"name":"t","data":"food","task":"ImageClassification","hyper":{"MaxTrials":20,"CoStudy":true}}'
 //	curl localhost:8080/api/v1/train/train-0001
-//	curl -X POST localhost:8080/api/v1/inference -d '{"train_job_id":"train-0001"}'
+//	curl -X POST localhost:8080/api/v1/inference -d '{"train_job_id":"train-0001","replicas":2}'
 //	curl -X POST localhost:8080/api/v1/query/infer-0002 -d '{"img":"my_pizza.jpg"}'
 //	curl localhost:8080/api/v1/inference/infer-0002/stats
+//	curl -X POST localhost:8080/api/v1/inference/infer-0002/scale -d '{"replicas":4}'
+//	curl -X DELETE localhost:8080/api/v1/inference/infer-0002
 //
 // Queries run through the deployment's batching runtime: concurrent clients
 // share batches under the -slo deadline (Algorithm 3), observable on the
-// stats endpoint as dispatches < served.
+// stats endpoint as dispatches < served. Each model runs as one or more
+// replica containers on the simulated cluster; the scale endpoint resizes
+// the pools on the live deployment, and a full queue answers 429 with a
+// Retry-After hint derived from the recent drain rate.
 package main
 
 import (

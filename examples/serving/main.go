@@ -80,13 +80,20 @@ func main() {
 		rlMet.Accuracy.Mean(), async.Accuracy.Mean())
 	fmt.Printf("ensemble (%.4f): the Figure 14 latency/accuracy trade-off.\n", syncMet.Accuracy.Mean())
 
-	wallClock(models)
+	// Replica-aware serving (Section 6): the same load against one replica
+	// per model, then four — the engine dispatches each batch onto the
+	// earliest-free replica, so throughput scales near-linearly.
+	q1 := wallClock(models, 1)
+	q4 := wallClock(models, 4)
+	fmt.Printf("\nhorizontal scaling: %.0f r/s at 1 replica -> %.0f r/s at 4 replicas (%.1fx)\n", q1, q4, q4/q1)
 }
 
 // wallClock serves real concurrent clients through the same engine: each
 // goroutine submits a request and blocks on its future; the greedy-sync
-// policy groups the concurrent callers into shared batches under the SLO.
-func wallClock(models []string) {
+// policy groups the concurrent callers into shared batches under the SLO,
+// spread across the model's replicas. Returns the served throughput in
+// requests per profiled second.
+func wallClock(models []string, replicas int) float64 {
 	const (
 		tau     = 0.25 // latency SLO (profiled seconds)
 		speedup = 50   // run the profiled GPU latencies 50x faster than wall time
@@ -95,6 +102,10 @@ func wallClock(models []string) {
 	d, err := infer.NewDeployment(models, []int{1, 2, 4, 8, 16}, tau, 1)
 	if err != nil {
 		log.Fatal(err)
+	}
+	d.Replicas = make([]int, len(models))
+	for i := range d.Replicas {
+		d.Replicas[i] = replicas
 	}
 	exec := func(ids []uint64, payloads []any, subset []string) ([]any, error) {
 		out := make([]any, len(ids))
@@ -110,16 +121,22 @@ func wallClock(models []string) {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nwall-clock runtime: %d concurrent clients, tau=%.2fs, batches %v\n",
-		clients, tau, d.Batches)
-	// Pace arrivals near the sync ensemble's saturation throughput so the
-	// scheduler is pushed toward max-batch dispatches without the queue
-	// diverging (the paper's "overwhelming requests" regime).
-	gap := time.Duration(float64(time.Second) / d.MinThroughput() / speedup)
+	fmt.Printf("\nwall-clock runtime: %d concurrent clients, %d replica(s)/model, tau=%.2fs, batches %v\n",
+		clients, replicas, tau, d.Batches)
+	// Pace arrivals near the replicated sync ensemble's saturation
+	// throughput so the scheduler is pushed toward max-batch dispatches
+	// without the queue diverging (the paper's "overwhelming requests"
+	// regime, scaled by the replica count).
+	gap := float64(time.Second) / (d.MinThroughput() * float64(replicas)) / speedup
+	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
-		time.Sleep(gap)
+		// Absolute-target pacing: sleeping per client would floor the gap
+		// at the timer resolution and cap the arrival rate.
+		if d := time.Until(start.Add(time.Duration(float64(i) * gap))); d > 0 {
+			time.Sleep(d)
+		}
 		go func(i int) {
 			defer wg.Done()
 			f, err := rt.Submit(fmt.Sprintf("img-%03d", i))
@@ -134,10 +151,12 @@ func wallClock(models []string) {
 	}
 	wg.Wait()
 	rt.Close()
+	elapsed := time.Since(start).Seconds() * speedup // profiled seconds
 
 	st := rt.Stats()
 	fmt.Printf("served=%d in %d batch dispatches (%.1f req/dispatch) — the queue did its job\n",
 		st.Served, st.Dispatches, float64(st.Served)/float64(st.Dispatches))
 	fmt.Printf("latency p50=%.3fs p99=%.3fs against tau=%.2fs (%d overdue, %d dropped)\n",
 		st.P50Latency, st.P99Latency, tau, st.Overdue, st.Dropped)
+	return float64(st.Served) / elapsed
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"rafiki/internal/cluster"
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
 	"rafiki/internal/sim"
@@ -16,7 +18,9 @@ import (
 // InferenceJob is a deployed ensemble serving queries (Figure 2's infer.py)
 // through a wall-clock batching runtime: concurrent Query callers are
 // grouped into shared batches by a scheduling Policy (Section 5), exactly
-// the machinery the serving simulator evaluates.
+// the machinery the serving simulator evaluates. Each deployed model runs as
+// one or more replica containers registered with the cluster manager
+// (Section 6); Scale adds or removes replicas on the live runtime.
 type InferenceJob struct {
 	ID     string
 	Models []ModelInstance
@@ -28,6 +32,34 @@ type InferenceJob struct {
 
 	byName  map[string]ModelInstance
 	runtime *infer.Runtime
+	// speedup converts timeline (profiled) seconds into wall seconds for
+	// client-facing hints like RetryAfterSeconds.
+	speedup float64
+
+	// mu guards the replica/container bookkeeping (scale and teardown).
+	mu       sync.Mutex
+	replicas []int // per-model container counts, parallel to Models
+	stopped  bool
+}
+
+// masterContainer is the job's cluster master (the queue/dispatcher anchor
+// that replica placement colocates toward).
+func (j *InferenceJob) masterContainer() string { return j.ID + "/master" }
+
+// replicaContainer names replica r of model mi.
+func (j *InferenceJob) replicaContainer(mi, r int) string {
+	return fmt.Sprintf("%s/%s/replica-%d", j.ID, j.Models[mi].Model, r)
+}
+
+// ReplicaCounts returns the live per-model replica counts.
+func (j *InferenceJob) ReplicaCounts() map[string]int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]int, len(j.Models))
+	for i, m := range j.Models {
+		out[m.Model] = j.replicas[i]
+	}
+	return out
 }
 
 // InferenceStats is a snapshot of a deployment's serving metrics, surfaced
@@ -38,19 +70,61 @@ type InferenceJob struct {
 type InferenceStats struct {
 	// Queries counts completed System.Query calls.
 	Queries uint64 `json:"queries"`
+	// RetryAfterSeconds is the backpressure hint for rejected (queue-full)
+	// requests: the wall-clock seconds until the queue should have drained
+	// a slot, derived from the runtime's recent drain rate and the serving
+	// clock speedup. 0 means no estimate (nothing has drained recently).
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 	infer.Stats
 }
 
+// InferenceOpts tunes a deployment.
+type InferenceOpts struct {
+	// Replicas is how many cluster containers serve each deployed model
+	// (default 1). Throughput scales near-linearly with replicas: the
+	// engine dispatches each batch to the earliest-free replica, so R
+	// replicas keep R batches per model in flight.
+	Replicas int
+	// QueueCap bounds the deployment's request queue (default 4096).
+	// Arrivals beyond it are rejected with infer.ErrQueueFull, which the
+	// REST layer surfaces as HTTP 429 with a Retry-After hint.
+	QueueCap int
+}
+
+// maxReplicasPerModel caps Replicas against runaway scale requests.
+const maxReplicasPerModel = 64
+
 // Inference deploys trained models for serving (Figure 2's
-// rafiki.Inference(models).run()). Deployment is instant: the parameters are
-// already in the shared parameter server — the paper's point about unifying
-// the two services. The returned job owns a batching runtime: its Policy is
-// the full-ensemble greedy scheduler (Algorithm 3 over all deployed models),
-// so every query is answered by the whole ensemble, batched with whatever
-// concurrent queries share the queue.
+// rafiki.Inference(models).run()) with one replica per model and the default
+// queue bound; see InferenceWithOpts.
 func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
+	return s.InferenceWithOpts(models, InferenceOpts{})
+}
+
+// InferenceWithOpts deploys trained models for serving. Deployment is
+// instant: the parameters are already in the shared parameter server — the
+// paper's point about unifying the two services. The returned job owns a
+// batching runtime: its Policy is the full-ensemble greedy scheduler
+// (Algorithm 3 over all deployed models), so every query is answered by the
+// whole ensemble, batched with whatever concurrent queries share the queue.
+//
+// Each model runs as opts.Replicas worker containers registered with the
+// cluster manager (placement prefers colocation with the job's master,
+// Section 6.1); a container failure takes its replica out of dispatch until
+// the manager restarts it (Section 6.3), and ScaleInference resizes the
+// pools on the live runtime.
+func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (*InferenceJob, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("rafiki: inference job needs at least one model")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	if opts.Replicas > maxReplicasPerModel {
+		return nil, fmt.Errorf("rafiki: replicas %d exceeds the per-model cap %d", opts.Replicas, maxReplicasPerModel)
+	}
+	if opts.QueueCap < 0 {
+		return nil, fmt.Errorf("rafiki: queue cap must be non-negative, got %d", opts.QueueCap)
 	}
 	// Validate every checkpoint is fetchable from the parameter server.
 	var classes []string
@@ -71,6 +145,9 @@ func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
 		s.mu.Unlock()
 		if ok {
 			if ds, err := s.Dataset(job.Conf.Data); err == nil {
+				if len(ds.Classes) == 0 {
+					return nil, fmt.Errorf("rafiki: dataset %q has an empty class vocabulary; cannot deploy", job.Conf.Data)
+				}
 				classes = ds.Classes
 				break
 			}
@@ -79,11 +156,18 @@ func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
 	if classes == nil {
 		classes = []string{"negative", "positive"} // generic fallback
 	}
+	if len(classes) == 0 {
+		// Defense in depth: predict/truthFor index (and mod) by the class
+		// count, so an empty vocabulary must never reach a live job.
+		return nil, fmt.Errorf("rafiki: inference job needs a non-empty class vocabulary")
+	}
 	job := &InferenceJob{
-		ID:      s.nextID("infer"),
-		Models:  append([]ModelInstance(nil), models...),
-		Classes: append([]string(nil), classes...),
-		byName:  make(map[string]ModelInstance, len(models)),
+		ID:       s.nextID("infer"),
+		Models:   append([]ModelInstance(nil), models...),
+		Classes:  append([]string(nil), classes...),
+		byName:   make(map[string]ModelInstance, len(models)),
+		speedup:  s.opts.ServeSpeedup,
+		replicas: make([]int, len(models)),
 	}
 	for _, m := range models {
 		job.byName[m.Model] = m
@@ -97,22 +181,215 @@ func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rafiki: deployment: %w", err)
 	}
+	dep.Replicas = make([]int, len(names))
+	for i := range dep.Replicas {
+		dep.Replicas[i] = opts.Replicas
+	}
 	rt, err := infer.NewRuntime(
 		dep,
 		&infer.SyncAll{D: dep},
 		ensemble.NewAccuracyTable(zoo.NewPredictor(s.opts.Seed), 2000),
 		job.executeBatch,
-		infer.RuntimeConfig{Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup}},
+		infer.RuntimeConfig{
+			Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup},
+			QueueCap: opts.QueueCap,
+		},
 	)
 	if err != nil {
 		return nil, fmt.Errorf("rafiki: runtime: %w", err)
 	}
 	job.runtime = rt
 
+	// Register the serving containers: a master (the queue/dispatcher,
+	// which replica placement colocates toward) plus one worker per model
+	// replica wired back into dispatch availability.
+	if _, err := s.cluster.Launch(cluster.Spec{
+		Name: job.masterContainer(),
+		Kind: cluster.KindMaster,
+		Job:  job.ID,
+	}, 0); err != nil {
+		rt.Close()
+		return nil, fmt.Errorf("rafiki: launch serving master: %w", err)
+	}
+	for mi := range names {
+		for r := 0; r < opts.Replicas; r++ {
+			if err := s.launchReplica(job, mi, r); err != nil {
+				s.releaseContainers(job)
+				rt.Close()
+				return nil, err
+			}
+			job.replicas[mi]++
+		}
+	}
+
 	s.mu.Lock()
 	s.inferJobs[job.ID] = job
 	s.mu.Unlock()
 	return job, nil
+}
+
+// launchReplica registers replica r of model mi with the cluster manager,
+// wiring failure detection and restart back into the runtime's replica
+// availability. The hooks ignore errors: the replica may have been scaled
+// away or the runtime closed by the time the cluster reports on it.
+func (s *System) launchReplica(job *InferenceJob, mi, r int) error {
+	rt := job.runtime
+	_, err := s.cluster.Launch(cluster.Spec{
+		Name:      job.replicaContainer(mi, r),
+		Kind:      cluster.KindWorker,
+		Job:       job.ID,
+		OnFail:    func() { _ = rt.SetReplicaDown(mi, r, true) },
+		OnRestart: func() { _ = rt.SetReplicaDown(mi, r, false) },
+	}, 0)
+	if err != nil {
+		return fmt.Errorf("rafiki: launch replica %s: %w", job.replicaContainer(mi, r), err)
+	}
+	return nil
+}
+
+// releaseContainers removes the job's registered containers (master plus
+// every replica recorded in job.replicas), returning the first error.
+func (s *System) releaseContainers(job *InferenceJob) error {
+	var firstErr error
+	remove := func(name string) {
+		if err := s.cluster.Remove(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	remove(job.masterContainer())
+	for mi := range job.Models {
+		for r := 0; r < job.replicas[mi]; r++ {
+			remove(job.replicaContainer(mi, r))
+		}
+	}
+	return firstErr
+}
+
+// ScaleInference resizes a live deployment's replica pools to replicas per
+// model (every model when model is "", else just the named one). Scaling up
+// launches new worker containers and immediately re-runs a dispatch decision
+// so queued requests flow onto the new capacity; scaling down stops
+// dispatching to the dropped replicas, releases their containers, and lets
+// batches already in flight complete.
+//
+// Scale-down always drops the highest-indexed replicas (container names are
+// positional, so slot indices must stay dense). If that leaves a surviving
+// replica that is currently failed, the model honestly reports no live
+// capacity until the cluster manager's Tick restarts the container — scale
+// down around a known-dead low-indexed replica only after recovery. Models
+// are resized one at a time; on error, completed models keep their new size
+// and the failing model is rolled back.
+func (s *System) ScaleInference(id, model string, replicas int) error {
+	job, err := s.InferenceJobByID(id)
+	if err != nil {
+		return err
+	}
+	if replicas < 1 {
+		return fmt.Errorf("rafiki: scale %s: replicas must be at least 1, got %d", id, replicas)
+	}
+	if replicas > maxReplicasPerModel {
+		return fmt.Errorf("rafiki: scale %s: replicas %d exceeds the per-model cap %d", id, replicas, maxReplicasPerModel)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.stopped {
+		return fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
+	}
+	targets := make([]int, 0, len(job.Models))
+	if model == "" {
+		for mi := range job.Models {
+			targets = append(targets, mi)
+		}
+	} else {
+		mi := -1
+		for i, m := range job.Models {
+			if m.Model == model {
+				mi = i
+				break
+			}
+		}
+		if mi < 0 {
+			return fmt.Errorf("rafiki: scale %s: model %q not deployed", id, model)
+		}
+		targets = append(targets, mi)
+	}
+	for _, mi := range targets {
+		if err := s.scaleModelLocked(job, mi, replicas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaleModelLocked resizes one model's replica pool; job.mu is held. A
+// failed scale-up is rolled back (launched containers removed, engine pool
+// and accounting restored) so the cluster, engine, and replica counts never
+// diverge.
+func (s *System) scaleModelLocked(job *InferenceJob, mi, target int) error {
+	cur := job.replicas[mi]
+	model := job.Models[mi].Model
+	if target > cur {
+		fail := func(launched int, err error) error {
+			for r := launched - 1; r >= cur; r-- {
+				_ = s.cluster.Remove(job.replicaContainer(mi, r))
+			}
+			_ = job.runtime.SetReplicas(mi, cur) // drop the staged slots
+			return err
+		}
+		for r := cur; r < target; r++ {
+			// Stage the engine slot (down) before the container exists so
+			// a failure during launch addresses a live slot instead of
+			// being dropped, then bring it up once the container runs.
+			if _, err := job.runtime.AddReplica(mi); err != nil {
+				return fail(r, fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err))
+			}
+			if err := s.launchReplica(job, mi, r); err != nil {
+				return fail(r, err)
+			}
+			if err := job.runtime.SetReplicaDown(mi, r, false); err != nil {
+				return fail(r+1, fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err))
+			}
+		}
+		job.replicas[mi] = target
+		return nil
+	}
+	if target < cur {
+		// Shrink the engine first (no new work onto dying replicas), then
+		// release the containers; in-flight batches still complete.
+		if err := job.runtime.SetReplicas(mi, target); err != nil {
+			return fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err)
+		}
+		job.replicas[mi] = target
+		for r := cur - 1; r >= target; r-- {
+			if err := s.cluster.Remove(job.replicaContainer(mi, r)); err != nil {
+				return fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err)
+			}
+		}
+	}
+	return nil
+}
+
+// StopInference tears down a deployment: it unregisters the job (later
+// queries see ErrUnknownInferenceJob), closes its runtime — queued futures
+// fail with infer.ErrClosed, in-flight batches complete, poll timers stop —
+// and releases the job's cluster containers.
+func (s *System) StopInference(id string) error {
+	s.mu.Lock()
+	job, ok := s.inferJobs[id]
+	if ok {
+		delete(s.inferJobs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
+	}
+	job.mu.Lock()
+	job.stopped = true
+	job.mu.Unlock()
+	job.runtime.Close()
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return s.releaseContainers(job)
 }
 
 // servingBatches are the runtime's candidate batch sizes. Unlike the
@@ -139,7 +416,30 @@ func (s *System) InferenceJobByID(id string) (*InferenceJob, error) {
 
 // Stats snapshots the job's serving metrics.
 func (j *InferenceJob) Stats() InferenceStats {
-	return InferenceStats{Queries: j.queries.Load(), Stats: j.runtime.Stats()}
+	st := j.runtime.Stats()
+	out := InferenceStats{Queries: j.queries.Load(), Stats: st}
+	if st.DrainRate > 0 {
+		out.RetryAfterSeconds = retryAfter(st.QueueLen, st.DrainRate, j.speedup)
+	}
+	return out
+}
+
+// RetryAfterSeconds estimates the wall seconds until the queue drains a
+// slot for a retried request (0 = no recent drain to estimate from). It
+// reads only the runtime's backpressure counters, so the HTTP 429 path can
+// call it per rejected request without snapshotting full stats.
+func (j *InferenceJob) RetryAfterSeconds() float64 {
+	queueLen, drain := j.runtime.Backpressure()
+	if drain <= 0 {
+		return 0
+	}
+	return retryAfter(queueLen, drain, j.speedup)
+}
+
+// retryAfter converts a queue depth and drain rate (timeline seconds) into
+// wall seconds until one slot should free for a retried request.
+func retryAfter(queueLen int, drainRate, speedup float64) float64 {
+	return float64(queueLen+1) / drainRate / speedup
 }
 
 // QueryResult is a prediction (Figure 2's query.py response).

@@ -56,6 +56,15 @@ type Spec struct {
 	// OnRestart, when non-nil, is invoked after the manager recovers the
 	// container (workers use it to re-register with their master).
 	OnRestart func()
+
+	// OnFail, when non-nil, is invoked (outside the manager state lock)
+	// when the container transitions running → failed — via Kill,
+	// KillNode, or a missed heartbeat detected by Tick. Replica-aware
+	// services use it to stop dispatching onto a dead worker until
+	// recovery fires OnRestart. Hook delivery is serialized in transition
+	// order, so a hook must not call Kill, KillNode or Tick (which
+	// deliver hooks themselves); other manager methods are safe.
+	OnFail func()
 }
 
 // Container is one scheduled instance of a Spec.
@@ -88,6 +97,44 @@ type Manager struct {
 	nodes      map[string]*node
 	nodeOrder  []string
 	containers map[string]*Container
+
+	// hookMu serializes hook delivery so OnFail/OnRestart reach listeners
+	// in the order the state transitions committed under mu (a preempted
+	// Kill must not deliver its OnFail after a concurrent Tick's
+	// OnRestart, which would strand a running replica marked down).
+	// hookQ holds hooks recorded under mu, awaiting delivery.
+	hookMu sync.Mutex
+	hookQ  []func()
+}
+
+// takeHooks removes and returns the queued hooks.
+func (m *Manager) takeHooks() []func() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.hookQ
+	m.hookQ = nil
+	return q
+}
+
+// drainHooksLocked delivers queued hooks until none remain; hookMu is held.
+func (m *Manager) drainHooksLocked() {
+	for {
+		q := m.takeHooks()
+		if len(q) == 0 {
+			return
+		}
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// fireHooks delivers queued hooks in commit order. A caller whose hooks are
+// picked up by a concurrent deliverer simply finds the queue empty.
+func (m *Manager) fireHooks() {
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
+	m.drainHooksLocked()
 }
 
 // NewManager returns a manager with the given heartbeat timeout (seconds).
@@ -209,15 +256,20 @@ func (m *Manager) CheckpointAll() error {
 // the chaos example).
 func (m *Manager) Kill(name string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	c, ok := m.containers[name]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("cluster: unknown container %s", name)
 	}
 	if c.State == StateRunning {
 		m.nodes[c.Node].running--
+		if c.Spec.OnFail != nil {
+			m.hookQ = append(m.hookQ, c.Spec.OnFail)
+		}
 	}
 	c.State = StateFailed
+	m.mu.Unlock()
+	m.fireHooks()
 	return nil
 }
 
@@ -225,9 +277,9 @@ func (m *Manager) Kill(name string) error {
 // failure). Dead nodes receive no placements until revived.
 func (m *Manager) KillNode(nodeID string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	n, ok := m.nodes[nodeID]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("cluster: unknown node %s", nodeID)
 	}
 	n.alive = false
@@ -235,8 +287,13 @@ func (m *Manager) KillNode(nodeID string) error {
 		if c.Node == nodeID && c.State == StateRunning {
 			c.State = StateFailed
 			n.running--
+			if c.Spec.OnFail != nil {
+				m.hookQ = append(m.hookQ, c.Spec.OnFail)
+			}
 		}
 	}
+	m.mu.Unlock()
+	m.fireHooks()
 	return nil
 }
 
@@ -267,6 +324,23 @@ func (m *Manager) Stop(name string) error {
 	return nil
 }
 
+// Remove stops a container and deletes its record, freeing the name for
+// relaunch — how services release containers on teardown or scale-down
+// (a plain Stop leaves a tombstone that blocks re-Launching the name).
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown container %s", name)
+	}
+	if c.State == StateRunning {
+		m.nodes[c.Node].running--
+	}
+	delete(m.containers, name)
+	return nil
+}
+
 // Tick scans for silent containers (no heartbeat within the timeout),
 // marks them failed, and recovers every failed container: it reschedules it
 // on a node with capacity, restores masters from their last snapshot and
@@ -278,10 +352,18 @@ func (m *Manager) Tick(now float64) ([]string, error) {
 		if c.State == StateRunning && now-c.lastBeat > m.HeartbeatTimeout {
 			c.State = StateFailed
 			m.nodes[c.Node].running--
+			if c.Spec.OnFail != nil {
+				m.hookQ = append(m.hookQ, c.Spec.OnFail)
+			}
 		}
 	}
-	// Phase 2: recover failed containers.
-	var recovered []*Container
+	// Phase 2: recover failed containers. The restore+OnRestart work is
+	// queued here, at commit time under the state lock, so hook delivery
+	// order always equals commit order — a concurrent Kill that commits
+	// after a recovery appends (and therefore delivers) after it.
+	var names []string
+	var errMu sync.Mutex
+	var firstErr error
 	for _, name := range m.containerNamesLocked() {
 		c := m.containers[name]
 		if c.State != StateFailed {
@@ -296,25 +378,31 @@ func (m *Manager) Tick(now float64) ([]string, error) {
 		c.Restarts++
 		c.lastBeat = now
 		m.nodes[nodeID].running++
-		recovered = append(recovered, c)
+		names = append(names, c.Spec.Name)
+		m.hookQ = append(m.hookQ, func() {
+			if c.Spec.Checkpoint != nil && c.snapshot != nil {
+				if err := c.Spec.Checkpoint.Restore(c.snapshot); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: restore %s: %w", c.Spec.Name, err)
+					}
+					errMu.Unlock()
+				}
+			}
+			if c.Spec.OnRestart != nil {
+				c.Spec.OnRestart()
+			}
+		})
 	}
 	m.mu.Unlock()
 
-	// Phase 3: restore state and fire hooks outside the lock (hooks may call
-	// back into the manager).
-	var names []string
-	var firstErr error
-	for _, c := range recovered {
-		if c.Spec.Checkpoint != nil && c.snapshot != nil {
-			if err := c.Spec.Checkpoint.Restore(c.snapshot); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("cluster: restore %s: %w", c.Spec.Name, err)
-			}
-		}
-		if c.Spec.OnRestart != nil {
-			c.Spec.OnRestart()
-		}
-		names = append(names, c.Spec.Name)
-	}
+	// Phase 3: deliver. Either this call drains its own queue entries, or
+	// a concurrent deliverer holding hookMu already ran them — acquiring
+	// hookMu in fireHooks means they have completed either way, so the
+	// restore errors are fully collected before the read below.
+	m.fireHooks()
+	errMu.Lock()
+	defer errMu.Unlock()
 	sort.Strings(names)
 	return names, firstErr
 }

@@ -254,3 +254,101 @@ func TestContainersListing(t *testing.T) {
 		t.Fatal("unknown container should error")
 	}
 }
+
+func TestOnFailHooks(t *testing.T) {
+	m := mgr(t, 2, 2)
+	var failed, restarted []string
+	spec := func(name string) Spec {
+		return Spec{
+			Name: name, Kind: KindWorker, Job: "serve",
+			OnFail:    func() { failed = append(failed, name) },
+			OnRestart: func() { restarted = append(restarted, name) },
+		}
+	}
+	if _, err := m.Launch(spec("r0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch(spec("r1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill fires OnFail exactly once (the container is already failed on a
+	// second Kill).
+	if err := m.Kill("r0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kill("r0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != "r0" {
+		t.Fatalf("failed = %v, want [r0]", failed)
+	}
+	// Recovery fires OnRestart.
+	if _, err := m.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(restarted) != 1 || restarted[0] != "r0" {
+		t.Fatalf("restarted = %v, want [r0]", restarted)
+	}
+	// A missed heartbeat detected by Tick fires OnFail too (and the same
+	// Tick recovers, firing OnRestart after it).
+	failed, restarted = nil, nil
+	if _, err := m.Tick(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 2 || len(restarted) != 2 {
+		t.Fatalf("failed=%v restarted=%v, want both silent containers cycled", failed, restarted)
+	}
+}
+
+func TestKillNodeFiresOnFail(t *testing.T) {
+	m := mgr(t, 1, 1)
+	fails := 0
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.Launch(Spec{Name: n, Kind: KindWorker, OnFail: func() { fails++ }}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := m.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillNode(c.Node); err != nil {
+		t.Fatal(err)
+	}
+	if fails != 1 {
+		t.Fatalf("OnFail fired %d times, want 1 (only node %s's container)", fails, c.Node)
+	}
+}
+
+func TestRemoveFreesNameAndCapacity(t *testing.T) {
+	m := mgr(t, 1)
+	if _, err := m.Launch(Spec{Name: "w"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Stop leaves a tombstone: the name cannot be relaunched.
+	if err := m.Stop("w"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch(Spec{Name: "w"}, 0); err == nil {
+		t.Fatal("relaunch over a stopped container should error")
+	}
+	if err := m.Remove("w"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("w"); err == nil {
+		t.Fatal("removed container should be unknown")
+	}
+	// Name and capacity are free again.
+	if _, err := m.Launch(Spec{Name: "w"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("w"); err != nil {
+		t.Fatal(err)
+	}
+	if running, _, err := m.NodeLoad(nodeID(0)); err != nil || running != 0 {
+		t.Fatalf("node load after remove = %d (err %v), want 0", running, err)
+	}
+	if err := m.Remove("ghost"); err == nil {
+		t.Fatal("removing an unknown container should error")
+	}
+}

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"fmt"
+	"math"
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/metrics"
@@ -18,6 +19,8 @@ type DispatchOutcome struct {
 	// Models are the serving model indices; ModelNames the matching names.
 	Models     []int
 	ModelNames []string
+	// Replicas[i] is the replica slot of Models[i] that serves the batch.
+	Replicas []int
 	// Batch is the chosen candidate batch size (≥ len(Requests)).
 	Batch int
 	// Decided is the decision time; ModelFinish[i] is when Models[i] frees
@@ -51,8 +54,13 @@ type Engine struct {
 	// MeasureFrom discards metrics before this time (RL warm-up).
 	MeasureFrom float64
 
-	queue   *Queue
-	busy    []float64 // per-model busy-until
+	queue *Queue
+	// busy[m][r] is the busy-until time of replica r of model m; down[m][r]
+	// marks a replica whose container is dead (excluded from dispatch until
+	// the cluster manager restarts it). State/dispatch always work off the
+	// earliest-free available replica, so policies keep their per-model view.
+	busy    [][]float64
+	down    [][]bool
 	met     *Metrics
 	maxAccT float64
 }
@@ -60,18 +68,112 @@ type Engine struct {
 // NewEngine wires an engine with a queue of the given capacity
 // (0 = unbounded; the paper drops arrivals beyond a full queue).
 func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap int) *Engine {
-	return &Engine{
+	e := &Engine{
 		Deployment: d,
 		Policy:     p,
 		AccTable:   acc,
 		queue:      NewQueue(queueCap),
-		busy:       make([]float64, len(d.Profiles)),
+		busy:       make([][]float64, len(d.Profiles)),
+		down:       make([][]bool, len(d.Profiles)),
 		met: &Metrics{
 			OverdueRate: metrics.NewWindowCounter(1),
 			ArrivalRate: metrics.NewWindowCounter(1),
-			Accuracy:    metrics.NewTimeSeries("accuracy"),
+			// Only the recent tail feeds drain-rate estimates, so bound
+			// retention: a long-lived runtime must not grow one map entry
+			// per second of serving forever.
+			ServedRate: boundedWindowCounter(1, 64),
+			Accuracy:   metrics.NewTimeSeries("accuracy"),
 		},
 	}
+	for m := range e.busy {
+		e.busy[m] = make([]float64, d.ReplicaCount(m))
+		e.down[m] = make([]bool, d.ReplicaCount(m))
+	}
+	return e
+}
+
+// boundedWindowCounter builds a window counter keeping only the most recent
+// keep windows.
+func boundedWindowCounter(width float64, keep int) *metrics.WindowCounter {
+	w := metrics.NewWindowCounter(width)
+	w.Keep = keep
+	return w
+}
+
+// ReplicaCounts returns the current per-model replica counts.
+func (e *Engine) ReplicaCounts() []int {
+	out := make([]int, len(e.busy))
+	for m, reps := range e.busy {
+		out[m] = len(reps)
+	}
+	return out
+}
+
+// SetReplicas resizes model m's replica pool to n. Growing adds immediately
+// free replicas; shrinking drops the highest-indexed slots (their containers
+// are being torn down — batches already dispatched to them still complete,
+// the slots just stop taking new work).
+func (e *Engine) SetReplicas(m, n int) error {
+	if m < 0 || m >= len(e.busy) {
+		return fmt.Errorf("infer: model index %d out of range", m)
+	}
+	if n < 1 {
+		return fmt.Errorf("infer: model %s needs at least one replica, got %d", e.Deployment.ModelNames[m], n)
+	}
+	for len(e.busy[m]) < n {
+		e.busy[m] = append(e.busy[m], 0)
+		e.down[m] = append(e.down[m], false)
+	}
+	e.busy[m] = e.busy[m][:n]
+	e.down[m] = e.down[m][:n]
+	return nil
+}
+
+// AddReplica appends one replica slot for model m in the down state and
+// returns its index. Callers bringing real capacity online register the
+// container first and then mark the slot up (SetReplicaDown false), so a
+// container that dies during launch always addresses a live slot index.
+func (e *Engine) AddReplica(m int) (int, error) {
+	if m < 0 || m >= len(e.busy) {
+		return 0, fmt.Errorf("infer: model index %d out of range", m)
+	}
+	e.busy[m] = append(e.busy[m], 0)
+	e.down[m] = append(e.down[m], true)
+	return len(e.busy[m]) - 1, nil
+}
+
+// SetReplicaDown marks replica r of model m dead (down=true: dispatch skips
+// it) or recovered (down=false). The cluster manager's failure-detection and
+// restart hooks drive this.
+func (e *Engine) SetReplicaDown(m, r int, down bool) error {
+	if m < 0 || m >= len(e.busy) {
+		return fmt.Errorf("infer: model index %d out of range", m)
+	}
+	if r < 0 || r >= len(e.busy[m]) {
+		return fmt.Errorf("infer: model %s has no replica %d", e.Deployment.ModelNames[m], r)
+	}
+	e.down[m][r] = down
+	if !down {
+		// A restarted container comes back idle regardless of what its
+		// predecessor was doing.
+		e.busy[m][r] = 0
+	}
+	return nil
+}
+
+// bestReplica returns the earliest-free available replica of model m and its
+// busy-until time; ok is false when every replica is down.
+func (e *Engine) bestReplica(m int) (idx int, until float64, ok bool) {
+	idx = -1
+	for r, u := range e.busy[m] {
+		if e.down[m][r] {
+			continue
+		}
+		if idx < 0 || u < until {
+			idx, until = r, u
+		}
+	}
+	return idx, until, idx >= 0
 }
 
 // Metrics returns the engine's live metrics. Callers must not mutate them
@@ -147,7 +249,16 @@ func (e *Engine) state(now float64) *State {
 		Batches:      d.Batches,
 		LatencyTable: d.LatencyTable(),
 	}
-	for i, until := range e.busy {
+	for i := range e.busy {
+		// The model looks free/busy as its best replica: policies keep
+		// their per-model view and replication only widens capacity.
+		_, until, ok := e.bestReplica(i)
+		if !ok {
+			// Every replica is down: the model cannot serve until the
+			// cluster manager restarts a container.
+			st.BusyLeft[i] = math.Inf(1)
+			continue
+		}
 		left := until - now
 		if left <= 1e-12 {
 			st.FreeModels[i] = true
@@ -177,14 +288,20 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 		return DispatchOutcome{}, fmt.Errorf("infer: batch %d not a candidate of %v", act.Batch, d.Batches)
 	}
 	names := make([]string, len(act.Models))
+	replicas := make([]int, len(act.Models))
 	for i, mi := range act.Models {
 		if mi < 0 || mi >= len(d.Profiles) {
 			return DispatchOutcome{}, fmt.Errorf("infer: model index %d out of range", mi)
 		}
-		if e.busy[mi] > now+1e-12 {
-			return DispatchOutcome{}, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], e.busy[mi])
+		rep, until, ok := e.bestReplica(mi)
+		if !ok {
+			return DispatchOutcome{}, fmt.Errorf("infer: model %s has no live replica", d.ModelNames[mi])
+		}
+		if until > now+1e-12 {
+			return DispatchOutcome{}, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], until)
 		}
 		names[i] = d.ModelNames[mi]
+		replicas[i] = rep
 	}
 	n := act.Batch
 	if n > e.queue.Len() {
@@ -199,15 +316,17 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 		Requests:    batch,
 		Models:      append([]int(nil), act.Models...),
 		ModelNames:  names,
+		Replicas:    replicas,
 		Batch:       act.Batch,
 		Decided:     now,
 		ModelFinish: make([]float64, len(act.Models)),
 		Finish:      now,
 	}
-	// Occupy the selected models; the ensemble completes with the slowest.
+	// Occupy the chosen replica of each selected model; the ensemble
+	// completes with the slowest.
 	for i, mi := range act.Models {
 		f := now + d.Profiles[mi].BatchLatency(n)
-		e.busy[mi] = f
+		e.busy[mi][replicas[i]] = f
 		out.ModelFinish[i] = f
 		if f > out.Finish {
 			out.Finish = f
@@ -215,6 +334,9 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 	}
 
 	measured := now >= e.MeasureFrom
+	if measured {
+		e.met.ServedRate.Add(out.Finish, float64(n))
+	}
 	for _, r := range batch {
 		lat := out.Finish - r.Arrival
 		if measured {

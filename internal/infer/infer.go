@@ -175,6 +175,20 @@ type Deployment struct {
 	// the signal-to-noise without changing which subset is best or the
 	// role of β.
 	AccuracyEmphasis float64
+	// Replicas is the initial per-model replica count — how many cluster
+	// containers serve each model concurrently (Section 6's horizontal
+	// scaling). nil, short, or non-positive entries mean one replica, which
+	// reproduces the single-instance engine bit-for-bit. Live deployments
+	// resize the pool through Engine.SetReplicas.
+	Replicas []int
+}
+
+// ReplicaCount returns the configured replica count for model m (≥ 1).
+func (d *Deployment) ReplicaCount(m int) int {
+	if m < len(d.Replicas) && d.Replicas[m] > 0 {
+		return d.Replicas[m]
+	}
+	return 1
 }
 
 // NewDeployment builds a deployment for the named models.
@@ -261,6 +275,10 @@ type Metrics struct {
 	OverdueRate *metrics.WindowCounter
 	// ArrivalRate is a per-second time series of arrivals.
 	ArrivalRate *metrics.WindowCounter
+	// ServedRate counts completed requests per second, stamped at their
+	// batch finish time — the queue's drain rate, which backpressure
+	// replies (HTTP 429 Retry-After) derive their estimate from.
+	ServedRate *metrics.WindowCounter
 	// Accuracy is the per-batch ensemble accuracy over time (Figures
 	// 14a/15a...); only populated when ground truth simulation is on.
 	Accuracy *metrics.TimeSeries

@@ -70,7 +70,18 @@ type Stats struct {
 	P50Latency float64 `json:"p50_latency_seconds"`
 	P99Latency float64 `json:"p99_latency_seconds"`
 	Reward     float64 `json:"reward"`
+	// Replicas is the live per-model replica count (parallel to the
+	// deployment's model list).
+	Replicas []int `json:"replicas"`
+	// DrainRate estimates the queue's recent drain in requests per timeline
+	// second (completions over the last drainWindow seconds, including
+	// batches already dispatched and finishing shortly). 0 means nothing
+	// has drained recently — callers fall back to a fixed retry hint.
+	DrainRate float64 `json:"drain_rate"`
 }
+
+// drainWindow is the lookback (timeline seconds) of Stats.DrainRate.
+const drainWindow = 5.0
 
 // RuntimeConfig tunes a Runtime.
 type RuntimeConfig struct {
@@ -133,9 +144,20 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	eng := NewEngine(d, p, acc, queueCap)
 	eng.Predictor = cfg.Predictor
 	eng.MeasureFrom = cfg.MeasureFrom
+	// Prime the accuracy surrogate for the full ensemble (the live path's
+	// default subset): its first evaluation simulates the whole sample set
+	// (~100ms+) and would otherwise stall the first dispatch — and every
+	// Submit behind it — under the runtime lock.
+	if acc != nil {
+		_, _ = acc.Accuracy(d.ModelNames)
+	}
 	// A runtime lives as long as its deployment: bound the latency history
-	// so memory stays flat and Stats percentiles cover a recent window.
+	// so memory stays flat and Stats percentiles cover a recent window,
+	// and bound the rate windows the same way (the simulator keeps full
+	// histories for figures; a live runtime only reads recent tails).
 	eng.Metrics().LatencyCap = 4096
+	eng.Metrics().ArrivalRate.Keep = 64
+	eng.Metrics().OverdueRate.Keep = 64
 	return &Runtime{
 		tl:      tl,
 		exec:    exec,
@@ -274,6 +296,72 @@ func (r *Runtime) failLocked(err error) {
 	}
 }
 
+// SetReplicas resizes model m's replica pool on the live runtime. Growing
+// immediately re-runs a decision point so queued requests flow onto the new
+// capacity; shrinking stops dispatching to the dropped slots while batches
+// already in flight on them still complete.
+func (r *Runtime) SetReplicas(m, n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		if r.err != nil {
+			return r.err
+		}
+		return ErrClosed
+	}
+	if err := r.eng.SetReplicas(m, n); err != nil {
+		return err
+	}
+	return r.step(r.tl.Now())
+}
+
+// AddReplica appends one replica slot for model m in the down state and
+// returns its index — the scale-up staging step: slot first, container
+// launch second, SetReplicaDown(m, r, false) once it is running. No
+// decision point runs (a down slot adds no capacity).
+func (r *Runtime) AddReplica(m int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		if r.err != nil {
+			return 0, r.err
+		}
+		return 0, ErrClosed
+	}
+	return r.eng.AddReplica(m)
+}
+
+// SetReplicaDown marks replica rep of model m dead or recovered, feeding the
+// cluster manager's failure detection and container restarts back into
+// dispatch availability. Recovery re-runs a decision point.
+func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		if r.err != nil {
+			return r.err
+		}
+		return ErrClosed
+	}
+	if err := r.eng.SetReplicaDown(m, rep, down); err != nil {
+		return err
+	}
+	if down {
+		return nil
+	}
+	return r.step(r.tl.Now())
+}
+
+// Backpressure reads the queue length and recent drain rate without the
+// full Stats snapshot (no latency copy or percentile sort) — the rejection
+// path calls this once per queue-full request, exactly when the runtime is
+// saturated.
+func (r *Runtime) Backpressure() (queueLen int, drainRate float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng.QueueLen(), r.eng.Metrics().ServedRate.TotalSince(r.tl.Now()-drainWindow) / drainWindow
+}
+
 // Stats snapshots the serving metrics. The percentile sort runs on a copy
 // outside the runtime lock, so scraping stats never stalls serving.
 func (r *Runtime) Stats() Stats {
@@ -287,6 +375,8 @@ func (r *Runtime) Stats() Stats {
 		Dispatches: m.Dispatches,
 		QueueLen:   r.eng.QueueLen(),
 		Reward:     m.Reward,
+		Replicas:   r.eng.ReplicaCounts(),
+		DrainRate:  m.ServedRate.TotalSince(r.tl.Now()-drainWindow) / drainWindow,
 	}
 	lat := append([]float64(nil), m.Latencies...)
 	r.mu.Unlock()

@@ -102,7 +102,13 @@ func (ts *TimeSeries) Rebin(width float64) []Point {
 // WindowCounter counts events into fixed-width time windows, producing a
 // rate series (events/second).
 type WindowCounter struct {
-	Width  float64
+	Width float64
+	// Keep, when > 0, bounds retention to the most recent Keep windows:
+	// older windows are discarded as time advances, so a long-lived
+	// counter that only feeds recent-rate queries (TotalSince) stays O(1)
+	// in memory instead of growing one entry per elapsed window forever.
+	// Total/Rate then cover only the retained span.
+	Keep   int
 	counts map[int]float64
 	minIdx int
 	maxIdx int
@@ -128,6 +134,11 @@ func (w *WindowCounter) Add(t, weight float64) {
 		w.maxIdx = idx
 	}
 	w.any = true
+	if w.Keep > 0 {
+		for lo := w.maxIdx - w.Keep; w.minIdx <= lo; w.minIdx++ {
+			delete(w.counts, w.minIdx)
+		}
+	}
 }
 
 // Rate returns one point per window covering the observed span, valued as
@@ -144,6 +155,23 @@ func (w *WindowCounter) Rate() []Point {
 		})
 	}
 	return out
+}
+
+// TotalSince returns the sum of weights recorded in windows starting at or
+// after time t — the recent-activity tail a live rate estimate reads.
+func (w *WindowCounter) TotalSince(t float64) float64 {
+	if !w.any {
+		return 0
+	}
+	lo := int(math.Floor(t / w.Width))
+	if lo < w.minIdx {
+		lo = w.minIdx
+	}
+	s := 0.0
+	for i := lo; i <= w.maxIdx; i++ {
+		s += w.counts[i]
+	}
+	return s
 }
 
 // Total returns the sum of all recorded weights.

@@ -119,13 +119,35 @@ func (c *Client) GetModels(jobID string) ([]rafiki.ModelInstance, error) {
 	return out, nil
 }
 
-// Inference deploys a finished training job's models.
+// Inference deploys a finished training job's models with default options.
 func (c *Client) Inference(trainJobID string) (string, error) {
+	return c.Deploy(InferenceRequest{TrainJobID: trainJobID})
+}
+
+// Deploy deploys models for serving with full control over the request body
+// (explicit models, replicas, queue cap).
+func (c *Client) Deploy(req InferenceRequest) (string, error) {
 	var out InferenceResponse
-	if err := c.do(http.MethodPost, "/api/v1/inference", InferenceRequest{TrainJobID: trainJobID}, &out); err != nil {
+	if err := c.do(http.MethodPost, "/api/v1/inference", req, &out); err != nil {
 		return "", err
 	}
 	return out.JobID, nil
+}
+
+// Scale resizes a deployment's replica pools (every model when model is "",
+// else the named one) and returns the per-model counts after the resize.
+func (c *Client) Scale(inferJobID, model string, replicas int) (map[string]int, error) {
+	var out ScaleResponse
+	if err := c.do(http.MethodPost, "/api/v1/inference/"+inferJobID+"/scale",
+		ScaleRequest{Model: model, Replicas: replicas}, &out); err != nil {
+		return nil, err
+	}
+	return out.Replicas, nil
+}
+
+// StopInference tears down a deployment and releases its containers.
+func (c *Client) StopInference(inferJobID string) error {
+	return c.do(http.MethodDelete, "/api/v1/inference/"+inferJobID, nil, nil)
 }
 
 // InferenceStats fetches a deployed job's serving metrics.

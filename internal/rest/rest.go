@@ -10,21 +10,27 @@
 //	POST /api/v1/train                 submit a training job
 //	GET  /api/v1/train/{id}            training job status
 //	GET  /api/v1/train/{id}/models     trained model instances
-//	POST /api/v1/inference             deploy models for serving
-//	GET  /api/v1/inference/{id}/stats  serving metrics (batching, SLO, latency)
+//	POST /api/v1/inference             deploy models for serving (replicas, queue_cap)
+//	GET  /api/v1/inference/{id}/stats  serving metrics (batching, SLO, latency, replicas)
+//	POST /api/v1/inference/{id}/scale  resize the deployment's replica pools
+//	DELETE /api/v1/inference/{id}      stop the deployment, release its containers
 //	POST /api/v1/query/{id}            classify a payload
 //
 // Queries are served through the deployment's batching runtime: concurrent
 // POST /query callers are grouped into shared batches by the serving policy
 // (Section 5), which the stats endpoint makes observable (dispatches <
-// served under concurrency).
+// served under concurrency). A full queue answers 429 with a Retry-After
+// header derived from the runtime's recent drain rate; a stopped or
+// poisoned deployment answers 503.
 package rest
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"rafiki"
@@ -48,6 +54,8 @@ func NewServer(sys *rafiki.System) *Server {
 	s.mux.HandleFunc("GET /api/v1/train/{id}/models", s.handleTrainModels)
 	s.mux.HandleFunc("POST /api/v1/inference", s.handleInference)
 	s.mux.HandleFunc("GET /api/v1/inference/{id}/stats", s.handleInferenceStats)
+	s.mux.HandleFunc("POST /api/v1/inference/{id}/scale", s.handleInferenceScale)
+	s.mux.HandleFunc("DELETE /api/v1/inference/{id}", s.handleInferenceStop)
 	s.mux.HandleFunc("POST /api/v1/query/{id}", s.handleQuery)
 	return s
 }
@@ -169,15 +177,20 @@ func (s *Server) handleTrainModels(w http.ResponseWriter, r *http.Request) {
 }
 
 // InferenceRequest deploys models: either everything from a finished
-// training job, or an explicit instance list.
+// training job, or an explicit instance list. Replicas sets the per-model
+// container count (default 1) and QueueCap bounds the request queue
+// (default 4096).
 type InferenceRequest struct {
 	TrainJobID string                 `json:"train_job_id,omitempty"`
 	Models     []rafiki.ModelInstance `json:"models,omitempty"`
+	Replicas   int                    `json:"replicas,omitempty"`
+	QueueCap   int                    `json:"queue_cap,omitempty"`
 }
 
-// InferenceResponse carries the deployed job handle.
+// InferenceResponse carries the deployed job handle and its replica counts.
 type InferenceResponse struct {
-	JobID string `json:"job_id"`
+	JobID    string         `json:"job_id"`
+	Replicas map[string]int `json:"replicas,omitempty"`
 }
 
 func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
@@ -195,12 +208,64 @@ func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := s.sys.Inference(models)
+	job, err := s.sys.InferenceWithOpts(models, rafiki.InferenceOpts{
+		Replicas: req.Replicas,
+		QueueCap: req.QueueCap,
+	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, InferenceResponse{JobID: job.ID})
+	writeJSON(w, http.StatusCreated, InferenceResponse{JobID: job.ID, Replicas: job.ReplicaCounts()})
+}
+
+// ScaleRequest resizes a live deployment's replica pools: every model when
+// Model is empty, else just the named one.
+type ScaleRequest struct {
+	Model    string `json:"model,omitempty"`
+	Replicas int    `json:"replicas"`
+}
+
+// ScaleResponse reports the per-model replica counts after the resize.
+type ScaleResponse struct {
+	JobID    string         `json:"job_id"`
+	Replicas map[string]int `json:"replicas"`
+}
+
+func (s *Server) handleInferenceScale(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req ScaleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	if err := s.sys.ScaleInference(id, req.Model, req.Replicas); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	job, err := s.sys.InferenceJobByID(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScaleResponse{JobID: id, Replicas: job.ReplicaCounts()})
+}
+
+func (s *Server) handleInferenceStop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sys.StopInference(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleInferenceStats(w http.ResponseWriter, r *http.Request) {
@@ -231,18 +296,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sys.Query(id, []byte(req.Image))
 	if err != nil {
-		// Only a missing deployment is 404; overload (full queue) and
-		// shutdown are transient 503s, and anything else — executor
-		// failures, a poisoned runtime — is a genuine server fault.
+		// Only a missing deployment is 404. A full queue is backpressure,
+		// not a server fault: 429 with a Retry-After hint from the
+		// runtime's recent drain rate. Shutdown is a transient 503, and
+		// anything else — executor failures, a poisoned runtime — is a
+		// genuine server fault.
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, rafiki.ErrUnknownInferenceJob):
 			status = http.StatusNotFound
-		case errors.Is(err, infer.ErrQueueFull), errors.Is(err, infer.ErrClosed):
+		case errors.Is(err, infer.ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(id)))
+			status = http.StatusTooManyRequests
+		case errors.Is(err, infer.ErrClosed):
 			status = http.StatusServiceUnavailable
 		}
 		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// retryAfter turns a rejected query's drain estimate into whole Retry-After
+// seconds, clamped to [1, 60]; 1 when the runtime has no estimate yet.
+func (s *Server) retryAfter(jobID string) int {
+	job, err := s.sys.InferenceJobByID(jobID)
+	if err != nil {
+		return 1
+	}
+	secs := int(math.Ceil(job.RetryAfterSeconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }

@@ -2,7 +2,9 @@ package rest
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -227,4 +229,148 @@ func TestModelsBeforeDoneConflict(t *testing.T) {
 	if _, err := c.GetModels(jobID); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// trainAndDeploy is the shared fixture for the replica/backpressure tests:
+// import + train once, deploy with the given request knobs.
+func trainAndDeploy(t *testing.T, c *Client, req InferenceRequest) string {
+	t.Helper()
+	if _, err := c.ImportImages("food", map[string]int{"pizza": 40, "ramen": 40}); err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := c.Train(TrainRequest{
+		Name: "t", Data: "food", Task: "ImageClassification",
+		Hyper: rafiki.HyperConf{MaxTrials: 6, CoStudy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 200); err != nil {
+		t.Fatal(err)
+	}
+	req.TrainJobID = jobID
+	infID, err := c.Deploy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return infID
+}
+
+// TestQueueFullAnswers429WithRetryAfter saturates a 2-slot queue with a
+// concurrent burst (run under -race): rejected queries must get 429 + a
+// Retry-After hint, not 503, while accepted ones still get predictions.
+func TestQueueFullAnswers429WithRetryAfter(t *testing.T) {
+	c, ts := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{QueueCap: 2})
+
+	const n = 30
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.HTTP.Post(ts.URL+"/api/v1/query/"+infID, "application/json",
+				strings.NewReader(fmt.Sprintf(`{"img":"burst_%d_pizza.jpg"}`, i)))
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	ok, backpressure := 0, 0
+	for i, code := range codes {
+		switch code {
+		case 200:
+			ok++
+		case 429:
+			backpressure++
+			if secs, err := strconv.Atoi(retryAfter[i]); err != nil || secs < 1 {
+				t.Fatalf("429 response %d Retry-After = %q, want integer seconds >= 1", i, retryAfter[i])
+			}
+		default:
+			t.Fatalf("query %d status = %d, want 200 or 429", i, code)
+		}
+	}
+	if backpressure == 0 {
+		t.Fatalf("no 429s from a %d-burst against a 2-slot queue (ok=%d)", n, ok)
+	}
+	if ok == 0 {
+		t.Fatal("every query was rejected; the queue never drained")
+	}
+	// The stats endpoint exposes the drop count and replica layout.
+	st, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != backpressure {
+		t.Fatalf("stats dropped = %d, want %d", st.Dropped, backpressure)
+	}
+	if len(st.Replicas) == 0 {
+		t.Fatalf("stats missing replicas: %+v", st)
+	}
+}
+
+// TestScaleAndStopEndpoints exercises the replica-scaling and teardown
+// routes end to end.
+func TestScaleAndStopEndpoints(t *testing.T) {
+	c, ts := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{Replicas: 2})
+
+	counts, err := c.Scale(infID, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatalf("scale returned no replica counts")
+	}
+	for m, n := range counts {
+		if n != 3 {
+			t.Fatalf("model %s = %d replicas after scale, want 3", m, n)
+		}
+	}
+	if _, err := c.Query(infID, "post_scale_ramen.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	// Scale validation: unknown job is 404, bad count is 400.
+	if _, err := c.Scale("ghost", "", 2); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("scale unknown job err = %v", err)
+	}
+	if _, err := c.Scale(infID, "", 0); err == nil {
+		t.Fatal("scale to 0 should error")
+	}
+
+	// Teardown: 204, then every later use of the ID is 404.
+	if err := c.StopInference(infID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(infID, "late.jpg"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("query after stop err = %v, want unknown job", err)
+	}
+	if _, err := c.InferenceStats(infID); err == nil {
+		t.Fatal("stats after stop should 404")
+	}
+	resp, err := c.HTTP.Do(mustReq(t, "DELETE", ts.URL+"/api/v1/inference/"+infID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("double delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func mustReq(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
 }
