@@ -12,19 +12,34 @@
 //	     -d '{"name":"food","folders":{"pizza":200,"ramen":200}}'
 //	curl -X POST localhost:8080/api/v1/train \
 //	     -d '{"name":"t","data":"food","task":"ImageClassification","hyper":{"MaxTrials":20,"CoStudy":true}}'
+//	curl localhost:8080/api/v1/train                 # list training jobs
 //	curl localhost:8080/api/v1/train/train-0001
-//	curl -X POST localhost:8080/api/v1/inference -d '{"train_job_id":"train-0001","replicas":2}'
+//
+// Deployments are declarative resources: POST a DeploymentSpec — scheduling
+// policy ("greedy" full-ensemble Algorithm 3 or "rl" actor-critic training
+// online from Equation 7 rewards), latency SLO, queue cap, per-model replica
+// bounds and an autoscale toggle — then GET it back and PUT changes against
+// the live runtime:
+//
+//	curl -X POST localhost:8080/api/v1/inference \
+//	     -d '{"train_job_id":"train-0001","policy":"greedy","replicas":{"min":2,"max":8},"autoscale":true}'
+//	curl localhost:8080/api/v1/inference             # list deployments
+//	curl localhost:8080/api/v1/inference/infer-0002  # spec + observed status
+//	curl -X PUT localhost:8080/api/v1/inference/infer-0002 \
+//	     -d '{"policy":"rl","slo_seconds":0.5,"replicas":{"min":2,"max":8}}'
 //	curl -X POST localhost:8080/api/v1/query/infer-0002 -d '{"img":"my_pizza.jpg"}'
 //	curl localhost:8080/api/v1/inference/infer-0002/stats
 //	curl -X POST localhost:8080/api/v1/inference/infer-0002/scale -d '{"replicas":4}'
 //	curl -X DELETE localhost:8080/api/v1/inference/infer-0002
 //
 // Queries run through the deployment's batching runtime: concurrent clients
-// share batches under the -slo deadline (Algorithm 3), observable on the
-// stats endpoint as dispatches < served. Each model runs as one or more
-// replica containers on the simulated cluster; the scale endpoint resizes
-// the pools on the live deployment, and a full queue answers 429 with a
-// Retry-After hint derived from the recent drain rate.
+// share batches under the spec's SLO deadline, observable on the stats
+// endpoint as dispatches < served. Each model runs as one or more replica
+// containers on the simulated cluster; a PUT reconcile swaps policy or
+// bounds on the live deployment without dropping queued queries, the
+// autoscaler moves replica pools with the queue's backpressure signals, and
+// a full queue answers 429 with a Retry-After hint derived from the recent
+// drain rate.
 package main
 
 import (

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := client.WaitTrain(trainID, 0, 10000); err != nil {
+	if _, err := client.WaitTrain(context.Background(), trainID, 0, 10000); err != nil {
 		log.Fatal(err)
 	}
 	inferID, err := client.Inference(trainID)

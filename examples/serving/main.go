@@ -10,6 +10,11 @@
 // wall-clock Runtime serves real concurrent clients — goroutines hammering
 // one deployment through per-request futures, batched by the same policy.
 //
+// The final act moves up to the SDK's declarative deployment API: a
+// DeploymentSpec deploys the trained ensemble under the RL policy with
+// autoscaling replica bounds, and a reconcile swaps the policy on the live
+// deployment without dropping queued queries.
+//
 // Run with: go run ./examples/serving
 package main
 
@@ -19,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"rafiki"
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
 	"rafiki/internal/rl"
@@ -86,6 +92,81 @@ func main() {
 	q1 := wallClock(models, 1)
 	q4 := wallClock(models, 4)
 	fmt.Printf("\nhorizontal scaling: %.0f r/s at 1 replica -> %.0f r/s at 4 replicas (%.1fx)\n", q1, q4, q4/q1)
+
+	declarative()
+}
+
+// declarative is the SDK view of the same machinery: deployments are
+// DeploymentSpec resources — policy, SLO, queue cap, replica bounds,
+// autoscale — realized by Deploy and mutated in place by ReconcileInference.
+func declarative() {
+	sys, err := rafiki.New(rafiki.Options{Seed: 11, Workers: 2, ServeSpeedup: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.ImportImages("food", map[string]int{"pizza": 60, "ramen": 60, "salad": 60}); err != nil {
+		log.Fatal(err)
+	}
+	job, err := sys.Train(rafiki.TrainConfig{
+		Name: "food", Data: "food", Task: rafiki.ImageClassification,
+		Hyper: rafiki.HyperConf{MaxTrials: 8, CoStudy: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	trained, err := sys.GetModels(job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Declare the deployment: RL scheduling, autoscaling 1..4 replicas.
+	inf, err := sys.Deploy(rafiki.DeploymentSpec{
+		Models:    trained,
+		Policy:    rafiki.PolicyRL,
+		SLO:       0.25,
+		Replicas:  rafiki.ReplicaBounds{Min: 1, Max: 4},
+		Autoscale: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeclarative deployment %s: policy=%s bounds=[%d,%d] autoscale=on\n",
+		inf.ID, inf.Spec().Policy, inf.Spec().Replicas.Min, inf.Spec().Replicas.Max)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 120; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Saturation 429s are expected at this offered load.
+			_, _ = sys.Query(inf.ID, []byte(fmt.Sprintf("meal_%d_ramen.jpg", i)))
+		}(i)
+	}
+	wg.Wait()
+	desc := inf.Describe()
+	fmt.Printf("served %d queries through the RL scheduler; agent took %d online decisions; replicas now %v\n",
+		desc.Status.Queries, desc.Status.RLSteps, desc.Status.Replicas)
+
+	// Reconcile the live deployment: swap back to greedy, pin 2..2 replicas.
+	desc2, err := sys.ReconcileInference(inf.ID, rafiki.DeploymentSpec{
+		Policy:   rafiki.PolicyGreedy,
+		SLO:      0.25,
+		Replicas: rafiki.ReplicaBounds{Min: 2, Max: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Query(inf.ID, []byte("post_reconcile_pizza.jpg")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconciled live to policy=%s replicas=%v — no queued query was dropped\n",
+		desc2.Status.Policy, desc2.Status.Replicas)
+	if err := sys.StopInference(inf.ID); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // wallClock serves real concurrent clients through the same engine: each

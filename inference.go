@@ -11,6 +11,7 @@ import (
 	"rafiki/internal/cluster"
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
+	"rafiki/internal/rl"
 	"rafiki/internal/sim"
 	"rafiki/internal/zoo"
 )
@@ -32,14 +33,21 @@ type InferenceJob struct {
 
 	byName  map[string]ModelInstance
 	runtime *infer.Runtime
+	dep     *infer.Deployment
 	// speedup converts timeline (profiled) seconds into wall seconds for
 	// client-facing hints like RetryAfterSeconds.
 	speedup float64
 
-	// mu guards the replica/container bookkeeping (scale and teardown).
+	// mu guards the replica/container bookkeeping (scale and teardown), the
+	// reconciled spec, and the policy/autoscaler wiring.
 	mu       sync.Mutex
+	spec     DeploymentSpec
 	replicas []int // per-model container counts, parallel to Models
 	stopped  bool
+	// rlPolicy is the online agent when spec.Policy is PolicyRL, nil
+	// otherwise; autoStop, when non-nil, stops the running autoscale loop.
+	rlPolicy *rl.Online
+	autoStop chan struct{}
 }
 
 // masterContainer is the job's cluster master (the queue/dispatcher anchor
@@ -78,7 +86,9 @@ type InferenceStats struct {
 	infer.Stats
 }
 
-// InferenceOpts tunes a deployment.
+// InferenceOpts tunes a deployment. Deprecated in favour of the declarative
+// DeploymentSpec (InferenceWithOpts remains as a thin wrapper): Replicas maps
+// to ReplicaBounds{Min: Replicas} and QueueCap carries over.
 type InferenceOpts struct {
 	// Replicas is how many cluster containers serve each deployed model
 	// (default 1). Throughput scales near-linearly with replicas: the
@@ -91,41 +101,52 @@ type InferenceOpts struct {
 	QueueCap int
 }
 
-// maxReplicasPerModel caps Replicas against runaway scale requests.
+// maxReplicasPerModel caps replica pools against runaway scale requests.
 const maxReplicasPerModel = 64
 
 // Inference deploys trained models for serving (Figure 2's
-// rafiki.Inference(models).run()) with one replica per model and the default
-// queue bound; see InferenceWithOpts.
+// rafiki.Inference(models).run()) under the default spec: greedy
+// full-ensemble policy, one replica per model, the system SLO and queue
+// bound. A thin compatibility wrapper over Deploy.
 func (s *System) Inference(models []ModelInstance) (*InferenceJob, error) {
-	return s.InferenceWithOpts(models, InferenceOpts{})
+	return s.Deploy(DeploymentSpec{Models: models})
 }
 
-// InferenceWithOpts deploys trained models for serving. Deployment is
-// instant: the parameters are already in the shared parameter server — the
-// paper's point about unifying the two services. The returned job owns a
-// batching runtime: its Policy is the full-ensemble greedy scheduler
-// (Algorithm 3 over all deployed models), so every query is answered by the
-// whole ensemble, batched with whatever concurrent queries share the queue.
+// InferenceWithOpts deploys trained models with the legacy knob set — a thin
+// wrapper translating InferenceOpts into a DeploymentSpec for Deploy. Like
+// the pre-spec API, any non-positive Replicas means the default (1).
+func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (*InferenceJob, error) {
+	if opts.Replicas < 0 {
+		opts.Replicas = 0
+	}
+	return s.Deploy(DeploymentSpec{
+		Models:   models,
+		QueueCap: opts.QueueCap,
+		Replicas: ReplicaBounds{Min: opts.Replicas},
+	})
+}
+
+// Deploy realizes a declarative DeploymentSpec as a serving job. Deployment
+// is instant: the parameters are already in the shared parameter server —
+// the paper's point about unifying the two services. The returned job owns a
+// batching runtime driven by the spec's policy — PolicyGreedy batches every
+// query through the whole ensemble per Algorithm 3; PolicyRL installs the
+// actor-critic scheduler, which keeps training online from the Equation 7
+// rewards the runtime feeds back on the live path.
 //
-// Each model runs as opts.Replicas worker containers registered with the
+// Each model runs as spec.Replicas.Min worker containers registered with the
 // cluster manager (placement prefers colocation with the job's master,
 // Section 6.1); a container failure takes its replica out of dispatch until
-// the manager restarts it (Section 6.3), and ScaleInference resizes the
-// pools on the live runtime.
-func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (*InferenceJob, error) {
-	if len(models) == 0 {
-		return nil, fmt.Errorf("rafiki: inference job needs at least one model")
+// the manager restarts it (Section 6.3). ScaleInference resizes pools
+// manually inside the spec bounds, spec.Autoscale drives them from the
+// runtime's backpressure signals, and ReconcileInference moves the live job
+// to a changed spec.
+func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
+	spec = spec.withDefaults(s.opts)
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
-	if opts.Replicas <= 0 {
-		opts.Replicas = 1
-	}
-	if opts.Replicas > maxReplicasPerModel {
-		return nil, fmt.Errorf("rafiki: replicas %d exceeds the per-model cap %d", opts.Replicas, maxReplicasPerModel)
-	}
-	if opts.QueueCap < 0 {
-		return nil, fmt.Errorf("rafiki: queue cap must be non-negative, got %d", opts.QueueCap)
-	}
+	models := spec.Models
 	// Validate every checkpoint is fetchable from the parameter server.
 	var classes []string
 	for _, m := range models {
@@ -167,6 +188,7 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 		Classes:  append([]string(nil), classes...),
 		byName:   make(map[string]ModelInstance, len(models)),
 		speedup:  s.opts.ServeSpeedup,
+		spec:     spec,
 		replicas: make([]int, len(models)),
 	}
 	for _, m := range models {
@@ -177,22 +199,28 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 	for i, m := range models {
 		names[i] = m.Model
 	}
-	dep, err := infer.NewDeployment(names, servingBatches, s.opts.ServeSLO, 1)
+	dep, err := infer.NewDeployment(names, servingBatches, spec.SLO, 1)
 	if err != nil {
 		return nil, fmt.Errorf("rafiki: deployment: %w", err)
 	}
 	dep.Replicas = make([]int, len(names))
 	for i := range dep.Replicas {
-		dep.Replicas[i] = opts.Replicas
+		dep.Replicas[i] = spec.Replicas.Min
 	}
+	job.dep = dep
+	policy, online, err := s.buildPolicy(spec, dep, job.ID)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: policy: %w", err)
+	}
+	job.rlPolicy = online
 	rt, err := infer.NewRuntime(
 		dep,
-		&infer.SyncAll{D: dep},
+		policy,
 		ensemble.NewAccuracyTable(zoo.NewPredictor(s.opts.Seed), 2000),
 		job.executeBatch,
 		infer.RuntimeConfig{
 			Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup},
-			QueueCap: opts.QueueCap,
+			QueueCap: spec.QueueCap,
 		},
 	)
 	if err != nil {
@@ -212,7 +240,7 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 		return nil, fmt.Errorf("rafiki: launch serving master: %w", err)
 	}
 	for mi := range names {
-		for r := 0; r < opts.Replicas; r++ {
+		for r := 0; r < spec.Replicas.Min; r++ {
 			if err := s.launchReplica(job, mi, r); err != nil {
 				s.releaseContainers(job)
 				rt.Close()
@@ -220,6 +248,11 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 			}
 			job.replicas[mi]++
 		}
+	}
+
+	if spec.Autoscale {
+		job.autoStop = make(chan struct{})
+		go s.autoscaleLoop(job, job.autoStop)
 	}
 
 	s.mu.Lock()
@@ -279,6 +312,10 @@ func (s *System) releaseContainers(job *InferenceJob) error {
 // down around a known-dead low-indexed replica only after recovery. Models
 // are resized one at a time; on error, completed models keep their new size
 // and the failing model is rolled back.
+//
+// Manual scaling respects the deployment spec's replica ceiling (raise it
+// with ReconcileInference first); it may go below Replicas.Min, since an
+// operator scaling down by hand outranks the declarative floor.
 func (s *System) ScaleInference(id, model string, replicas int) error {
 	job, err := s.InferenceJobByID(id)
 	if err != nil {
@@ -287,11 +324,11 @@ func (s *System) ScaleInference(id, model string, replicas int) error {
 	if replicas < 1 {
 		return fmt.Errorf("rafiki: scale %s: replicas must be at least 1, got %d", id, replicas)
 	}
-	if replicas > maxReplicasPerModel {
-		return fmt.Errorf("rafiki: scale %s: replicas %d exceeds the per-model cap %d", id, replicas, maxReplicasPerModel)
-	}
 	job.mu.Lock()
 	defer job.mu.Unlock()
+	if max := job.spec.Replicas.Max; replicas > max {
+		return fmt.Errorf("rafiki: scale %s: replicas %d exceeds the spec's per-model bound %d", id, replicas, max)
+	}
 	if job.stopped {
 		return fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
 	}
@@ -370,9 +407,9 @@ func (s *System) scaleModelLocked(job *InferenceJob, mi, target int) error {
 }
 
 // StopInference tears down a deployment: it unregisters the job (later
-// queries see ErrUnknownInferenceJob), closes its runtime — queued futures
-// fail with infer.ErrClosed, in-flight batches complete, poll timers stop —
-// and releases the job's cluster containers.
+// queries see ErrUnknownInferenceJob), stops its autoscale loop, closes its
+// runtime — queued futures fail with infer.ErrClosed, in-flight batches
+// complete, poll timers stop — and releases the job's cluster containers.
 func (s *System) StopInference(id string) error {
 	s.mu.Lock()
 	job, ok := s.inferJobs[id]
@@ -385,6 +422,10 @@ func (s *System) StopInference(id string) error {
 	}
 	job.mu.Lock()
 	job.stopped = true
+	if job.autoStop != nil {
+		close(job.autoStop)
+		job.autoStop = nil
+	}
 	job.mu.Unlock()
 	job.runtime.Close()
 	job.mu.Lock()

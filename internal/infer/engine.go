@@ -100,6 +100,42 @@ func boundedWindowCounter(width float64, keep int) *metrics.WindowCounter {
 	return w
 }
 
+// SetPolicy swaps the scheduling policy in place. Queued requests and busy
+// replicas are untouched: the next decision point simply asks the new policy,
+// so a live deployment can move between greedy and RL scheduling without
+// dropping work. Drivers serialize this with Step like every other call.
+func (e *Engine) SetPolicy(p Policy) error {
+	if p == nil {
+		return fmt.Errorf("infer: nil policy")
+	}
+	e.Policy = p
+	return nil
+}
+
+// SetTau changes the deployment's latency SLO τ (and the Algorithm 3 back-off
+// δ = 0.1τ that hangs off it). It takes effect at the next decision point:
+// an SLO change is a statement about what counts as late from now on, so
+// later completions are judged against the new τ.
+func (e *Engine) SetTau(tau float64) error {
+	if tau <= 0 {
+		return fmt.Errorf("infer: tau must be positive, got %v", tau)
+	}
+	e.Deployment.Tau = tau
+	e.Deployment.BackoffDelta = 0.1 * tau
+	return nil
+}
+
+// SetQueueCap rebounds the request queue (0 = unbounded). Shrinking below the
+// current backlog keeps the queued requests — only new arrivals are rejected
+// until the queue drains under the new cap.
+func (e *Engine) SetQueueCap(n int) error {
+	if n < 0 {
+		return fmt.Errorf("infer: queue cap must be non-negative, got %d", n)
+	}
+	e.queue.Cap = n
+	return nil
+}
+
 // ReplicaCounts returns the current per-model replica counts.
 func (e *Engine) ReplicaCounts() []int {
 	out := make([]int, len(e.busy))

@@ -111,6 +111,9 @@ type Runtime struct {
 	tl   sim.Timeline
 	exec Executor
 	poll float64
+	// pollConfigured records an explicit RuntimeConfig.PollInterval, which
+	// SetSLO must not overwrite with its τ-derived default.
+	pollConfigured bool
 
 	mu       sync.Mutex
 	eng      *Engine
@@ -159,23 +162,34 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	eng.Metrics().ArrivalRate.Keep = 64
 	eng.Metrics().OverdueRate.Keep = 64
 	return &Runtime{
-		tl:      tl,
-		exec:    exec,
-		poll:    poll,
-		eng:     eng,
-		pending: map[uint64]*Future{},
+		tl:             tl,
+		exec:           exec,
+		poll:           poll,
+		pollConfigured: cfg.PollInterval > 0,
+		eng:            eng,
+		pending:        map[uint64]*Future{},
 	}, nil
+}
+
+// closedErrLocked reports why the runtime rejects work, with r.mu held: the
+// poisoning engine error if there is one, ErrClosed otherwise, nil while the
+// runtime is live.
+func (r *Runtime) closedErrLocked() error {
+	if !r.closed {
+		return nil
+	}
+	if r.err != nil {
+		return r.err
+	}
+	return ErrClosed
 }
 
 // Submit enqueues a payload and returns a future for its batched result.
 func (r *Runtime) Submit(payload any) (*Future, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		if r.err != nil {
-			return nil, r.err
-		}
-		return nil, ErrClosed
+	if err := r.closedErrLocked(); err != nil {
+		return nil, err
 	}
 	now := r.tl.Now()
 	id := r.nextID
@@ -296,6 +310,60 @@ func (r *Runtime) failLocked(err error) {
 	}
 }
 
+// SetPolicy swaps the scheduling policy on the live runtime without dropping
+// queued futures: requests already in the queue are simply decided by the new
+// policy from the next decision point on (which runs immediately, so a less
+// conservative policy can flush a waiting backlog at once). Batches already
+// dispatched complete under the old decision.
+func (r *Runtime) SetPolicy(p Policy) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.closedErrLocked(); err != nil {
+		return err
+	}
+	if err := r.eng.SetPolicy(p); err != nil {
+		return err
+	}
+	return r.step(r.tl.Now())
+}
+
+// PolicyName reports the live policy's name.
+func (r *Runtime) PolicyName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eng.Policy.Name()
+}
+
+// SetSLO retargets the latency SLO τ on the live runtime and rescales the
+// wait-poll cadence with it (unless RuntimeConfig.PollInterval pinned it
+// explicitly), then re-runs a decision point (a looser τ may justify
+// waiting, a tighter one may demand an immediate flush).
+func (r *Runtime) SetSLO(tau float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.closedErrLocked(); err != nil {
+		return err
+	}
+	if err := r.eng.SetTau(tau); err != nil {
+		return err
+	}
+	if !r.pollConfigured {
+		r.poll = tau / 25
+	}
+	return r.step(r.tl.Now())
+}
+
+// SetQueueCap rebounds the request queue on the live runtime (see
+// Engine.SetQueueCap for the shrink semantics).
+func (r *Runtime) SetQueueCap(n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.closedErrLocked(); err != nil {
+		return err
+	}
+	return r.eng.SetQueueCap(n)
+}
+
 // SetReplicas resizes model m's replica pool on the live runtime. Growing
 // immediately re-runs a decision point so queued requests flow onto the new
 // capacity; shrinking stops dispatching to the dropped slots while batches
@@ -303,11 +371,8 @@ func (r *Runtime) failLocked(err error) {
 func (r *Runtime) SetReplicas(m, n int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		if r.err != nil {
-			return r.err
-		}
-		return ErrClosed
+	if err := r.closedErrLocked(); err != nil {
+		return err
 	}
 	if err := r.eng.SetReplicas(m, n); err != nil {
 		return err
@@ -322,11 +387,8 @@ func (r *Runtime) SetReplicas(m, n int) error {
 func (r *Runtime) AddReplica(m int) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		if r.err != nil {
-			return 0, r.err
-		}
-		return 0, ErrClosed
+	if err := r.closedErrLocked(); err != nil {
+		return 0, err
 	}
 	return r.eng.AddReplica(m)
 }
@@ -337,11 +399,8 @@ func (r *Runtime) AddReplica(m int) (int, error) {
 func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		if r.err != nil {
-			return r.err
-		}
-		return ErrClosed
+	if err := r.closedErrLocked(); err != nil {
+		return err
 	}
 	if err := r.eng.SetReplicaDown(m, rep, down); err != nil {
 		return err

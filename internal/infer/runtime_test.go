@@ -226,3 +226,86 @@ func TestRuntimeQueueFull(t *testing.T) {
 		t.Fatalf("dropped = %d, want %d", st.Dropped, full)
 	}
 }
+
+// TestRuntimeLiveReconfiguration swaps the policy, SLO and queue cap on a
+// runtime with queued work (virtual time, deterministic): queued futures
+// survive the policy swap and are served by the new scheduler, and a shrunk
+// queue cap rejects new arrivals while keeping the backlog.
+func TestRuntimeLiveReconfiguration(t *testing.T) {
+	d := runtimeDeployment(t, 0.5)
+	loop := sim.NewEventLoop()
+	rt, err := NewRuntime(d, &SyncAll{D: d}, ensemble.NewAccuracyTable(zoo.NewPredictor(1), 500),
+		echoExec, RuntimeConfig{Timeline: loop, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.PolicyName(); got != "greedy-sync" {
+		t.Fatalf("policy = %q", got)
+	}
+
+	var futs []*Future
+	loop.Schedule(0.01, func() {
+		// 3 queued requests: below the deadline-pressure threshold, so the
+		// sync policy waits.
+		for i := 0; i < 3; i++ {
+			f, err := rt.Submit(fmt.Sprintf("pre-%d", i))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			futs = append(futs, f)
+		}
+	})
+	loop.Schedule(0.02, func() {
+		// Shrink the queue below the backlog: queued requests stay, new
+		// arrivals bounce.
+		if err := rt.SetQueueCap(2); err != nil {
+			t.Errorf("set queue cap: %v", err)
+		}
+		if _, err := rt.Submit("overflow"); err != ErrQueueFull {
+			t.Errorf("submit into shrunk queue err = %v, want ErrQueueFull", err)
+		}
+		// Swap to the async policy and loosen the SLO mid-backlog.
+		if err := rt.SetPolicy(&AsyncEach{D: d}); err != nil {
+			t.Errorf("set policy: %v", err)
+		}
+		if err := rt.SetSLO(1.0); err != nil {
+			t.Errorf("set slo: %v", err)
+		}
+	})
+	loop.RunUntil(30)
+
+	if got := rt.PolicyName(); got != "greedy-async" {
+		t.Fatalf("policy after swap = %q", got)
+	}
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		// AsyncEach serves one model per batch — proof the queued requests
+		// were decided by the swapped-in policy, not the sync ensemble.
+		if res != fmt.Sprintf("pre-%d@1", i) {
+			t.Fatalf("future %d = %v, want single-model serving", i, res)
+		}
+	}
+	st := rt.Stats()
+	if st.Served != 3 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 3 served 1 dropped", st)
+	}
+
+	// Validation.
+	if err := rt.SetPolicy(nil); err == nil {
+		t.Fatal("nil policy should error")
+	}
+	if err := rt.SetSLO(0); err == nil {
+		t.Fatal("zero SLO should error")
+	}
+	if err := rt.SetQueueCap(-1); err == nil {
+		t.Fatal("negative queue cap should error")
+	}
+	rt.Close()
+	if err := rt.SetPolicy(&SyncAll{D: d}); err != ErrClosed {
+		t.Fatalf("set policy on closed runtime err = %v", err)
+	}
+}

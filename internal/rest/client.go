@@ -2,6 +2,7 @@ package rest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -95,8 +96,11 @@ func (c *Client) TrainStatus(jobID string) (*rafiki.TrainStatus, error) {
 	return &out, nil
 }
 
-// WaitTrain polls until the job reports done or the attempt budget runs out.
-func (c *Client) WaitTrain(jobID string, poll time.Duration, attempts int) (*rafiki.TrainStatus, error) {
+// WaitTrain polls until the job reports done, the context is cancelled, or
+// the attempt budget runs out. Cancellation is checked between polls, so a
+// caller's deadline stops the busy-poll immediately instead of burning the
+// remaining attempts.
+func (c *Client) WaitTrain(ctx context.Context, jobID string, poll time.Duration, attempts int) (*rafiki.TrainStatus, error) {
 	for i := 0; i < attempts; i++ {
 		st, err := c.TrainStatus(jobID)
 		if err != nil {
@@ -105,7 +109,11 @@ func (c *Client) WaitTrain(jobID string, poll time.Duration, attempts int) (*raf
 		if st.Done {
 			return st, nil
 		}
-		time.Sleep(poll)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rest client: waiting for training job %s: %w", jobID, ctx.Err())
+		case <-time.After(poll):
+		}
 	}
 	return nil, fmt.Errorf("rest client: training job %s did not finish in time", jobID)
 }
@@ -119,19 +127,78 @@ func (c *Client) GetModels(jobID string) ([]rafiki.ModelInstance, error) {
 	return out, nil
 }
 
-// Inference deploys a finished training job's models with default options.
+// Inference deploys a finished training job's models under the default spec.
 func (c *Client) Inference(trainJobID string) (string, error) {
 	return c.Deploy(InferenceRequest{TrainJobID: trainJobID})
 }
 
-// Deploy deploys models for serving with full control over the request body
-// (explicit models, replicas, queue cap).
+// Deploy deploys models for serving with full control over the deployment
+// spec (explicit models, policy, SLO, queue cap, replica bounds, autoscale)
+// and returns the new deployment's ID.
 func (c *Client) Deploy(req InferenceRequest) (string, error) {
-	var out InferenceResponse
-	if err := c.do(http.MethodPost, "/api/v1/inference", req, &out); err != nil {
+	desc, err := c.DeployDescribed(req)
+	if err != nil {
 		return "", err
 	}
-	return out.JobID, nil
+	return desc.ID, nil
+}
+
+// DeployDescribed is Deploy returning the full created resource (spec as
+// defaulted by the server, plus initial status).
+func (c *Client) DeployDescribed(req InferenceRequest) (*rafiki.InferenceDescription, error) {
+	var out rafiki.InferenceDescription
+	if err := c.do(http.MethodPost, "/api/v1/inference", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListInference lists every live deployment (spec + status each).
+func (c *Client) ListInference() ([]rafiki.InferenceDescription, error) {
+	var out []rafiki.InferenceDescription
+	if err := c.do(http.MethodGet, "/api/v1/inference", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DescribeInference fetches one deployment's spec and observed status.
+func (c *Client) DescribeInference(inferJobID string) (*rafiki.InferenceDescription, error) {
+	var out rafiki.InferenceDescription
+	if err := c.do(http.MethodGet, "/api/v1/inference/"+inferJobID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reconcile PUTs a changed spec against a live deployment: the server
+// validates it in full, then applies the differences (policy swap, SLO,
+// queue cap, replica-bound clamp, autoscale toggle) without dropping queued
+// requests, and returns the resulting resource.
+func (c *Client) Reconcile(inferJobID string, req InferenceRequest) (*rafiki.InferenceDescription, error) {
+	var out rafiki.InferenceDescription
+	if err := c.do(http.MethodPut, "/api/v1/inference/"+inferJobID, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListDatasets lists the imported datasets.
+func (c *Client) ListDatasets() ([]rafiki.Dataset, error) {
+	var out []rafiki.Dataset
+	if err := c.do(http.MethodGet, "/api/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ListTrainJobs lists every training job's status.
+func (c *Client) ListTrainJobs() ([]rafiki.TrainStatus, error) {
+	var out []rafiki.TrainStatus
+	if err := c.do(http.MethodGet, "/api/v1/train", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Scale resizes a deployment's replica pools (every model when model is "",

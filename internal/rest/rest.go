@@ -2,19 +2,36 @@
 // (Section 3: "users simply configure the training or inference jobs
 // through either RESTFul APIs or Python SDK"; Section 8's curl example).
 //
-// Endpoints (all JSON):
+// Endpoint reference (all JSON):
 //
-//	GET  /healthz                      liveness
-//	GET  /api/v1/tasks                 built-in task → model catalogue
-//	POST /api/v1/datasets              import a labeled dataset
-//	POST /api/v1/train                 submit a training job
-//	GET  /api/v1/train/{id}            training job status
-//	GET  /api/v1/train/{id}/models     trained model instances
-//	POST /api/v1/inference             deploy models for serving (replicas, queue_cap)
-//	GET  /api/v1/inference/{id}/stats  serving metrics (batching, SLO, latency, replicas)
-//	POST /api/v1/inference/{id}/scale  resize the deployment's replica pools
-//	DELETE /api/v1/inference/{id}      stop the deployment, release its containers
-//	POST /api/v1/query/{id}            classify a payload
+//	Method  Path                           Success  Description
+//	GET     /healthz                       200      liveness
+//	GET     /api/v1/tasks                  200      built-in task → model catalogue
+//	GET     /api/v1/datasets               200      list imported datasets
+//	POST    /api/v1/datasets               201      import a labeled dataset
+//	GET     /api/v1/train                  200      list training jobs with status
+//	POST    /api/v1/train                  202      submit a training job
+//	GET     /api/v1/train/{id}             200      training job status
+//	GET     /api/v1/train/{id}/models      200      trained model instances (409 while running)
+//	GET     /api/v1/inference              200      list deployments (spec + status each)
+//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, replica bounds, autoscale)
+//	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status
+//	PUT     /api/v1/inference/{id}         200      reconcile the live deployment to a changed spec
+//	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate)
+//	POST    /api/v1/inference/{id}/scale   200      manually resize the replica pools (inside the spec bounds)
+//	DELETE  /api/v1/inference/{id}         204      stop the deployment, release its containers
+//	POST    /api/v1/query/{id}             200      classify a payload
+//
+// Deployments are declarative resources: POST /api/v1/inference takes a
+// DeploymentSpec (scheduling policy greedy|rl, latency SLO, queue cap,
+// per-model replica bounds {min,max}, autoscale toggle), GET echoes the spec
+// alongside observed status, and PUT validates a changed spec in full before
+// reconciling the live runtime — a policy swap keeps queued requests, an SLO
+// or queue-cap change retunes the scheduler, and replica-bound changes clamp
+// the live pools. Errors: 400 for malformed bodies and spec validation, 404
+// for unknown ids and routes, 405 for wrong methods on known routes, and 409
+// when a deploy/reconcile references a train_job_id that is unknown or still
+// running (the same conflict GET /train/{id}/models reports).
 //
 // Queries are served through the deployment's batching runtime: concurrent
 // POST /query callers are grouped into shared batches by the serving policy
@@ -48,11 +65,16 @@ func NewServer(sys *rafiki.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("GET /api/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/v1/datasets", s.handleImport)
+	s.mux.HandleFunc("GET /api/v1/train", s.handleTrainList)
 	s.mux.HandleFunc("POST /api/v1/train", s.handleTrain)
 	s.mux.HandleFunc("GET /api/v1/train/{id}", s.handleTrainStatus)
 	s.mux.HandleFunc("GET /api/v1/train/{id}/models", s.handleTrainModels)
+	s.mux.HandleFunc("GET /api/v1/inference", s.handleInferenceList)
 	s.mux.HandleFunc("POST /api/v1/inference", s.handleInference)
+	s.mux.HandleFunc("GET /api/v1/inference/{id}", s.handleInferenceDescribe)
+	s.mux.HandleFunc("PUT /api/v1/inference/{id}", s.handleInferenceReconcile)
 	s.mux.HandleFunc("GET /api/v1/inference/{id}/stats", s.handleInferenceStats)
 	s.mux.HandleFunc("POST /api/v1/inference/{id}/scale", s.handleInferenceScale)
 	s.mux.HandleFunc("DELETE /api/v1/inference/{id}", s.handleInferenceStop)
@@ -84,6 +106,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleTasks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.Tasks())
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.ListDatasets())
+}
+
+func (s *Server) handleTrainList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.ListTrainJobs())
 }
 
 // ImportRequest is the dataset-import request body.
@@ -176,21 +206,86 @@ func (s *Server) handleTrainModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, models)
 }
 
-// InferenceRequest deploys models: either everything from a finished
-// training job, or an explicit instance list. Replicas sets the per-model
-// container count (default 1) and QueueCap bounds the request queue
-// (default 4096).
+// InferenceRequest is the deployment spec on the wire — the body of both
+// POST /api/v1/inference (deploy) and PUT /api/v1/inference/{id}
+// (reconcile). Models come either from a finished training job
+// (train_job_id) or as an explicit instance list; on PUT both may be left
+// empty to keep the deployed set (the model set is immutable). Zero-valued
+// spec fields take the server's defaults: greedy policy, the system SLO, a
+// 4096-slot queue, one replica per model, autoscaling off.
 type InferenceRequest struct {
 	TrainJobID string                 `json:"train_job_id,omitempty"`
 	Models     []rafiki.ModelInstance `json:"models,omitempty"`
-	Replicas   int                    `json:"replicas,omitempty"`
-	QueueCap   int                    `json:"queue_cap,omitempty"`
+	// Policy is the dispatch scheduler: "greedy" (default) or "rl".
+	Policy string `json:"policy,omitempty"`
+	// SLOSeconds is the latency SLO τ in profiled seconds.
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
+	// QueueCap bounds the request queue.
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Replicas bounds each model's replica pool: the {"min","max"} object a
+	// GET echoes, or the legacy bare integer (see ReplicaField).
+	Replicas ReplicaField `json:"replicas,omitzero"`
+	// Autoscale drives replica counts from backpressure inside the bounds.
+	Autoscale bool `json:"autoscale,omitempty"`
 }
 
-// InferenceResponse carries the deployed job handle and its replica counts.
-type InferenceResponse struct {
-	JobID    string         `json:"job_id"`
-	Replicas map[string]int `json:"replicas,omitempty"`
+// ReplicaField carries replica bounds on the wire in either shape:
+// {"min":m,"max":M} — the object a GET'd spec contains, so a described
+// resource can be edited and PUT straight back — or the legacy bare integer
+// n of the pre-spec API, meaning a floor of n with the default ceiling
+// (non-positive n means the default, as it always did).
+type ReplicaField struct {
+	rafiki.ReplicaBounds
+}
+
+// UnmarshalJSON implements the dual wire shape.
+func (r *ReplicaField) UnmarshalJSON(b []byte) error {
+	var n int
+	if err := json.Unmarshal(b, &n); err == nil {
+		if n < 0 {
+			n = 0
+		}
+		r.ReplicaBounds = rafiki.ReplicaBounds{Min: n}
+		return nil
+	}
+	return json.Unmarshal(b, &r.ReplicaBounds)
+}
+
+// MarshalJSON always writes the object form.
+func (r ReplicaField) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.ReplicaBounds)
+}
+
+// Bounds builds the request field for replica bounds {min, max}; zero values
+// take the server defaults.
+func Bounds(min, max int) ReplicaField {
+	return ReplicaField{rafiki.ReplicaBounds{Min: min, Max: max}}
+}
+
+// spec translates the wire request into the SDK's DeploymentSpec.
+func (req InferenceRequest) spec(models []rafiki.ModelInstance) rafiki.DeploymentSpec {
+	return rafiki.DeploymentSpec{
+		Models:    models,
+		Policy:    req.Policy,
+		SLO:       req.SLOSeconds,
+		QueueCap:  req.QueueCap,
+		Replicas:  req.Replicas.ReplicaBounds,
+		Autoscale: req.Autoscale,
+	}
+}
+
+// resolveModels picks the instance list for a request: explicit models win,
+// else the train job's best instances. ok=false means the error was written.
+func (s *Server) resolveModels(w http.ResponseWriter, req InferenceRequest) ([]rafiki.ModelInstance, bool) {
+	if len(req.Models) > 0 || req.TrainJobID == "" {
+		return req.Models, true
+	}
+	models, err := s.sys.GetModels(req.TrainJobID)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return nil, false
+	}
+	return models, true
 }
 
 func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
@@ -199,24 +294,58 @@ func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
 		return
 	}
-	models := req.Models
-	if len(models) == 0 && req.TrainJobID != "" {
-		var err error
-		models, err = s.sys.GetModels(req.TrainJobID)
-		if err != nil {
-			writeErr(w, http.StatusConflict, err)
-			return
-		}
+	models, ok := s.resolveModels(w, req)
+	if !ok {
+		return
 	}
-	job, err := s.sys.InferenceWithOpts(models, rafiki.InferenceOpts{
-		Replicas: req.Replicas,
-		QueueCap: req.QueueCap,
-	})
+	job, err := s.sys.Deploy(req.spec(models))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, InferenceResponse{JobID: job.ID, Replicas: job.ReplicaCounts()})
+	writeJSON(w, http.StatusCreated, job.Describe())
+}
+
+func (s *Server) handleInferenceList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.ListInference())
+}
+
+func (s *Server) handleInferenceDescribe(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sys.InferenceJobByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Describe())
+}
+
+func (s *Server) handleInferenceReconcile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req InferenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad body: %w", err))
+		return
+	}
+	// The resource must exist before anything in the body is resolved: an
+	// unknown deployment id is 404 regardless of what the spec references.
+	if _, err := s.sys.InferenceJobByID(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	models, ok := s.resolveModels(w, req)
+	if !ok {
+		return
+	}
+	desc, err := s.sys.ReconcileInference(id, req.spec(models))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, desc)
 }
 
 // ScaleRequest resizes a live deployment's replica pools: every model when

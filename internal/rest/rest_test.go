@@ -1,7 +1,11 @@
 package rest
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -70,7 +74,7 @@ func TestFullWorkflowOverREST(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.WaitTrain(jobID, 50*time.Millisecond, 200)
+	st, err := c.WaitTrain(context.Background(), jobID, 50*time.Millisecond, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +129,7 @@ func TestConcurrentQueriesAreBatched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 200); err != nil {
+	if _, err := c.WaitTrain(context.Background(), jobID, 50*time.Millisecond, 200); err != nil {
 		t.Fatal(err)
 	}
 	infID, err := c.Inference(jobID)
@@ -223,7 +227,7 @@ func TestModelsBeforeDoneConflict(t *testing.T) {
 	if _, err := c.GetModels(jobID); err != nil && !strings.Contains(err.Error(), "still running") {
 		t.Fatalf("unexpected error: %v", err)
 	}
-	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 600); err != nil {
+	if _, err := c.WaitTrain(context.Background(), jobID, 50*time.Millisecond, 600); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.GetModels(jobID); err != nil {
@@ -245,7 +249,7 @@ func trainAndDeploy(t *testing.T, c *Client, req InferenceRequest) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WaitTrain(jobID, 50*time.Millisecond, 200); err != nil {
+	if _, err := c.WaitTrain(context.Background(), jobID, 50*time.Millisecond, 200); err != nil {
 		t.Fatal(err)
 	}
 	req.TrainJobID = jobID
@@ -321,7 +325,7 @@ func TestQueueFullAnswers429WithRetryAfter(t *testing.T) {
 // routes end to end.
 func TestScaleAndStopEndpoints(t *testing.T) {
 	c, ts := newTestServer(t)
-	infID := trainAndDeploy(t, c, InferenceRequest{Replicas: 2})
+	infID := trainAndDeploy(t, c, InferenceRequest{Replicas: Bounds(2, 0)})
 
 	counts, err := c.Scale(infID, "", 3)
 	if err != nil {
@@ -373,4 +377,283 @@ func mustReq(t *testing.T, method, url string) *http.Request {
 		t.Fatal(err)
 	}
 	return req
+}
+
+// TestListEndpoints: every resource the API creates can be enumerated —
+// datasets, training jobs, and deployments.
+func TestListEndpoints(t *testing.T) {
+	c, _ := newTestServer(t)
+
+	// Empty listings are empty JSON arrays, not errors.
+	if ds, err := c.ListDatasets(); err != nil || len(ds) != 0 {
+		t.Fatalf("empty datasets = %v, %v", ds, err)
+	}
+	if tj, err := c.ListTrainJobs(); err != nil || len(tj) != 0 {
+		t.Fatalf("empty train jobs = %v, %v", tj, err)
+	}
+	if inf, err := c.ListInference(); err != nil || len(inf) != 0 {
+		t.Fatalf("empty inference = %v, %v", inf, err)
+	}
+
+	infID := trainAndDeploy(t, c, InferenceRequest{})
+
+	ds, err := c.ListDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Name != "food" {
+		t.Fatalf("datasets = %+v", ds)
+	}
+	tj, err := c.ListTrainJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tj) != 1 || !tj[0].Done || tj[0].Finished == 0 {
+		t.Fatalf("train jobs = %+v", tj)
+	}
+	list, err := c.ListInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != infID {
+		t.Fatalf("inference list = %+v", list)
+	}
+	if list[0].Spec.Policy != "greedy" || len(list[0].Status.Replicas) == 0 {
+		t.Fatalf("listed deployment = %+v", list[0])
+	}
+	// Deleting the deployment empties the listing again.
+	if err := c.StopInference(infID); err != nil {
+		t.Fatal(err)
+	}
+	if list, err = c.ListInference(); err != nil || len(list) != 0 {
+		t.Fatalf("inference list after delete = %v, %v", list, err)
+	}
+}
+
+// TestRESTErrorPaths is the table-driven error contract: unknown routes and
+// ids are 404, wrong methods on known routes are 405, malformed JSON bodies
+// are 400, and a saturated queue answers 429 with a well-formed Retry-After.
+func TestRESTErrorPaths(t *testing.T) {
+	c, ts := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{QueueCap: 2})
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"unknown route", "GET", "/api/v1/nope", "", 404},
+		{"unknown route root", "GET", "/", "", 404},
+		{"unknown train id", "GET", "/api/v1/train/ghost", "", 404},
+		{"unknown inference id", "GET", "/api/v1/inference/ghost", "", 404},
+		{"unknown stats id", "GET", "/api/v1/inference/ghost/stats", "", 404},
+		{"reconcile unknown id", "PUT", "/api/v1/inference/ghost", "{}", 404},
+		{"delete unknown id", "DELETE", "/api/v1/inference/ghost", "", 404},
+		{"query unknown id", "POST", "/api/v1/query/ghost", `{"img":"x.jpg"}`, 404},
+		{"tasks wrong method", "DELETE", "/api/v1/tasks", "", 405},
+		{"datasets wrong method", "PUT", "/api/v1/datasets", "{}", 405},
+		{"train wrong method", "DELETE", "/api/v1/train", "", 405},
+		{"query wrong method", "GET", "/api/v1/query/" + infID, "", 405},
+		{"inference wrong method", "DELETE", "/api/v1/inference", "", 405},
+		{"scale wrong method", "GET", "/api/v1/inference/" + infID + "/scale", "", 405},
+		{"malformed deploy body", "POST", "/api/v1/inference", "{", 400},
+		{"malformed reconcile body", "PUT", "/api/v1/inference/" + infID, "{", 400},
+		{"malformed train body", "POST", "/api/v1/train", "{", 400},
+		{"malformed import body", "POST", "/api/v1/datasets", "{", 400},
+		{"malformed query body", "POST", "/api/v1/query/" + infID, "{", 400},
+		{"malformed scale body", "POST", "/api/v1/inference/" + infID + "/scale", "{", 400},
+		{"invalid spec policy", "POST", "/api/v1/inference", `{"train_job_id":"x","policy":"warp"}`, 409},
+		{"reconcile invalid policy", "PUT", "/api/v1/inference/" + infID, `{"policy":"warp"}`, 400},
+		{"reconcile inverted bounds", "PUT", "/api/v1/inference/" + infID, `{"replicas":{"min":5,"max":2}}`, 400},
+		{"reconcile ghost id bad train job", "PUT", "/api/v1/inference/ghost", `{"train_job_id":"also-ghost"}`, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.HTTP.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	// 429 shape: saturate the 2-slot queue; every rejection must carry an
+	// integer Retry-After >= 1 (the drain-rate-derived backpressure hint).
+	t.Run("queue full retry-after shape", func(t *testing.T) {
+		const n = 30
+		codes := make([]int, n)
+		retryAfter := make([]string, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := c.HTTP.Post(ts.URL+"/api/v1/query/"+infID, "application/json",
+					strings.NewReader(fmt.Sprintf(`{"img":"table_burst_%d.jpg"}`, i)))
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				resp.Body.Close()
+				codes[i] = resp.StatusCode
+				retryAfter[i] = resp.Header.Get("Retry-After")
+			}(i)
+		}
+		wg.Wait()
+		saw429 := false
+		for i, code := range codes {
+			if code != 429 {
+				continue
+			}
+			saw429 = true
+			if secs, err := strconv.Atoi(retryAfter[i]); err != nil || secs < 1 {
+				t.Fatalf("429 Retry-After = %q, want integer seconds >= 1", retryAfter[i])
+			}
+		}
+		if !saw429 {
+			t.Fatalf("no 429s from a %d-burst against a 2-slot queue", n)
+		}
+	})
+}
+
+// TestReconcileDeploymentOverREST is the PUT acceptance test: a live
+// deployment gets a policy swap plus a replica-bound change while queries
+// are in flight; the in-flight queries must complete and the described
+// resource must reflect the new spec.
+func TestReconcileDeploymentOverREST(t *testing.T) {
+	c, ts := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{})
+
+	desc, err := c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Spec.Policy != "greedy" || desc.Status.Policy != "greedy-sync" {
+		t.Fatalf("initial description = %+v", desc)
+	}
+
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Query(infID, fmt.Sprintf("reconcile_%d_pizza.jpg", i))
+			if err != nil {
+				errs <- fmt.Errorf("query %d: %w", i, err)
+				return
+			}
+			if res.Label == "" {
+				errs <- fmt.Errorf("query %d: empty label", i)
+			}
+		}(i)
+	}
+	put, err := c.Reconcile(infID, InferenceRequest{
+		Policy:   "rl",
+		Replicas: Bounds(2, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if put.Spec.Policy != "rl" || put.Spec.Replicas.Min != 2 || put.Spec.Replicas.Max != 4 {
+		t.Fatalf("PUT response spec = %+v", put.Spec)
+	}
+
+	// GET reflects the reconciled spec and the scaled-up pools.
+	desc, err = c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Spec.Policy != "rl" || desc.Spec.Replicas.Min != 2 || desc.Spec.Replicas.Max != 4 {
+		t.Fatalf("described spec after PUT = %+v", desc.Spec)
+	}
+	if desc.Status.Policy != "rl" {
+		t.Fatalf("live policy after PUT = %q", desc.Status.Policy)
+	}
+	for m, nrep := range desc.Status.Replicas {
+		if nrep != 2 {
+			t.Fatalf("model %s = %d replicas, want 2 after bounds {2,4}", m, nrep)
+		}
+	}
+	// Queries keep flowing through the swapped-in policy, and its online
+	// step counter is visible over the API.
+	if _, err := c.Query(infID, "post_put_ramen.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	desc, err = c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Status.RLSteps == 0 {
+		t.Fatal("rl_steps = 0 after serving through the RL policy")
+	}
+
+	// The GET'd spec round-trips: PUT the described resource's spec back
+	// verbatim (object replicas form) and nothing changes.
+	raw, err := json.Marshal(desc.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("PUT", ts.URL+"/api/v1/inference/"+infID, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echoed rafiki.InferenceDescription
+	if err := json.NewDecoder(resp.Body).Decode(&echoed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("PUT of GET'd spec = %d, want 200", resp.StatusCode)
+	}
+	if echoed.Spec.Policy != desc.Spec.Policy || echoed.Spec.SLO != desc.Spec.SLO ||
+		echoed.Spec.QueueCap != desc.Spec.QueueCap || echoed.Spec.Replicas != desc.Spec.Replicas ||
+		echoed.Spec.Autoscale != desc.Spec.Autoscale {
+		t.Fatalf("round-trip changed the spec: %+v vs %+v", echoed.Spec, desc.Spec)
+	}
+
+	// The legacy bare-integer replicas form still works on the wire.
+	req, err = http.NewRequest("PUT", ts.URL+"/api/v1/inference/"+infID,
+		strings.NewReader(`{"policy":"rl","replicas":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.HTTP.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("legacy integer replicas PUT = %d, want 200", resp.StatusCode)
+	}
+	desc, err = c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Spec.Replicas.Min != 3 {
+		t.Fatalf("legacy replicas:3 gave bounds %+v, want Min 3", desc.Spec.Replicas)
+	}
 }

@@ -283,3 +283,66 @@ func TestCriticLRDefault(t *testing.T) {
 		t.Fatalf("explicit critic LR ignored: %v", b.criticOpt.LR)
 	}
 }
+
+// TestOnlineSanitizesWallClockStates drives the wall-clock adapter with the
+// states only a live runtime produces — +Inf busy-left for a model whose
+// replicas are all down, and pathological queue waits: actions must stay
+// valid (no NaN-poisoned policy) and the step counter must advance.
+func TestOnlineSanitizesWallClockStates(t *testing.T) {
+	batches := []int{1, 2, 4, 8, 16}
+	o, err := NewOnline(DefaultConfig(), 3, batches, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "rl" {
+		t.Fatalf("name = %q", o.Name())
+	}
+	lat := make([][]float64, 3)
+	for m := range lat {
+		lat[m] = make([]float64, len(batches))
+		for b := range batches {
+			lat[m][b] = 0.05 * float64(batches[b])
+		}
+	}
+	for step := 0; step < 200; step++ {
+		s := &infer.State{
+			Now:          float64(step) * 0.01,
+			QueueLen:     1 + step%40,
+			Waits:        []float64{math.Inf(1), 1e9, 0.1},
+			FreeModels:   []bool{true, step%2 == 0, false},
+			BusyLeft:     []float64{0, 0.2, math.Inf(1)},
+			Tau:          0.25,
+			Batches:      batches,
+			LatencyTable: lat,
+		}
+		act := o.Decide(s)
+		if !act.Wait {
+			if len(act.Models) == 0 {
+				t.Fatalf("step %d: dispatch with no models", step)
+			}
+			for _, m := range act.Models {
+				if !s.FreeModels[m] {
+					t.Fatalf("step %d: dispatched busy model %d", step, m)
+				}
+			}
+		}
+		o.Feedback(0.5)
+	}
+	if o.Steps() != 200 {
+		t.Fatalf("steps = %d, want 200", o.Steps())
+	}
+	o.Flush()
+	// The agent's weights must have stayed finite through the Inf states.
+	s := &infer.State{
+		QueueLen:     4,
+		Waits:        []float64{0.01},
+		FreeModels:   []bool{true, true, true},
+		BusyLeft:     []float64{0, 0, 0},
+		Tau:          0.25,
+		Batches:      batches,
+		LatencyTable: lat,
+	}
+	if act := o.Decide(s); !act.Wait && len(act.Models) == 0 {
+		t.Fatalf("post-training decide invalid: %+v", act)
+	}
+}

@@ -27,6 +27,7 @@ package rafiki
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"rafiki/internal/cluster"
@@ -164,6 +165,19 @@ func (s *System) ImportImages(name string, folders map[string]int) (*Dataset, er
 	s.datasets[name] = out
 	s.mu.Unlock()
 	return out, nil
+}
+
+// ListDatasets returns every imported dataset, ordered by name — the
+// GET /api/v1/datasets resource listing.
+func (s *System) ListDatasets() []*Dataset {
+	s.mu.Lock()
+	out := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		out = append(out, d)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
 }
 
 // Dataset returns a previously imported dataset.

@@ -1,0 +1,420 @@
+package rafiki
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rafiki/internal/infer"
+	"rafiki/internal/rl"
+	"rafiki/internal/sim"
+)
+
+// Serving policies a DeploymentSpec can name.
+const (
+	// PolicyGreedy is the full-ensemble greedy scheduler (Algorithm 3 over
+	// all deployed models) — every query is answered by the whole ensemble.
+	PolicyGreedy = "greedy"
+	// PolicyRL is the actor-critic scheduler of Section 5.2, training online
+	// from Equation 7 rewards on the live serving path: under load it drops
+	// models from batches to keep requests inside the SLO.
+	PolicyRL = "rl"
+)
+
+// ReplicaBounds bounds each model's replica pool. A deployment starts at Min
+// replicas per model; manual scaling and the autoscaler operate inside
+// [Min, Max].
+type ReplicaBounds struct {
+	// Min is the per-model replica floor (default 1).
+	Min int `json:"min"`
+	// Max is the per-model replica ceiling (default maxReplicasPerModel).
+	Max int `json:"max"`
+}
+
+// DeploymentSpec is the declarative description of an inference deployment —
+// the desired state the system realizes and keeps reconciling against. It is
+// the body of POST /api/v1/inference, the mutable part of PUT
+// /api/v1/inference/{id}, and what GET /api/v1/inference/{id} echoes back.
+//
+// Zero values mean defaults (greedy policy, the system's ServeSLO, a
+// 4096-slot queue, one replica per model, no autoscaling), so
+// Deploy(DeploymentSpec{Models: models}) reproduces the classic
+// Inference(models) deployment exactly.
+type DeploymentSpec struct {
+	// Models are the trained instances to deploy. Immutable after
+	// deployment: a reconcile may leave it empty (keep the deployed set) but
+	// must not name a different set.
+	Models []ModelInstance `json:"models"`
+	// Policy selects the dispatch scheduler: PolicyGreedy (default) or
+	// PolicyRL. Reconciling to a different policy swaps the scheduler on the
+	// live runtime without dropping queued requests.
+	Policy string `json:"policy"`
+	// SLO is the latency SLO τ in profiled seconds (default
+	// Options.ServeSLO): the deadline Algorithm 3 batches under and the
+	// overdue threshold of Equation 7.
+	SLO float64 `json:"slo_seconds"`
+	// QueueCap bounds the request queue (default 4096). Arrivals beyond it
+	// are rejected with infer.ErrQueueFull (HTTP 429 + Retry-After).
+	QueueCap int `json:"queue_cap"`
+	// Replicas bounds each model's replica pool.
+	Replicas ReplicaBounds `json:"replicas"`
+	// Autoscale drives the replica count inside [Replicas.Min, Replicas.Max]
+	// from the runtime's backpressure signals: a standing queue backlog
+	// scales up, a drained idle queue scales down.
+	Autoscale bool `json:"autoscale"`
+}
+
+// defaultQueueCap matches the runtime's default queue bound.
+const defaultQueueCap = 4096
+
+// withDefaults fills a spec's zero values from the system options.
+func (spec DeploymentSpec) withDefaults(opts Options) DeploymentSpec {
+	if spec.Policy == "" {
+		spec.Policy = PolicyGreedy
+	}
+	if spec.SLO == 0 {
+		spec.SLO = opts.ServeSLO
+	}
+	if spec.QueueCap == 0 {
+		spec.QueueCap = defaultQueueCap
+	}
+	if spec.Replicas.Min == 0 {
+		spec.Replicas.Min = 1
+	}
+	if spec.Replicas.Max == 0 {
+		spec.Replicas.Max = maxReplicasPerModel
+	}
+	return spec
+}
+
+// validate checks a defaulted spec's shape. It runs before any mutation on
+// both the deploy and reconcile paths, so a bad spec never half-applies.
+func (spec DeploymentSpec) validate() error {
+	if len(spec.Models) == 0 {
+		return fmt.Errorf("rafiki: deployment spec needs at least one model")
+	}
+	switch spec.Policy {
+	case PolicyGreedy, PolicyRL:
+	default:
+		return fmt.Errorf("rafiki: unknown policy %q (want %q or %q)", spec.Policy, PolicyGreedy, PolicyRL)
+	}
+	if spec.Policy == PolicyRL && len(spec.Models) > 8 {
+		return fmt.Errorf("rafiki: policy %q supports at most 8 models, got %d", PolicyRL, len(spec.Models))
+	}
+	if spec.SLO <= 0 {
+		return fmt.Errorf("rafiki: SLO must be positive, got %v", spec.SLO)
+	}
+	if spec.QueueCap < 0 {
+		return fmt.Errorf("rafiki: queue cap must be non-negative, got %d", spec.QueueCap)
+	}
+	b := spec.Replicas
+	if b.Min < 1 {
+		return fmt.Errorf("rafiki: replica bounds need min >= 1, got %d", b.Min)
+	}
+	if b.Max < b.Min {
+		return fmt.Errorf("rafiki: replica bounds need max >= min, got {%d, %d}", b.Min, b.Max)
+	}
+	if b.Max > maxReplicasPerModel {
+		return fmt.Errorf("rafiki: replica bound max %d exceeds the per-model cap %d", b.Max, maxReplicasPerModel)
+	}
+	return nil
+}
+
+// buildPolicy constructs the spec's scheduler for a deployment. For PolicyRL
+// it returns the online adapter too, so the job can expose the agent's step
+// count; the agent is seeded deterministically from the system seed and the
+// job ID.
+func (s *System) buildPolicy(spec DeploymentSpec, dep *infer.Deployment, jobID string) (infer.Policy, *rl.Online, error) {
+	switch spec.Policy {
+	case PolicyRL:
+		online, err := rl.NewOnline(rl.DefaultConfig(), len(dep.ModelNames), dep.Batches,
+			sim.NewRNG(s.opts.Seed).SplitNamed(jobID+"/rl"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return online, online, nil
+	default: // validated: PolicyGreedy
+		return &infer.SyncAll{D: dep}, nil, nil
+	}
+}
+
+// InferenceStatus is the observed side of a deployment, paired with its spec
+// in an InferenceDescription: the live policy, replica layout and headline
+// serving counters (GET /api/v1/inference/{id}/stats has the full metrics).
+type InferenceStatus struct {
+	// Policy is the scheduler currently installed on the runtime.
+	Policy string `json:"policy"`
+	// Replicas is the live per-model replica count.
+	Replicas map[string]int `json:"replicas"`
+	// QueueLen is the current request-queue depth.
+	QueueLen int `json:"queue_len"`
+	// Queries counts completed queries; Served/Dropped are the runtime's
+	// completion and rejection counters.
+	Queries uint64 `json:"queries"`
+	Served  int    `json:"served"`
+	Dropped int    `json:"dropped"`
+	// RLSteps is the online agent's decision count (PolicyRL only): it
+	// advancing while queries flow is the observable that the scheduler is
+	// training on the live path.
+	RLSteps int64 `json:"rl_steps,omitempty"`
+	// Autoscaling reports whether the autoscale loop is running.
+	Autoscaling bool `json:"autoscaling"`
+}
+
+// InferenceDescription is the full REST resource: desired spec plus observed
+// status.
+type InferenceDescription struct {
+	ID     string          `json:"id"`
+	Spec   DeploymentSpec  `json:"spec"`
+	Status InferenceStatus `json:"status"`
+}
+
+// Describe snapshots the deployment as spec + status.
+func (j *InferenceJob) Describe() InferenceDescription {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return describeLocked(j)
+}
+
+// Spec returns the deployment's current (last reconciled) spec.
+func (j *InferenceJob) Spec() DeploymentSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spec
+}
+
+// RLSteps returns the online agent's decision count, or 0 for non-RL
+// deployments. Safe to call concurrently with serving.
+func (j *InferenceJob) RLSteps() int64 {
+	j.mu.Lock()
+	p := j.rlPolicy
+	j.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.Steps()
+}
+
+// ListInference describes every live deployment, ordered by ID.
+func (s *System) ListInference() []InferenceDescription {
+	s.mu.Lock()
+	jobs := make([]*InferenceJob, 0, len(s.inferJobs))
+	for _, j := range s.inferJobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	out := make([]InferenceDescription, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Describe()
+	}
+	return out
+}
+
+// ReconcileInference drives a live deployment to a changed spec — the PUT
+// /api/v1/inference/{id} verb. The spec is defaulted and validated in full
+// before anything mutates; then the differences are applied to the running
+// job: a policy change swaps the scheduler without dropping queued requests
+// (an RL agent being swapped out flushes its last TD update first), SLO and
+// queue-cap changes retune the runtime, replica-bound changes clamp the live
+// pools into the new [Min, Max], and the autoscale loop starts or stops.
+// The model set is immutable; a reconcile spec may leave Models empty to
+// mean "keep the deployed set".
+//
+// Replica clamping talks to the cluster manager and can fail mid-way (e.g.
+// no node capacity), so it runs before everything else: on failure the
+// policy, SLO, queue cap and recorded spec are untouched and the error
+// reports the partially scaled pools; once clamping succeeds the remaining
+// steps cannot fail (the runtime cannot close mid-reconcile — teardown
+// serializes on the job lock).
+func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceDescription, error) {
+	job, err := s.InferenceJobByID(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.stopped {
+		return nil, fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
+	}
+	if len(spec.Models) == 0 {
+		spec.Models = append([]ModelInstance(nil), job.Models...)
+	}
+	spec = spec.withDefaults(s.opts)
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if !sameModelSet(spec.Models, job.Models) {
+		return nil, fmt.Errorf("rafiki: reconcile %s: the model set is immutable (deploy a new job to change models)", id)
+	}
+
+	// Clamp the live replica pools into the new bounds first: it is the only
+	// step that can fail after validation (cluster capacity), so failing
+	// here leaves the policy, SLO and queue cap — and the recorded spec —
+	// untouched, and a success makes the rest of the reconcile infallible.
+	for mi := range job.Models {
+		target := job.replicas[mi]
+		if target < spec.Replicas.Min {
+			target = spec.Replicas.Min
+		}
+		if target > spec.Replicas.Max {
+			target = spec.Replicas.Max
+		}
+		if target != job.replicas[mi] {
+			if err := s.scaleModelLocked(job, mi, target); err != nil {
+				return nil, fmt.Errorf("rafiki: reconcile %s: replica bounds partially applied: %w", id, err)
+			}
+		}
+	}
+	// Policy swap: install the new scheduler, then flush the old agent.
+	// SetPolicy serializes under the runtime lock, so once it returns no
+	// Decide can still be running on the outgoing policy — only then is
+	// Flush's TD update race-free (the runtime never locks the agent
+	// itself).
+	if spec.Policy != job.spec.Policy {
+		pol, online, err := s.buildPolicy(spec, job.dep, job.ID)
+		if err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+		old := job.rlPolicy
+		if err := job.runtime.SetPolicy(pol); err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+		if old != nil {
+			old.Flush()
+		}
+		job.rlPolicy = online
+	}
+	if spec.SLO != job.spec.SLO {
+		if err := job.runtime.SetSLO(spec.SLO); err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+	}
+	if spec.QueueCap != job.spec.QueueCap {
+		if err := job.runtime.SetQueueCap(spec.QueueCap); err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+	}
+	// Autoscale toggle.
+	if spec.Autoscale && job.autoStop == nil {
+		job.autoStop = make(chan struct{})
+		go s.autoscaleLoop(job, job.autoStop)
+	} else if !spec.Autoscale && job.autoStop != nil {
+		close(job.autoStop)
+		job.autoStop = nil
+	}
+	job.spec = spec
+	desc := describeLocked(job)
+	return &desc, nil
+}
+
+// describeLocked is Describe with j.mu already held (reconcile returns the
+// fresh description from inside its critical section).
+func describeLocked(j *InferenceJob) InferenceDescription {
+	st := j.runtime.Stats()
+	out := InferenceDescription{
+		ID:   j.ID,
+		Spec: j.spec,
+		Status: InferenceStatus{
+			Policy:      j.runtime.PolicyName(),
+			Replicas:    make(map[string]int, len(j.Models)),
+			QueueLen:    st.QueueLen,
+			Queries:     j.queries.Load(),
+			Served:      st.Served,
+			Dropped:     st.Dropped,
+			Autoscaling: j.autoStop != nil,
+		},
+	}
+	for i, m := range j.Models {
+		out.Status.Replicas[m.Model] = j.replicas[i]
+	}
+	if j.rlPolicy != nil {
+		out.Status.RLSteps = j.rlPolicy.Steps()
+	}
+	return out
+}
+
+// sameModelSet reports whether two instance lists deploy the same models
+// (order-insensitive, matched by architecture and checkpoint).
+func sameModelSet(a, b []ModelInstance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(m ModelInstance) string { return m.Model + "\x00" + m.CheckpointKey }
+	set := make(map[string]int, len(a))
+	for _, m := range a {
+		set[key(m)]++
+	}
+	for _, m := range b {
+		set[key(m)]--
+		if set[key(m)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Autoscaler tuning. The loop samples the runtime's backpressure signals —
+// queue depth and recent drain rate (the same numbers GET /stats exposes and
+// 429 Retry-After hints derive from) — every autoscaleInterval of wall time,
+// and moves each model's pool one replica at a time inside the spec bounds.
+const (
+	// autoscaleInterval is the sampling cadence (wall clock; deliberately a
+	// few× the cluster-manager tick so scale decisions see settled state).
+	autoscaleInterval = 20 * time.Millisecond
+	// autoscaleHighWater is the queue depth that triggers a scale-up: two
+	// full max-size batches of standing backlog means the current pools are
+	// not draining the offered load.
+	autoscaleHighWater = 32
+)
+
+// autoscaleTarget is the pure scaling rule: pools outside [min, max] (after
+// a manual ScaleInference below the floor, say) snap back to the nearest
+// bound; inside the bounds, one step up under standing backlog and one step
+// down when the queue is empty and nothing has drained recently (the
+// deployment is idle).
+func autoscaleTarget(cur, min, max, queueLen int, drainRate float64) int {
+	if cur < min {
+		return min
+	}
+	if cur > max {
+		return max
+	}
+	if queueLen >= autoscaleHighWater && cur < max {
+		return cur + 1
+	}
+	if queueLen == 0 && drainRate == 0 && cur > min {
+		return cur - 1
+	}
+	return cur
+}
+
+// autoscaleLoop drives a deployment's replica pools from its backpressure
+// signals until stop closes (reconcile toggling autoscale off, or teardown).
+// Scale errors (e.g. transient cluster capacity) are dropped: the loop just
+// tries again next tick with fresh signals.
+func (s *System) autoscaleLoop(job *InferenceJob, stop <-chan struct{}) {
+	t := time.NewTicker(autoscaleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		queueLen, drain := job.runtime.Backpressure()
+		job.mu.Lock()
+		if job.stopped {
+			job.mu.Unlock()
+			return
+		}
+		bounds := job.spec.Replicas
+		for mi := range job.Models {
+			target := autoscaleTarget(job.replicas[mi], bounds.Min, bounds.Max, queueLen, drain)
+			if target != job.replicas[mi] {
+				_ = s.scaleModelLocked(job, mi, target)
+			}
+		}
+		job.mu.Unlock()
+	}
+}

@@ -2,6 +2,7 @@ package rafiki
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"rafiki/internal/advisor"
@@ -256,6 +257,23 @@ func (j *TrainJob) Status() TrainStatus {
 		st.BestAccuracy[model] = m.BestPerf()
 	}
 	return st
+}
+
+// ListTrainJobs reports the status of every submitted training job, ordered
+// by job ID — the GET /api/v1/train resource listing.
+func (s *System) ListTrainJobs() []TrainStatus {
+	s.mu.Lock()
+	jobs := make([]*TrainJob, 0, len(s.trainJobs))
+	for _, j := range s.trainJobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	out := make([]TrainStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
 }
 
 // TrainJobByID returns a submitted training job.
