@@ -29,7 +29,11 @@ race:
 bench:
 	$(GO) test ./internal/infer/ -run none -bench BenchmarkQueuePopN -benchmem
 
-# One pass of the replica-scaling benchmark (virtual time, deterministic):
-# a cheap gate that the dispatch hot path still scales with replicas.
+# One pass of the replica-scaling benchmark (virtual time, deterministic)
+# plus a bounded run of the sharded-submit benchmark (wall clock, 1/4/8 queue
+# shards): cheap gates that the dispatch hot path still scales with replicas
+# and that the submit path still scales with shards. The fixed iteration
+# count bounds the standing backlog the submit benchmark accumulates.
 bench-smoke:
 	$(GO) test ./internal/infer/ -run none -bench BenchmarkReplicaScaling -benchtime 1x
+	$(GO) test . -run none -bench BenchmarkShardedSubmit -benchtime 20000x

@@ -14,9 +14,15 @@ package rafiki
 //	go test -bench=BenchmarkFig8RandomTuning
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"rafiki/internal/ensemble"
 	"rafiki/internal/exp"
+	"rafiki/internal/infer"
+	"rafiki/internal/sim"
+	"rafiki/internal/zoo"
 )
 
 // report pushes selected summary values into the benchmark output.
@@ -26,6 +32,68 @@ func report(b *testing.B, fig *exp.Figure, keys ...string) {
 		if v, ok := fig.Summary[k]; ok {
 			b.ReportMetric(v, k)
 		}
+	}
+}
+
+// benchWaitPolicy never dispatches, so BenchmarkShardedSubmit measures the
+// submit path in isolation: admission, shard routing, future registration
+// and the decision-point trigger — none of the executor or completion work.
+type benchWaitPolicy struct{}
+
+func (benchWaitPolicy) Name() string                     { return "bench-wait" }
+func (benchWaitPolicy) Decide(*infer.State) infer.Action { return infer.Action{Wait: true} }
+func (benchWaitPolicy) Feedback(float64)                 {}
+
+// BenchmarkShardedSubmit drives concurrent submitters against the serving
+// runtime at 1/4/8 queue shards and reports accepted submissions per wall
+// second. One shard is the classic data plane: every Submit serializes
+// through the dispatch lock and runs its own decision point. Sharded
+// submitters instead touch only their stripe and shard and share coalesced
+// decision sweeps, so submitted QPS scales even before extra cores help.
+// Run with a bounded iteration count (the wait policy keeps the backlog):
+//
+//	go test . -run none -bench BenchmarkShardedSubmit -benchtime 20000x
+func BenchmarkShardedSubmit(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			d, err := infer.NewDeployment(
+				[]string{"inception_v3", "inception_v4", "inception_resnet_v2"},
+				[]int{1, 2, 4, 8, 16}, 0.25, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt, err := infer.NewRuntime(d, benchWaitPolicy{},
+				ensemble.NewAccuracyTable(zoo.NewPredictor(1), 200),
+				func(ids []uint64, payloads []any, models []string) ([]any, error) {
+					return make([]any, len(ids)), nil
+				},
+				infer.RuntimeConfig{
+					Timeline: &sim.WallTimeline{},
+					QueueCap: 1 << 30,
+					Shards:   shards,
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := []byte("q")
+			b.SetParallelism(8)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := rt.Submit(payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "submitted-qps")
+			}
+			rt.Close()
+		})
 	}
 }
 

@@ -30,6 +30,8 @@ func TestDeploySpecValidation(t *testing.T) {
 		{"min above max", DeploymentSpec{Models: models, Replicas: ReplicaBounds{Min: 5, Max: 2}}, "max >= min"},
 		{"max above cap", DeploymentSpec{Models: models, Replicas: ReplicaBounds{Min: 1, Max: maxReplicasPerModel + 1}}, "per-model cap"},
 		{"negative min", DeploymentSpec{Models: models, Replicas: ReplicaBounds{Min: -2, Max: 4}}, "min >= 1"},
+		{"negative shards", DeploymentSpec{Models: models, Shards: -3}, "shards"},
+		{"oversized shards", DeploymentSpec{Models: models, Shards: maxShardsPerDeployment + 1}, "shards"},
 	}
 	for _, tc := range cases {
 		if _, err := sys.Deploy(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -53,7 +55,7 @@ func TestDeploySpecValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := inf.Spec()
-	if spec.Policy != PolicyGreedy || spec.SLO != sys.opts.ServeSLO || spec.QueueCap != defaultQueueCap {
+	if spec.Policy != PolicyGreedy || spec.SLO != sys.opts.ServeSLO || spec.QueueCap != defaultQueueCap || spec.Shards != 1 {
 		t.Fatalf("defaulted spec = %+v", spec)
 	}
 	if spec.Replicas != (ReplicaBounds{Min: 1, Max: maxReplicasPerModel}) {
@@ -242,28 +244,93 @@ func TestReconcileSpec(t *testing.T) {
 	}
 }
 
-// TestAutoscaleTarget pins the pure scaling rule.
+// TestDeployShardedDataPlane deploys a 4-shard data plane through the SDK
+// (run under -race): concurrent queries spread across the shard FIFOs, every
+// one is answered, and a live reconcile re-shards the deployment without
+// dropping work.
+func TestDeployShardedDataPlane(t *testing.T) {
+	sys, err := New(Options{Seed: 42, Workers: 2, NodeCapacity: 16, ServeSpeedup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := importFood(t, sys)
+	job := trainFood(t, sys, d)
+	models, _ := sys.GetModels(job.ID)
+	inf, err := sys.Deploy(DeploymentSpec{Models: models, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := inf.Describe()
+	if desc.Spec.Shards != 4 || desc.Status.Shards != 4 || len(desc.Status.ShardQueueLens) != 4 {
+		t.Fatalf("sharded deploy described as %+v", desc)
+	}
+
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := sys.Query(inf.ID, []byte(fmt.Sprintf("shard_%d_salad.jpg", i))); err != nil {
+				errs <- fmt.Errorf("query %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := inf.Stats()
+	if st.Served != n {
+		t.Fatalf("served = %d, want %d", st.Served, n)
+	}
+
+	// Live re-shard down to the classic single FIFO and keep serving.
+	if _, err := sys.ReconcileInference(inf.ID, DeploymentSpec{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inf.Describe().Status.Shards; got != 1 {
+		t.Fatalf("shards after reconcile = %d, want 1", got)
+	}
+	if _, err := sys.Query(inf.ID, []byte("post_reshard_pizza.jpg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StopInference(inf.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoscaleTarget pins the pure proportional scaling rule: the scale-up
+// step grows with the model's standing backlog (one replica per high-water
+// multiple, plus one while the queue is still growing) instead of a fixed ±1.
 func TestAutoscaleTarget(t *testing.T) {
+	hw := float64(autoscaleHighWater)
 	cases := []struct {
-		cur, min, max, queue int
-		drain                float64
-		want                 int
+		cur, min, max          int
+		backlog, growth, drain float64
+		want                   int
 	}{
-		{1, 1, 4, autoscaleHighWater, 0, 2},     // backlog: step up
-		{4, 1, 4, autoscaleHighWater, 0, 4},     // at max: hold
-		{2, 1, 4, 10, 5, 2},                     // moderate load: hold
-		{3, 1, 4, 0, 0, 2},                      // idle: step down
-		{1, 1, 4, 0, 0, 1},                      // at min: hold
-		{2, 2, 4, 0, 0, 2},                      // min floor respected
-		{2, 1, 4, 0, 3.5, 2},                    // empty but draining: hold
-		{3, 3, 3, autoscaleHighWater + 9, 0, 3}, // degenerate bounds: hold
-		{1, 2, 4, 10, 5, 2},                     // below floor: snap to min
-		{6, 1, 4, autoscaleHighWater, 0, 4},     // above ceiling: snap to max
+		{1, 1, 4, hw, 0, 0, 2},      // one high-water of backlog: step up 1
+		{1, 1, 8, 4 * hw, 0, 0, 5},  // proportional: 4 high-waters jump 4
+		{1, 1, 8, 2 * hw, 12, 0, 4}, // growing queue adds one more step
+		{1, 1, 3, 6 * hw, 0, 0, 3},  // big step clamps at max
+		{4, 1, 4, hw, 0, 0, 4},      // at max: hold
+		{2, 1, 4, 10, 0, 5, 2},      // moderate load: hold
+		{3, 1, 4, 0, 0, 0, 2},       // idle: step down one
+		{1, 1, 4, 0, 0, 0, 1},       // at min: hold
+		{2, 2, 4, 0, 0, 0, 2},       // min floor respected
+		{2, 1, 4, 0, 0, 3.5, 2},     // empty but draining: hold
+		{2, 1, 4, 0, 1.5, 0, 2},     // empty but arrivals incoming: hold
+		{3, 3, 3, hw + 9, 0, 0, 3},  // degenerate bounds: hold
+		{1, 2, 4, 10, 0, 5, 2},      // below floor: snap to min
+		{6, 1, 4, hw, 0, 0, 4},      // above ceiling: snap to max
 	}
 	for i, tc := range cases {
-		if got := autoscaleTarget(tc.cur, tc.min, tc.max, tc.queue, tc.drain); got != tc.want {
-			t.Fatalf("case %d: autoscaleTarget(%d,%d,%d,%d,%v) = %d, want %d",
-				i, tc.cur, tc.min, tc.max, tc.queue, tc.drain, got, tc.want)
+		if got := autoscaleTarget(tc.cur, tc.min, tc.max, tc.backlog, tc.growth, tc.drain); got != tc.want {
+			t.Fatalf("case %d: autoscaleTarget(%d,%d,%d,%v,%v,%v) = %d, want %d",
+				i, tc.cur, tc.min, tc.max, tc.backlog, tc.growth, tc.drain, got, tc.want)
 		}
 	}
 }

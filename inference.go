@@ -132,7 +132,11 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 // batching runtime driven by the spec's policy — PolicyGreedy batches every
 // query through the whole ensemble per Algorithm 3; PolicyRL installs the
 // actor-critic scheduler, which keeps training online from the Equation 7
-// rewards the runtime feeds back on the live path.
+// rewards the runtime feeds back on the live path; PolicyAsync serves each
+// batch with a single model round-robin (no ensemble, maximum throughput).
+// spec.Shards > 1 stripes the request queue so concurrent submitters on
+// different shards never contend and decision points drain shards
+// round-robin.
 //
 // Each model runs as spec.Replicas.Min worker containers registered with the
 // cluster manager (placement prefers colocation with the job's master,
@@ -221,6 +225,7 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 		infer.RuntimeConfig{
 			Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup},
 			QueueCap: spec.QueueCap,
+			Shards:   spec.Shards,
 		},
 	)
 	if err != nil {

@@ -3,6 +3,9 @@ package infer
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/metrics"
@@ -34,15 +37,53 @@ type DispatchOutcome struct {
 	Reward float64
 }
 
-// Engine is the clock-agnostic core of the serving service: the FIFO queue,
-// model-occupancy tracking, policy invocation with Equation 7 reward
-// accounting, and metrics. It never reads a clock — every entry point takes
-// the current time as an argument and completion times come back to the
+// arrivalEvent buffers one Enqueue's metric side effects. Arrivals happen off
+// the driver lock (concurrent Submits touch only their shard), so the shard
+// records the event and the next decision point folds it into the canonical
+// metrics in a driver-serialized context.
+type arrivalEvent struct {
+	// now is the enqueue time (gates MeasureFrom); at the request arrival.
+	now, at float64
+	dropped bool
+}
+
+// engineShard is one stripe of the queue layer: a FIFO plus the lock that
+// makes it safe against concurrent enqueues, and the arrival-metric buffer.
+type engineShard struct {
+	mu     sync.Mutex
+	q      *Queue
+	events []arrivalEvent
+}
+
+// ModelBacklog is one model's demand signal, derived from the sharded queue
+// layer's counters: how much queued work the model is expected to absorb and
+// how much it already has in flight. The autoscaler sizes its step from these
+// instead of the shared queue depth.
+type ModelBacklog struct {
+	// Queued estimates how many queued requests this model will serve: the
+	// total backlog split by the model's share of recently dispatched
+	// requests (1.0 — every request — before any dispatch history, which is
+	// exact for the synchronous full-ensemble policy).
+	Queued float64
+	// Inflight counts requests dispatched to the model in batches that have
+	// not finished at the observation time.
+	Inflight int
+}
+
+// Engine is the clock-agnostic core of the serving service: the sharded FIFO
+// queue layer, model-occupancy tracking, policy invocation with Equation 7
+// reward accounting, and metrics. It never reads a clock — every entry point
+// takes the current time as an argument and completion times come back to the
 // caller as data — so the same engine serves the virtual-time Simulator and
 // the wall-clock Runtime (DESIGN.md §6).
 //
-// The engine is not safe for concurrent use; drivers serialize access
-// (the Simulator is single-threaded, the Runtime holds a mutex).
+// Decision points (Step) and every mutator other than Enqueue are not safe
+// for concurrent use; drivers serialize them (the Simulator is
+// single-threaded, the Runtime holds its dispatch lock). Enqueue is the
+// exception: requests hash to one of the queue shards and only take that
+// shard's lock, so concurrent submitters on different shards never contend
+// with each other — and never with the dispatcher except for the brief
+// per-shard pop.
 type Engine struct {
 	Deployment *Deployment
 	Policy     Policy
@@ -54,27 +95,52 @@ type Engine struct {
 	// MeasureFrom discards metrics before this time (RL warm-up).
 	MeasureFrom float64
 
-	queue *Queue
+	// topo guards the identity of the shard set: Enqueue holds it shared,
+	// SetShards exclusively while re-hashing the backlog.
+	topo    sync.RWMutex
+	shards  []engineShard
+	nshards atomic.Int32
+	// queued is the global backlog count; queueCap the global bound
+	// (0 = unbounded). Both atomic so the admission check never takes a lock
+	// beyond the target shard's.
+	queued   atomic.Int64
+	queueCap atomic.Int64
+	// rr is the round-robin drain cursor: decision points visit non-empty
+	// shards starting here, so no shard starves behind a hot neighbour.
+	rr int
+
 	// busy[m][r] is the busy-until time of replica r of model m; down[m][r]
 	// marks a replica whose container is dead (excluded from dispatch until
 	// the cluster manager restarts it). State/dispatch always work off the
 	// earliest-free available replica, so policies keep their per-model view.
-	busy    [][]float64
-	down    [][]bool
+	busy [][]float64
+	down [][]bool
+	// repBatch[m][r] is the size of the batch in flight on replica r of model
+	// m (stale once busy[m][r] passes; Backlogs filters by busy-until).
+	repBatch [][]int
+	// dispatched[m] counts requests dispatched to model m; popped counts all
+	// dispatched requests. Their ratio is the model's recent share of the
+	// stream, which Backlogs uses to split the queued backlog per model.
+	dispatched []uint64
+	popped     uint64
+
 	met     *Metrics
 	maxAccT float64
 }
 
-// NewEngine wires an engine with a queue of the given capacity
-// (0 = unbounded; the paper drops arrivals beyond a full queue).
+// NewEngine wires an engine with a single queue shard of the given global
+// capacity (0 = unbounded; the paper drops arrivals beyond a full queue).
+// SetShards widens the queue layer.
 func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap int) *Engine {
 	e := &Engine{
 		Deployment: d,
 		Policy:     p,
 		AccTable:   acc,
-		queue:      NewQueue(queueCap),
+		shards:     []engineShard{{q: NewQueue(0)}},
 		busy:       make([][]float64, len(d.Profiles)),
 		down:       make([][]bool, len(d.Profiles)),
+		repBatch:   make([][]int, len(d.Profiles)),
+		dispatched: make([]uint64, len(d.Profiles)),
 		met: &Metrics{
 			OverdueRate: metrics.NewWindowCounter(1),
 			ArrivalRate: metrics.NewWindowCounter(1),
@@ -85,11 +151,82 @@ func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap in
 			Accuracy:   metrics.NewTimeSeries("accuracy"),
 		},
 	}
+	e.nshards.Store(1)
+	e.queueCap.Store(int64(queueCap))
 	for m := range e.busy {
 		e.busy[m] = make([]float64, d.ReplicaCount(m))
 		e.down[m] = make([]bool, d.ReplicaCount(m))
+		e.repBatch[m] = make([]int, d.ReplicaCount(m))
 	}
 	return e
+}
+
+// maxEngineShards bounds SetShards against runaway configurations: shards
+// beyond it buy no parallelism and only fragment batches.
+const maxEngineShards = 256
+
+// mix64 is the splitmix64 finalizer: request IDs are sequential, so shard
+// routing runs them through a full-avalanche mix before reducing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardCount returns the live shard count. Safe to call concurrently.
+func (e *Engine) ShardCount() int { return int(e.nshards.Load()) }
+
+// shardFor maps a request ID onto a shard index for the given shard count.
+func shardFor(id uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix64(id) % uint64(n))
+}
+
+// SetShards re-shards the queue layer to n FIFOs. Queued requests are
+// re-hashed onto the new shards in global arrival order, so nothing is
+// dropped or reordered within a shard. Drivers serialize this with Step;
+// concurrent Enqueues are held off for the duration of the swap.
+func (e *Engine) SetShards(n int) error {
+	if n < 1 || n > maxEngineShards {
+		return fmt.Errorf("infer: shard count must be in [1, %d], got %d", maxEngineShards, n)
+	}
+	if n == len(e.shards) {
+		return nil
+	}
+	e.topo.Lock()
+	defer e.topo.Unlock()
+	var all []Request
+	var events []arrivalEvent
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if l := sh.q.Len(); l > 0 {
+			all = append(all, sh.q.PopN(l)...)
+		}
+		events = append(events, sh.events...)
+		sh.events = nil
+	}
+	// Each old shard was FIFO; restore the global arrival order before
+	// re-hashing so every new shard is FIFO too.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Arrival != all[j].Arrival {
+			return all[i].Arrival < all[j].Arrival
+		}
+		return all[i].ID < all[j].ID
+	})
+	e.shards = make([]engineShard, n)
+	for i := range e.shards {
+		e.shards[i].q = NewQueue(0)
+	}
+	e.shards[0].events = events
+	for _, r := range all {
+		e.shards[shardFor(r.ID, n)].q.Push(r)
+	}
+	e.rr = 0
+	e.nshards.Store(int32(n))
+	return nil
 }
 
 // boundedWindowCounter builds a window counter keeping only the most recent
@@ -103,12 +240,18 @@ func boundedWindowCounter(width float64, keep int) *metrics.WindowCounter {
 // SetPolicy swaps the scheduling policy in place. Queued requests and busy
 // replicas are untouched: the next decision point simply asks the new policy,
 // so a live deployment can move between greedy and RL scheduling without
-// dropping work. Drivers serialize this with Step like every other call.
+// dropping work. The per-model dispatch-share history resets — a new policy
+// routes the stream differently, so the old shares would mis-split the
+// backlog signal. Drivers serialize this with Step like every other call.
 func (e *Engine) SetPolicy(p Policy) error {
 	if p == nil {
 		return fmt.Errorf("infer: nil policy")
 	}
 	e.Policy = p
+	e.popped = 0
+	for m := range e.dispatched {
+		e.dispatched[m] = 0
+	}
 	return nil
 }
 
@@ -125,14 +268,15 @@ func (e *Engine) SetTau(tau float64) error {
 	return nil
 }
 
-// SetQueueCap rebounds the request queue (0 = unbounded). Shrinking below the
-// current backlog keeps the queued requests — only new arrivals are rejected
-// until the queue drains under the new cap.
+// SetQueueCap rebounds the request queue (0 = unbounded; the cap is global
+// across shards). Shrinking below the current backlog keeps the queued
+// requests — only new arrivals are rejected until the queue drains under the
+// new cap.
 func (e *Engine) SetQueueCap(n int) error {
 	if n < 0 {
 		return fmt.Errorf("infer: queue cap must be non-negative, got %d", n)
 	}
-	e.queue.Cap = n
+	e.queueCap.Store(int64(n))
 	return nil
 }
 
@@ -159,9 +303,11 @@ func (e *Engine) SetReplicas(m, n int) error {
 	for len(e.busy[m]) < n {
 		e.busy[m] = append(e.busy[m], 0)
 		e.down[m] = append(e.down[m], false)
+		e.repBatch[m] = append(e.repBatch[m], 0)
 	}
 	e.busy[m] = e.busy[m][:n]
 	e.down[m] = e.down[m][:n]
+	e.repBatch[m] = e.repBatch[m][:n]
 	return nil
 }
 
@@ -175,6 +321,7 @@ func (e *Engine) AddReplica(m int) (int, error) {
 	}
 	e.busy[m] = append(e.busy[m], 0)
 	e.down[m] = append(e.down[m], true)
+	e.repBatch[m] = append(e.repBatch[m], 0)
 	return len(e.busy[m]) - 1, nil
 }
 
@@ -212,41 +359,138 @@ func (e *Engine) bestReplica(m int) (idx int, until float64, ok bool) {
 	return idx, until, idx >= 0
 }
 
-// Metrics returns the engine's live metrics. Callers must not mutate them
-// and, under a concurrent driver, must hold the driver's lock.
-func (e *Engine) Metrics() *Metrics { return e.met }
-
-// QueueLen returns the number of queued (not yet dispatched) requests.
-func (e *Engine) QueueLen() int { return e.queue.Len() }
-
-// Enqueue admits a request at time now, recording arrival/drop metrics.
-func (e *Engine) Enqueue(now float64, r Request) bool {
-	if e.queue.Push(r) {
-		if now >= e.MeasureFrom {
-			e.met.ArrivalRate.Add(r.Arrival, 1)
-		}
-		return true
-	}
-	if now >= e.MeasureFrom {
-		e.met.Dropped++
-	}
-	return false
+// Metrics returns the engine's live metrics after folding in any buffered
+// arrival events. Callers must not mutate them and, under a concurrent
+// driver, must hold the driver's lock.
+func (e *Engine) Metrics() *Metrics {
+	e.flushArrivals()
+	return e.met
 }
 
-// Step runs one decision point at time now: it invokes the policy until it
-// waits, the queue empties, or no model is free, and returns the executed
-// dispatches. The driver must call Step again at every returned ModelFinish
-// time (each model freeing is a new decision point).
-func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
-	var outs []DispatchOutcome
-	for iter := 0; ; iter++ {
-		if iter > 64 {
-			return outs, fmt.Errorf("infer: policy %s dispatched 64 times in one decision point", e.Policy.Name())
+// QueueLen returns the number of queued (not yet dispatched) requests across
+// every shard. Safe to call concurrently.
+func (e *Engine) QueueLen() int { return int(e.queued.Load()) }
+
+// ShardQueueLens returns the per-shard queue depths. Driver-serialized.
+func (e *Engine) ShardQueueLens() []int {
+	out := make([]int, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.q.Len()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Enqueue admits a request at time now onto its hash shard, buffering the
+// arrival/drop metric event for the next decision point. Safe for concurrent
+// use: submitters on different shards touch disjoint locks.
+func (e *Engine) Enqueue(now float64, r Request) bool {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	sh := &e.shards[shardFor(r.ID, len(e.shards))]
+	if cap := e.queueCap.Load(); cap > 0 && e.queued.Add(1) > cap {
+		// Admission overshot the global cap: undo and drop.
+		e.queued.Add(-1)
+		sh.mu.Lock()
+		sh.events = append(sh.events, arrivalEvent{now: now, dropped: true})
+		sh.mu.Unlock()
+		return false
+	} else if cap <= 0 {
+		// Unbounded queue: the cap check short-circuited, so count here.
+		e.queued.Add(1)
+	}
+	sh.mu.Lock()
+	sh.q.Push(r)
+	sh.events = append(sh.events, arrivalEvent{now: now, at: r.Arrival})
+	sh.mu.Unlock()
+	return true
+}
+
+// flushArrivals folds buffered enqueue events into the canonical metrics.
+// Driver-serialized (metric state is only touched under the driver's lock).
+func (e *Engine) flushArrivals() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		events := sh.events
+		sh.events = nil
+		sh.mu.Unlock()
+		for _, ev := range events {
+			if ev.now < e.MeasureFrom {
+				continue
+			}
+			if ev.dropped {
+				e.met.Dropped++
+			} else {
+				e.met.ArrivalRate.Add(ev.at, 1)
+			}
 		}
-		if e.queue.Len() == 0 {
+	}
+}
+
+// nextShard returns the next non-empty shard at or after the round-robin
+// cursor, advancing the cursor past it; ok is false when every shard is
+// empty (a concurrent enqueue may have bumped the global count before its
+// push landed — the submitter's own decision point covers it).
+func (e *Engine) nextShard() (int, bool) {
+	n := len(e.shards)
+	for off := 0; off < n; off++ {
+		i := (e.rr + off) % n
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		l := sh.q.Len()
+		sh.mu.Unlock()
+		if l > 0 {
+			e.rr = (i + 1) % n
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// nonEmptyShards counts shards with queued requests.
+func (e *Engine) nonEmptyShards() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		if sh.q.Len() > 0 {
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Step runs one decision point at time now: it visits non-empty queue shards
+// round-robin, invoking the policy on each until every waiting shard has
+// been offered once with no dispatch, the queues empty, or no model is free,
+// and returns the executed dispatches. Reward accounting and occupancy stay
+// global — sharding only stripes the FIFO. The driver must call Step again
+// at every returned ModelFinish time (each model freeing is a new decision
+// point). With one shard this is exactly the classic single-FIFO loop.
+func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
+	e.flushArrivals()
+	var outs []DispatchOutcome
+	// waits counts consecutive policy waits; waitTarget is the non-empty
+	// shard count snapshotted at the first wait of each run (a dispatch
+	// resets the run), so a wait-heavy sweep costs one shard scan instead
+	// of one per wait.
+	waits, waitTarget := 0, 0
+	for {
+		if len(outs) > 64*len(e.shards) {
+			return outs, fmt.Errorf("infer: policy %s dispatched %d times in one decision point", e.Policy.Name(), len(outs))
+		}
+		if e.QueueLen() == 0 {
 			return outs, nil
 		}
-		st := e.state(now)
+		si, ok := e.nextShard()
+		if !ok {
+			return outs, nil
+		}
+		st := e.state(now, si)
 		anyFree := false
 		for _, f := range st.FreeModels {
 			if f {
@@ -261,9 +505,17 @@ func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
 		act := e.Policy.Decide(st)
 		if act.Wait {
 			e.Policy.Feedback(0)
-			return outs, nil
+			waits++
+			if waits == 1 {
+				waitTarget = e.nonEmptyShards()
+			}
+			if waits >= waitTarget {
+				return outs, nil
+			}
+			continue
 		}
-		out, err := e.dispatch(now, act)
+		waits = 0
+		out, err := e.dispatch(now, si, act)
 		if err != nil {
 			return outs, err
 		}
@@ -272,13 +524,20 @@ func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
 	}
 }
 
-// state builds the policy's decision state at time now.
-func (e *Engine) state(now float64) *State {
+// state builds the policy's decision state at time now for draining shard
+// si: the queue view (depth and head waits) is the shard's, the model view
+// is global.
+func (e *Engine) state(now float64, si int) *State {
 	d := e.Deployment
+	sh := &e.shards[si]
+	sh.mu.Lock()
+	queueLen := sh.q.Len()
+	waits := sh.q.Waits(now, 16)
+	sh.mu.Unlock()
 	st := &State{
 		Now:          now,
-		QueueLen:     e.queue.Len(),
-		Waits:        e.queue.Waits(now, 16),
+		QueueLen:     queueLen,
+		Waits:        waits,
 		FreeModels:   make([]bool, len(d.Profiles)),
 		BusyLeft:     make([]float64, len(d.Profiles)),
 		Tau:          d.Tau,
@@ -305,10 +564,11 @@ func (e *Engine) state(now float64) *State {
 	return st
 }
 
-// dispatch validates and executes an action at time now, returning its
-// outcome with the Equation 7 reward: a(M[v]) · (b − β·|overdue in batch|),
-// normalized by the maximum batch size so rewards stay O(1).
-func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
+// dispatch validates and executes an action at time now against shard si's
+// queue, returning its outcome with the Equation 7 reward:
+// a(M[v]) · (b − β·|overdue in batch|), normalized by the maximum batch size
+// so rewards stay O(1).
+func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, error) {
 	d := e.Deployment
 	if len(act.Models) == 0 {
 		return DispatchOutcome{}, fmt.Errorf("infer: dispatch with empty model subset")
@@ -339,14 +599,19 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 		names[i] = d.ModelNames[mi]
 		replicas[i] = rep
 	}
+	sh := &e.shards[si]
+	sh.mu.Lock()
 	n := act.Batch
-	if n > e.queue.Len() {
-		n = e.queue.Len()
+	if n > sh.q.Len() {
+		n = sh.q.Len()
 	}
 	if n == 0 {
+		sh.mu.Unlock()
 		return DispatchOutcome{}, fmt.Errorf("infer: dispatch on empty queue")
 	}
-	batch := e.queue.PopN(n)
+	batch := sh.q.PopN(n)
+	sh.mu.Unlock()
+	e.queued.Add(-int64(n))
 
 	out := DispatchOutcome{
 		Requests:    batch,
@@ -360,12 +625,24 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 	}
 	// Occupy the chosen replica of each selected model; the ensemble
 	// completes with the slowest.
+	e.popped += uint64(n)
 	for i, mi := range act.Models {
 		f := now + d.Profiles[mi].BatchLatency(n)
 		e.busy[mi][replicas[i]] = f
+		e.repBatch[mi][replicas[i]] = n
+		e.dispatched[mi] += uint64(n)
 		out.ModelFinish[i] = f
 		if f > out.Finish {
 			out.Finish = f
+		}
+	}
+	// Exponentially decay the share counters so Backlogs tracks the recent
+	// stream, not lifetime history: halving preserves the ratios while a
+	// workload shift washes out within a few half-lives.
+	if e.popped >= shareHalfLife {
+		e.popped >>= 1
+		for m := range e.dispatched {
+			e.dispatched[m] >>= 1
 		}
 	}
 
@@ -435,4 +712,30 @@ func (e *Engine) dispatch(now float64, act Action) (DispatchOutcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// shareHalfLife bounds the dispatch-share history feeding Backlogs: once
+// this many requests have been counted, every counter halves.
+const shareHalfLife = 1 << 14
+
+// Backlogs reports each model's demand signal at time now: its estimated
+// share of the queued backlog (by recent, exponentially decayed dispatch
+// participation) plus the requests already in flight on its replicas.
+// Driver-serialized.
+func (e *Engine) Backlogs(now float64) []ModelBacklog {
+	out := make([]ModelBacklog, len(e.busy))
+	queued := float64(e.QueueLen())
+	for m := range e.busy {
+		share := 1.0
+		if e.popped > 0 {
+			share = float64(e.dispatched[m]) / float64(e.popped)
+		}
+		out[m].Queued = share * queued
+		for r, until := range e.busy[m] {
+			if until > now+1e-12 {
+				out[m].Inflight += e.repBatch[m][r]
+			}
+		}
+	}
+	return out
 }

@@ -23,6 +23,11 @@ type goldenRun struct {
 	anchor   float64
 	duration float64
 	seed     int64
+	// shards is the queue-shard count (0 = the default single FIFO). The
+	// 0- and 1-shard rows pin the pre-refactor numbers bit-for-bit; the
+	// multi-shard row pins the sharded scheduler's own behaviour against
+	// regressions.
+	shards int
 
 	served, overdue, dropped, decisions int
 	reward                              float64
@@ -42,12 +47,38 @@ var goldenRuns = []goldenRun{
 		arrivals: 30901, latencySum: 59936.4199999722,
 	},
 	{
+		// The same workload through an explicit 1-shard configuration: the
+		// sharded queue layer at N=1 must reproduce the pre-shard engine
+		// bit-for-bit.
+		models: []string{"inception_v3"},
+		policy: func(d *Deployment) Policy { return &GreedySingle{D: d} },
+		tau:    0.56, anchor: 272, duration: 120, seed: 6, shards: 1,
+		served: 30896, overdue: 19842, dropped: 0, decisions: 1020,
+		reward: 134.6774453125, accMean: 0.7838062372, accLen: 489,
+		arrivals: 30901, latencySum: 59936.4199999722,
+	},
+	{
 		models: []string{"inception_v3", "inception_v4", "inception_resnet_v2"},
 		policy: func(d *Deployment) Policy { return &SyncAll{D: d} },
 		tau:    1.0, anchor: 128, duration: 120, seed: 4,
 		served: 13808, overdue: 4671, dropped: 0, decisions: 4364,
 		reward: 119.0308398437, accMean: 0.8283627248, accLen: 241,
 		arrivals: 13812, latencySum: 15788.2858000239,
+	},
+	{
+		// The same ensemble workload over 8 queue shards, pinned once from
+		// this revision: round-robin draining visits every shard (more
+		// decisions), and each shard's shallower FIFO reaches Algorithm 3's
+		// full-batch rule less often (smaller batches, more overdue under
+		// this saturated single-replica load) — sharding buys submit-path
+		// concurrency, not batch efficiency. Deterministic, so any change to
+		// the sharded scheduler shows up here.
+		models: []string{"inception_v3", "inception_v4", "inception_resnet_v2"},
+		policy: func(d *Deployment) Policy { return &SyncAll{D: d} },
+		tau:    1.0, anchor: 128, duration: 120, seed: 4, shards: 8,
+		served: 13744, overdue: 9655, dropped: 0, decisions: 37172,
+		reward: 53.2688085937, accMean: 0.8258874850, accLen: 554,
+		arrivals: 13812, latencySum: 33648.1359000115,
 	},
 }
 
@@ -63,6 +94,7 @@ func TestSimulatorMatchesSeedGolden(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := NewSimulator(d, g.policy(d), workload.NewSource(arr), ensemble.NewAccuracyTable(zoo.NewPredictor(g.seed), 4000))
+		s.Shards = g.shards
 		s.Predictor = zoo.NewPredictor(g.seed + 1)
 		met, err := s.Run(g.duration)
 		if err != nil {

@@ -1,5 +1,6 @@
 // Package infer implements Rafiki's inference service (Section 5): a FIFO
-// request queue with an SLO τ, the greedy max-batch scheduler of Algorithm 3
+// request queue (optionally sharded into N hashed FIFOs drained round-robin,
+// DESIGN.md §9) with an SLO τ, the greedy max-batch scheduler of Algorithm 3
 // with its AIMD-style back-off check, the synchronous (all models, full
 // ensemble) and asynchronous (one model per batch, no ensemble) baselines of
 // Section 7.2.2, and a clock-agnostic dispatch Engine that drives any
@@ -128,7 +129,9 @@ type Action struct {
 }
 
 // State is the policy's view of the system at a decision point (Section
-// 5.2's RL state: queue status + model status).
+// 5.2's RL state: queue status + model status). Under a sharded queue layer
+// the queue view (QueueLen, Waits) is the shard being drained — the batch
+// the policy can actually pop — while the model view stays global.
 type State struct {
 	Now        float64
 	QueueLen   int

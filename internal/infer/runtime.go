@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/sim"
@@ -31,7 +32,7 @@ type Future struct {
 	done    chan struct{}
 	payload any
 	// dispatched flips when the request leaves the queue for a batch;
-	// guarded by the runtime mutex.
+	// guarded by the runtime's dispatch lock.
 	dispatched bool
 
 	// set before done is closed, immutable afterwards.
@@ -51,7 +52,9 @@ func (f *Future) Wait() (any, error) {
 // want select semantics.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
-// Models returns the model subset that served the request (after Wait).
+// Models returns the model subset that served the request (after Wait). The
+// slice is the caller's own copy: mutating it cannot corrupt sibling results
+// from the same batch.
 func (f *Future) Models() []string { return f.models }
 
 // Latency returns the request's queue+service latency in timeline seconds
@@ -78,6 +81,19 @@ type Stats struct {
 	// batches already dispatched and finishing shortly). 0 means nothing
 	// has drained recently — callers fall back to a fixed retry hint.
 	DrainRate float64 `json:"drain_rate"`
+	// Shards is the live queue-shard count; ShardQueueLens the per-shard
+	// backlog depths (their sum is QueueLen).
+	Shards         int   `json:"shards"`
+	ShardQueueLens []int `json:"shard_queue_lens"`
+	// ModelBacklogs is each model's estimated share of the queued backlog
+	// (parallel to the deployment's model list) — exactly the signal the
+	// proportional autoscaler steps on. ModelInflight counts the requests
+	// already dispatched to each model's replicas and not yet finished.
+	ModelBacklogs []float64 `json:"model_backlogs"`
+	ModelInflight []int     `json:"model_inflight"`
+	// QueueGrowth is the recent arrival rate minus the drain rate (requests
+	// per timeline second): positive means the backlog is building.
+	QueueGrowth float64 `json:"queue_growth"`
 }
 
 // drainWindow is the lookback (timeline seconds) of Stats.DrainRate.
@@ -87,8 +103,14 @@ const drainWindow = 5.0
 type RuntimeConfig struct {
 	// Timeline drives time; nil defaults to a real-time WallTimeline.
 	Timeline sim.Timeline
-	// QueueCap bounds the queue (0 = the simulator's default, 4096).
+	// QueueCap bounds the queue globally across shards (0 = the simulator's
+	// default, 4096).
 	QueueCap int
+	// Shards is the queue-shard count (0 or 1 = the classic single FIFO).
+	// With N > 1 shards, requests hash onto per-shard FIFOs, submissions on
+	// different shards never contend, and decision points drain the shards
+	// round-robin.
+	Shards int
 	// PollInterval is the re-decision cadence (timeline seconds) while
 	// requests wait in a non-empty queue — the wall-clock analogue of the
 	// Simulator's arrival tick, which lets deadline-pressure dispatches
@@ -100,13 +122,34 @@ type RuntimeConfig struct {
 	MeasureFrom float64
 }
 
+// runtimeStripes is the fixed stripe count of the pending-future table. It
+// is independent of the engine's shard count (which can change live), so a
+// re-shard never strands a future in the wrong stripe.
+const runtimeStripes = 16
+
+// stripe is one lock-striped slice of the pending-future table.
+type stripe struct {
+	mu      sync.Mutex
+	pending map[uint64]*Future
+}
+
 // Runtime is the wall-clock driver of the dispatch Engine: goroutine-safe,
 // channel-fed, with per-request futures. Concurrent callers Submit payloads;
 // the scheduling Policy groups them into shared batches; the Executor
 // computes each batch's results when the (profiled) service time elapses.
 //
-// Decision points mirror the Simulator's: every submission, every model
-// freeing up, and a poll tick while requests wait.
+// The data plane is lock-striped: a submission touches only its pending-table
+// stripe and its queue shard, never the dispatch lock. With one queue shard
+// the submitter then runs its decision point synchronously under the dispatch
+// lock — exactly the pre-shard runtime, bit-for-bit. With N > 1 shards,
+// decision points are instead coalesced: the first submitter after an idle
+// sweep schedules one via the timeline, and every submission that lands while
+// it is pending shares it — so the per-request decision cost amortizes across
+// the fan-in instead of serializing it.
+//
+// Decision points mirror the Simulator's: every submission (directly or via
+// the coalesced sweep), every model freeing up, and a poll tick while
+// requests wait.
 type Runtime struct {
 	tl   sim.Timeline
 	exec Executor
@@ -115,13 +158,24 @@ type Runtime struct {
 	// SetSLO must not overwrite with its τ-derived default.
 	pollConfigured bool
 
-	mu       sync.Mutex
-	eng      *Engine
-	pending  map[uint64]*Future
-	nextID   uint64
-	pollSet  bool
-	closed   bool
-	err      error // first engine error; poisons the runtime
+	// disp serializes the engine's decision state (Step, occupancy, policy,
+	// metrics) — the control lock of the data plane. Lock order: disp, then
+	// stripe, then engine shard; never the reverse.
+	disp    sync.Mutex
+	eng     *Engine
+	pollSet bool
+
+	// closed flips once (teardown or poison); errv holds the poisoning
+	// engine error, stored before closed so closedErr never misses it.
+	closed atomic.Bool
+	errv   atomic.Value
+
+	nextID atomic.Uint64
+	// sweepSet coalesces sharded-mode decision points: only the submitter
+	// that flips it schedules a sweep; everyone else piggybacks.
+	sweepSet atomic.Bool
+
+	stripes  [runtimeStripes]stripe
 	inflight sync.WaitGroup
 }
 
@@ -145,6 +199,11 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 		poll = d.Tau / 25
 	}
 	eng := NewEngine(d, p, acc, queueCap)
+	if cfg.Shards > 1 {
+		if err := eng.SetShards(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
 	eng.Predictor = cfg.Predictor
 	eng.MeasureFrom = cfg.MeasureFrom
 	// Prime the accuracy surrogate for the full ensemble (the live path's
@@ -161,49 +220,70 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	eng.Metrics().LatencyCap = 4096
 	eng.Metrics().ArrivalRate.Keep = 64
 	eng.Metrics().OverdueRate.Keep = 64
-	return &Runtime{
+	r := &Runtime{
 		tl:             tl,
 		exec:           exec,
 		poll:           poll,
 		pollConfigured: cfg.PollInterval > 0,
 		eng:            eng,
-		pending:        map[uint64]*Future{},
-	}, nil
+	}
+	for i := range r.stripes {
+		r.stripes[i].pending = map[uint64]*Future{}
+	}
+	return r, nil
 }
 
-// closedErrLocked reports why the runtime rejects work, with r.mu held: the
-// poisoning engine error if there is one, ErrClosed otherwise, nil while the
-// runtime is live.
-func (r *Runtime) closedErrLocked() error {
-	if !r.closed {
-		return nil
-	}
-	if r.err != nil {
-		return r.err
+// closedErr reports why the runtime rejects work: the poisoning engine error
+// if there is one, ErrClosed otherwise.
+func (r *Runtime) closedErr() error {
+	if err, ok := r.errv.Load().(error); ok {
+		return err
 	}
 	return ErrClosed
 }
 
 // Submit enqueues a payload and returns a future for its batched result.
 func (r *Runtime) Submit(payload any) (*Future, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return nil, err
+	if r.closed.Load() {
+		return nil, r.closedErr()
 	}
+	id := r.nextID.Add(1) - 1
+	st := &r.stripes[id%runtimeStripes]
+	f := &Future{done: make(chan struct{}), payload: payload}
 	now := r.tl.Now()
-	id := r.nextID
-	r.nextID++
+	st.mu.Lock()
+	if r.closed.Load() {
+		// Close's sweep may already have passed this stripe; registering now
+		// would strand the future forever.
+		st.mu.Unlock()
+		return nil, r.closedErr()
+	}
 	if !r.eng.Enqueue(now, Request{ID: id, Arrival: now}) {
+		st.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	f := &Future{done: make(chan struct{}), payload: payload}
-	r.pending[id] = f
-	if err := r.step(now); err != nil {
+	st.pending[id] = f
+	st.mu.Unlock()
+
+	if r.eng.ShardCount() > 1 {
+		// Sharded mode: hand the decision point to a coalesced sweep so the
+		// submit path never serializes on the dispatch lock. A poisoning
+		// policy error reaches the caller through the future.
+		r.scheduleSweep()
+		return f, nil
+	}
+	// Single-shard compatibility path: run the decision point synchronously
+	// under the dispatch lock (exactly the pre-shard runtime), so a policy
+	// error at this decision point surfaces from Submit itself.
+	r.disp.Lock()
+	err := r.step(r.tl.Now())
+	dispatched := f.dispatched
+	r.disp.Unlock()
+	if err != nil {
 		// The engine failed at this decision point. If this request made it
 		// into a batch before the error, that batch still completes — hand
 		// the caller its future; the error reaches everyone else.
-		if f.dispatched {
+		if dispatched {
 			return f, nil
 		}
 		return nil, err
@@ -211,9 +291,33 @@ func (r *Runtime) Submit(payload any) (*Future, error) {
 	return f, nil
 }
 
-// step runs a decision point with r.mu held, launching any dispatches and
+// scheduleSweep arms one coalesced decision point unless one is already
+// pending. The flag clears under the dispatch lock before the sweep reads
+// the queues, so a submission that finds it set is always observed either by
+// the pending sweep or by a successor scheduled after it.
+func (r *Runtime) scheduleSweep() {
+	if r.sweepSet.CompareAndSwap(false, true) {
+		r.tl.AfterFunc(0, r.sweep)
+	}
+}
+
+// sweep is the coalesced decision point of sharded mode.
+func (r *Runtime) sweep() {
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	r.sweepSet.Store(false)
+	if r.closed.Load() {
+		return
+	}
+	_ = r.step(r.tl.Now())
+}
+
+// step runs a decision point with r.disp held, launching any dispatches and
 // arming the wait poll.
 func (r *Runtime) step(now float64) error {
+	if r.closed.Load() {
+		return r.closedErr()
+	}
 	outs, err := r.eng.Step(now)
 	for _, out := range outs {
 		r.launch(now, out)
@@ -224,12 +328,12 @@ func (r *Runtime) step(now float64) error {
 		// and fail the undispatched futures rather than let later
 		// submissions batch with orphaned queue entries. Already-dispatched
 		// batches still complete normally.
-		r.closed = true
-		r.err = err
-		r.failLocked(err)
+		r.errv.Store(err)
+		r.closed.Store(true)
+		r.failAll(err)
 		return err
 	}
-	if r.eng.QueueLen() > 0 && !r.pollSet && !r.closed {
+	if r.eng.QueueLen() > 0 && !r.pollSet {
 		r.pollSet = true
 		r.tl.AfterFunc(r.poll, r.pollTick)
 	}
@@ -238,22 +342,25 @@ func (r *Runtime) step(now float64) error {
 
 // pollTick is the recurring decision point while requests wait.
 func (r *Runtime) pollTick() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.disp.Lock()
+	defer r.disp.Unlock()
 	r.pollSet = false
-	if r.closed {
+	if r.closed.Load() {
 		return
 	}
 	_ = r.step(r.tl.Now())
 }
 
 // launch schedules a dispatched batch's completion and the follow-up
-// decision points at each model's finish time. Called with r.mu held.
+// decision points at each model's finish time. Called with r.disp held.
 func (r *Runtime) launch(now float64, out DispatchOutcome) {
 	futs := make([]*Future, len(out.Requests))
 	for i, req := range out.Requests {
-		futs[i] = r.pending[req.ID]
-		delete(r.pending, req.ID)
+		st := &r.stripes[req.ID%runtimeStripes]
+		st.mu.Lock()
+		futs[i] = st.pending[req.ID]
+		delete(st.pending, req.ID)
+		st.mu.Unlock()
 		if futs[i] != nil {
 			futs[i].dispatched = true
 		}
@@ -262,9 +369,9 @@ func (r *Runtime) launch(now float64, out DispatchOutcome) {
 	r.tl.AfterFunc(out.Finish-now, func() { r.complete(out, futs) })
 	for _, f := range out.ModelFinish {
 		r.tl.AfterFunc(f-now, func() {
-			r.mu.Lock()
-			defer r.mu.Unlock()
-			if !r.closed {
+			r.disp.Lock()
+			defer r.disp.Unlock()
+			if !r.closed.Load() {
 				_ = r.step(r.tl.Now())
 			}
 		})
@@ -290,7 +397,10 @@ func (r *Runtime) complete(out DispatchOutcome, futs []*Future) {
 		if f == nil {
 			continue
 		}
-		f.models = out.ModelNames
+		// Each future gets its own copy of the serving subset: batch
+		// siblings share the outcome, and a caller mutating one result's
+		// Models() must not corrupt the others.
+		f.models = append([]string(nil), out.ModelNames...)
 		f.latency = out.Finish - out.Requests[i].Arrival
 		if err != nil {
 			f.err = err
@@ -301,12 +411,19 @@ func (r *Runtime) complete(out DispatchOutcome, futs []*Future) {
 	}
 }
 
-// failLocked resolves every pending future with err. Called with r.mu held.
-func (r *Runtime) failLocked(err error) {
-	for id, f := range r.pending {
-		f.err = err
-		close(f.done)
-		delete(r.pending, id)
+// failAll resolves every pending (undispatched) future with err. Futures
+// already handed to a batch were removed from their stripe at launch, so
+// they are never double-resolved.
+func (r *Runtime) failAll(err error) {
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for id, f := range st.pending {
+			f.err = err
+			close(f.done)
+			delete(st.pending, id)
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -316,10 +433,10 @@ func (r *Runtime) failLocked(err error) {
 // conservative policy can flush a waiting backlog at once). Batches already
 // dispatched complete under the old decision.
 func (r *Runtime) SetPolicy(p Policy) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
 	}
 	if err := r.eng.SetPolicy(p); err != nil {
 		return err
@@ -329,8 +446,8 @@ func (r *Runtime) SetPolicy(p Policy) error {
 
 // PolicyName reports the live policy's name.
 func (r *Runtime) PolicyName() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.disp.Lock()
+	defer r.disp.Unlock()
 	return r.eng.Policy.Name()
 }
 
@@ -339,10 +456,10 @@ func (r *Runtime) PolicyName() string {
 // explicitly), then re-runs a decision point (a looser τ may justify
 // waiting, a tighter one may demand an immediate flush).
 func (r *Runtime) SetSLO(tau float64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
 	}
 	if err := r.eng.SetTau(tau); err != nil {
 		return err
@@ -356,23 +473,43 @@ func (r *Runtime) SetSLO(tau float64) error {
 // SetQueueCap rebounds the request queue on the live runtime (see
 // Engine.SetQueueCap for the shrink semantics).
 func (r *Runtime) SetQueueCap(n int) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
 	}
 	return r.eng.SetQueueCap(n)
 }
+
+// SetShards re-shards the live queue layer to n FIFOs: the queued backlog is
+// re-hashed in arrival order (nothing dropped or reordered within a shard)
+// and the next decision point drains the new layout. Moving between 1 and
+// N > 1 also switches the submit path between the synchronous single-shard
+// mode and the coalesced sharded mode.
+func (r *Runtime) SetShards(n int) error {
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
+	}
+	if err := r.eng.SetShards(n); err != nil {
+		return err
+	}
+	return r.step(r.tl.Now())
+}
+
+// Shards reports the live queue-shard count.
+func (r *Runtime) Shards() int { return r.eng.ShardCount() }
 
 // SetReplicas resizes model m's replica pool on the live runtime. Growing
 // immediately re-runs a decision point so queued requests flow onto the new
 // capacity; shrinking stops dispatching to the dropped slots while batches
 // already in flight on them still complete.
 func (r *Runtime) SetReplicas(m, n int) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
 	}
 	if err := r.eng.SetReplicas(m, n); err != nil {
 		return err
@@ -385,10 +522,10 @@ func (r *Runtime) SetReplicas(m, n int) error {
 // launch second, SetReplicaDown(m, r, false) once it is running. No
 // decision point runs (a down slot adds no capacity).
 func (r *Runtime) AddReplica(m int) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return 0, err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return 0, r.closedErr()
 	}
 	return r.eng.AddReplica(m)
 }
@@ -397,10 +534,10 @@ func (r *Runtime) AddReplica(m int) (int, error) {
 // cluster manager's failure detection and container restarts back into
 // dispatch availability. Recovery re-runs a decision point.
 func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.closedErrLocked(); err != nil {
-		return err
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
 	}
 	if err := r.eng.SetReplicaDown(m, rep, down); err != nil {
 		return err
@@ -416,29 +553,56 @@ func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
 // path calls this once per queue-full request, exactly when the runtime is
 // saturated.
 func (r *Runtime) Backpressure() (queueLen int, drainRate float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.disp.Lock()
+	defer r.disp.Unlock()
 	return r.eng.QueueLen(), r.eng.Metrics().ServedRate.TotalSince(r.tl.Now()-drainWindow) / drainWindow
+}
+
+// Signals snapshots the autoscaler's inputs: each model's backlog estimate
+// (queued share + in-flight requests), the queue-growth rate (arrivals minus
+// drains over the recent window, requests per timeline second), and the
+// drain rate itself.
+func (r *Runtime) Signals() (backlogs []ModelBacklog, growth, drainRate float64) {
+	r.disp.Lock()
+	defer r.disp.Unlock()
+	now := r.tl.Now()
+	backlogs = r.eng.Backlogs(now)
+	m := r.eng.Metrics()
+	arrivals := m.ArrivalRate.TotalSince(now-drainWindow) / drainWindow
+	drainRate = m.ServedRate.TotalSince(now-drainWindow) / drainWindow
+	return backlogs, arrivals - drainRate, drainRate
 }
 
 // Stats snapshots the serving metrics. The percentile sort runs on a copy
 // outside the runtime lock, so scraping stats never stalls serving.
 func (r *Runtime) Stats() Stats {
-	r.mu.Lock()
+	r.disp.Lock()
+	now := r.tl.Now()
 	m := r.eng.Metrics()
+	backlogs := r.eng.Backlogs(now)
+	drain := m.ServedRate.TotalSince(now-drainWindow) / drainWindow
 	st := Stats{
-		Served:     m.Served,
-		Overdue:    m.Overdue,
-		Dropped:    m.Dropped,
-		Decisions:  m.Decisions,
-		Dispatches: m.Dispatches,
-		QueueLen:   r.eng.QueueLen(),
-		Reward:     m.Reward,
-		Replicas:   r.eng.ReplicaCounts(),
-		DrainRate:  m.ServedRate.TotalSince(r.tl.Now()-drainWindow) / drainWindow,
+		Served:         m.Served,
+		Overdue:        m.Overdue,
+		Dropped:        m.Dropped,
+		Decisions:      m.Decisions,
+		Dispatches:     m.Dispatches,
+		QueueLen:       r.eng.QueueLen(),
+		Reward:         m.Reward,
+		Replicas:       r.eng.ReplicaCounts(),
+		DrainRate:      drain,
+		Shards:         r.eng.ShardCount(),
+		ShardQueueLens: r.eng.ShardQueueLens(),
+		ModelBacklogs:  make([]float64, len(backlogs)),
+		ModelInflight:  make([]int, len(backlogs)),
+		QueueGrowth:    m.ArrivalRate.TotalSince(now-drainWindow)/drainWindow - drain,
+	}
+	for i, b := range backlogs {
+		st.ModelBacklogs[i] = b.Queued
+		st.ModelInflight[i] = b.Inflight
 	}
 	lat := append([]float64(nil), m.Latencies...)
-	r.mu.Unlock()
+	r.disp.Unlock()
 	pct := percentiles(lat, 50, 99)
 	st.P50Latency, st.P99Latency = pct[0], pct[1]
 	return st
@@ -448,11 +612,10 @@ func (r *Runtime) Stats() Stats {
 // with ErrClosed; already-dispatched batches still complete. Close is
 // idempotent.
 func (r *Runtime) Close() {
-	r.mu.Lock()
-	if !r.closed {
-		r.closed = true
-		r.failLocked(ErrClosed)
+	if r.closed.CompareAndSwap(false, true) {
+		r.disp.Lock()
+		r.failAll(ErrClosed)
+		r.disp.Unlock()
 	}
-	r.mu.Unlock()
 	r.inflight.Wait()
 }

@@ -14,21 +14,23 @@
 //	GET     /api/v1/train/{id}             200      training job status
 //	GET     /api/v1/train/{id}/models      200      trained model instances (409 while running)
 //	GET     /api/v1/inference              200      list deployments (spec + status each)
-//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, replica bounds, autoscale)
-//	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status
+//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, shards, replica bounds, autoscale)
+//	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status (incl. shard count + per-shard queue depths)
 //	PUT     /api/v1/inference/{id}         200      reconcile the live deployment to a changed spec
-//	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate)
+//	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate, per-shard queue depths, per-model backlogs)
 //	POST    /api/v1/inference/{id}/scale   200      manually resize the replica pools (inside the spec bounds)
 //	DELETE  /api/v1/inference/{id}         204      stop the deployment, release its containers
 //	POST    /api/v1/query/{id}             200      classify a payload
 //
 // Deployments are declarative resources: POST /api/v1/inference takes a
-// DeploymentSpec (scheduling policy greedy|rl, latency SLO, queue cap,
-// per-model replica bounds {min,max}, autoscale toggle), GET echoes the spec
-// alongside observed status, and PUT validates a changed spec in full before
-// reconciling the live runtime — a policy swap keeps queued requests, an SLO
-// or queue-cap change retunes the scheduler, and replica-bound changes clamp
-// the live pools. Errors: 400 for malformed bodies and spec validation, 404
+// DeploymentSpec (scheduling policy greedy|rl|async, latency SLO, queue cap,
+// queue-shard count, per-model replica bounds {min,max}, autoscale toggle),
+// GET echoes the spec alongside observed status, and PUT validates a changed
+// spec in full before reconciling the live runtime — a policy swap keeps
+// queued requests, an SLO or queue-cap change retunes the scheduler, a
+// shard-count change re-hashes the queued backlog onto the new queue layout,
+// and replica-bound changes clamp the live pools. Errors: 400 for malformed
+// bodies and spec validation, 404
 // for unknown ids and routes, 405 for wrong methods on known routes, and 409
 // when a deploy/reconcile references a train_job_id that is unknown or still
 // running (the same conflict GET /train/{id}/models reports).
@@ -216,12 +218,16 @@ func (s *Server) handleTrainModels(w http.ResponseWriter, r *http.Request) {
 type InferenceRequest struct {
 	TrainJobID string                 `json:"train_job_id,omitempty"`
 	Models     []rafiki.ModelInstance `json:"models,omitempty"`
-	// Policy is the dispatch scheduler: "greedy" (default) or "rl".
+	// Policy is the dispatch scheduler: "greedy" (default), "rl" or "async".
 	Policy string `json:"policy,omitempty"`
 	// SLOSeconds is the latency SLO τ in profiled seconds.
 	SLOSeconds float64 `json:"slo_seconds,omitempty"`
-	// QueueCap bounds the request queue.
+	// QueueCap bounds the request queue (globally, across shards).
 	QueueCap int `json:"queue_cap,omitempty"`
+	// Shards is the serving queue's shard count (default 1): N > 1 stripes
+	// the queue into per-shard FIFOs hashed by request ID. A PUT with a
+	// different count re-hashes the queued backlog live.
+	Shards int `json:"shards,omitempty"`
 	// Replicas bounds each model's replica pool: the {"min","max"} object a
 	// GET echoes, or the legacy bare integer (see ReplicaField).
 	Replicas ReplicaField `json:"replicas,omitzero"`
@@ -269,6 +275,7 @@ func (req InferenceRequest) spec(models []rafiki.ModelInstance) rafiki.Deploymen
 		Policy:    req.Policy,
 		SLO:       req.SLOSeconds,
 		QueueCap:  req.QueueCap,
+		Shards:    req.Shards,
 		Replicas:  req.Replicas.ReplicaBounds,
 		Autoscale: req.Autoscale,
 	}

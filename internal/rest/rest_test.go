@@ -657,3 +657,91 @@ func TestReconcileDeploymentOverREST(t *testing.T) {
 		t.Fatalf("legacy replicas:3 gave bounds %+v, want Min 3", desc.Spec.Replicas)
 	}
 }
+
+// TestShardedAsyncDeploymentRoundTrip covers the sharded data plane and the
+// async policy over the wire: POST a DeploymentSpec with policy "async" and
+// 4 queue shards, watch the status/stats report the shard layout, then PUT a
+// live re-shard and policy swap, all while queries keep flowing.
+func TestShardedAsyncDeploymentRoundTrip(t *testing.T) {
+	c, ts := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{Policy: "async", Shards: 4})
+
+	desc, err := c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Spec.Policy != rafiki.PolicyAsync || desc.Spec.Shards != 4 {
+		t.Fatalf("deployed spec = %+v, want policy async, 4 shards", desc.Spec)
+	}
+	if desc.Status.Policy != "greedy-async" {
+		t.Fatalf("live policy = %q, want greedy-async", desc.Status.Policy)
+	}
+	if desc.Status.Shards != 4 || len(desc.Status.ShardQueueLens) != 4 {
+		t.Fatalf("status shards = %d lens = %v, want 4 shards", desc.Status.Shards, desc.Status.ShardQueueLens)
+	}
+
+	// Queries flow through the async scheduler (one model per batch).
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Query(infID, fmt.Sprintf("async_%d_pizza.jpg", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Votes) != 1 {
+				errs <- fmt.Errorf("query %d served by %d models, want 1 (async = no ensemble)", i, len(res.Votes))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The stats endpoint exposes the shard layout and per-model backlogs.
+	st, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != n || st.Shards != 4 || len(st.ShardQueueLens) != 4 {
+		t.Fatalf("stats = served %d shards %d lens %v, want %d/4/4 entries", st.Served, st.Shards, st.ShardQueueLens, n)
+	}
+	if len(st.ModelBacklogs) == 0 {
+		t.Fatalf("stats missing per-model backlogs: %+v", st)
+	}
+
+	// PUT a live re-shard + policy swap back to the sync ensemble.
+	desc, err = c.Reconcile(infID, InferenceRequest{Policy: "greedy", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Spec.Policy != rafiki.PolicyGreedy || desc.Spec.Shards != 8 {
+		t.Fatalf("reconciled spec = %+v, want greedy over 8 shards", desc.Spec)
+	}
+	if desc.Status.Policy != "greedy-sync" || desc.Status.Shards != 8 {
+		t.Fatalf("reconciled status = %+v", desc.Status)
+	}
+	res, err := c.Query(infID, "post_reshard_ramen.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Votes) < 2 {
+		t.Fatalf("post-swap query served by %d models, want the ensemble", len(res.Votes))
+	}
+
+	// Spec validation over the wire: a shard count beyond the cap is a 400.
+	if _, err := c.Reconcile(infID, InferenceRequest{Shards: 65}); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("oversized shard count err = %v, want validation error", err)
+	}
+	// An unknown policy name still 400s with the async value listed.
+	if _, err := c.Reconcile(infID, InferenceRequest{Policy: "warp"}); err == nil || !strings.Contains(err.Error(), "async") {
+		t.Fatalf("unknown policy err = %v, want the policy menu", err)
+	}
+	_ = ts
+}

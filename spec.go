@@ -19,6 +19,11 @@ const (
 	// from Equation 7 rewards on the live serving path: under load it drops
 	// models from batches to keep requests inside the SLO.
 	PolicyRL = "rl"
+	// PolicyAsync is the asynchronous baseline of Section 7.2.2: each batch
+	// is served by a single model (round-robin over the free ones), trading
+	// ensemble accuracy for maximum throughput — the no-ensemble
+	// high-throughput mode.
+	PolicyAsync = "async"
 )
 
 // ReplicaBounds bounds each model's replica pool. A deployment starts at Min
@@ -45,9 +50,9 @@ type DeploymentSpec struct {
 	// deployment: a reconcile may leave it empty (keep the deployed set) but
 	// must not name a different set.
 	Models []ModelInstance `json:"models"`
-	// Policy selects the dispatch scheduler: PolicyGreedy (default) or
-	// PolicyRL. Reconciling to a different policy swaps the scheduler on the
-	// live runtime without dropping queued requests.
+	// Policy selects the dispatch scheduler: PolicyGreedy (default),
+	// PolicyRL, or PolicyAsync. Reconciling to a different policy swaps the
+	// scheduler on the live runtime without dropping queued requests.
 	Policy string `json:"policy"`
 	// SLO is the latency SLO τ in profiled seconds (default
 	// Options.ServeSLO): the deadline Algorithm 3 batches under and the
@@ -58,9 +63,17 @@ type DeploymentSpec struct {
 	QueueCap int `json:"queue_cap"`
 	// Replicas bounds each model's replica pool.
 	Replicas ReplicaBounds `json:"replicas"`
+	// Shards is the serving queue's shard count (default 1). With N > 1 the
+	// deployment runs N per-shard FIFOs hashed by request ID: concurrent
+	// submissions on different shards never contend and decision points
+	// drain the shards round-robin. 1 reproduces the classic single-FIFO
+	// data plane bit-for-bit. Reconciling to a different count re-hashes the
+	// queued backlog live without dropping requests.
+	Shards int `json:"shards"`
 	// Autoscale drives the replica count inside [Replicas.Min, Replicas.Max]
-	// from the runtime's backpressure signals: a standing queue backlog
-	// scales up, a drained idle queue scales down.
+	// from the runtime's per-model backlog and queue-growth signals: the
+	// scale step is proportional to each model's standing backlog, and a
+	// drained idle pool steps back down.
 	Autoscale bool `json:"autoscale"`
 }
 
@@ -84,8 +97,15 @@ func (spec DeploymentSpec) withDefaults(opts Options) DeploymentSpec {
 	if spec.Replicas.Max == 0 {
 		spec.Replicas.Max = maxReplicasPerModel
 	}
+	if spec.Shards == 0 {
+		spec.Shards = 1
+	}
 	return spec
 }
+
+// maxShardsPerDeployment caps the queue-shard count: shards beyond it buy no
+// submit-path parallelism and only fragment batches.
+const maxShardsPerDeployment = 64
 
 // validate checks a defaulted spec's shape. It runs before any mutation on
 // both the deploy and reconcile paths, so a bad spec never half-applies.
@@ -94,9 +114,9 @@ func (spec DeploymentSpec) validate() error {
 		return fmt.Errorf("rafiki: deployment spec needs at least one model")
 	}
 	switch spec.Policy {
-	case PolicyGreedy, PolicyRL:
+	case PolicyGreedy, PolicyRL, PolicyAsync:
 	default:
-		return fmt.Errorf("rafiki: unknown policy %q (want %q or %q)", spec.Policy, PolicyGreedy, PolicyRL)
+		return fmt.Errorf("rafiki: unknown policy %q (want %q, %q or %q)", spec.Policy, PolicyGreedy, PolicyRL, PolicyAsync)
 	}
 	if spec.Policy == PolicyRL && len(spec.Models) > 8 {
 		return fmt.Errorf("rafiki: policy %q supports at most 8 models, got %d", PolicyRL, len(spec.Models))
@@ -117,6 +137,9 @@ func (spec DeploymentSpec) validate() error {
 	if b.Max > maxReplicasPerModel {
 		return fmt.Errorf("rafiki: replica bound max %d exceeds the per-model cap %d", b.Max, maxReplicasPerModel)
 	}
+	if spec.Shards < 1 || spec.Shards > maxShardsPerDeployment {
+		return fmt.Errorf("rafiki: shards must be in [1, %d], got %d", maxShardsPerDeployment, spec.Shards)
+	}
 	return nil
 }
 
@@ -133,6 +156,8 @@ func (s *System) buildPolicy(spec DeploymentSpec, dep *infer.Deployment, jobID s
 			return nil, nil, err
 		}
 		return online, online, nil
+	case PolicyAsync:
+		return &infer.AsyncEach{D: dep}, nil, nil
 	default: // validated: PolicyGreedy
 		return &infer.SyncAll{D: dep}, nil, nil
 	}
@@ -146,8 +171,12 @@ type InferenceStatus struct {
 	Policy string `json:"policy"`
 	// Replicas is the live per-model replica count.
 	Replicas map[string]int `json:"replicas"`
-	// QueueLen is the current request-queue depth.
-	QueueLen int `json:"queue_len"`
+	// QueueLen is the current request-queue depth (summed over shards);
+	// Shards is the live queue-shard count and ShardQueueLens the per-shard
+	// depths.
+	QueueLen       int   `json:"queue_len"`
+	Shards         int   `json:"shards"`
+	ShardQueueLens []int `json:"shard_queue_lens"`
 	// Queries counts completed queries; Served/Dropped are the runtime's
 	// completion and rejection counters.
 	Queries uint64 `json:"queries"`
@@ -216,8 +245,9 @@ func (s *System) ListInference() []InferenceDescription {
 // before anything mutates; then the differences are applied to the running
 // job: a policy change swaps the scheduler without dropping queued requests
 // (an RL agent being swapped out flushes its last TD update first), SLO and
-// queue-cap changes retune the runtime, replica-bound changes clamp the live
-// pools into the new [Min, Max], and the autoscale loop starts or stops.
+// queue-cap changes retune the runtime, a shard-count change re-hashes the
+// queued backlog onto the new queue layout, replica-bound changes clamp the
+// live pools into the new [Min, Max], and the autoscale loop starts or stops.
 // The model set is immutable; a reconcile spec may leave Models empty to
 // mean "keep the deployed set".
 //
@@ -295,6 +325,13 @@ func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceD
 			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
 		}
 	}
+	if spec.Shards != job.spec.Shards {
+		// Re-hash the queued backlog onto the new shard layout; nothing is
+		// dropped and the next decision point drains the new shards.
+		if err := job.runtime.SetShards(spec.Shards); err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+	}
 	// Autoscale toggle.
 	if spec.Autoscale && job.autoStop == nil {
 		job.autoStop = make(chan struct{})
@@ -316,13 +353,15 @@ func describeLocked(j *InferenceJob) InferenceDescription {
 		ID:   j.ID,
 		Spec: j.spec,
 		Status: InferenceStatus{
-			Policy:      j.runtime.PolicyName(),
-			Replicas:    make(map[string]int, len(j.Models)),
-			QueueLen:    st.QueueLen,
-			Queries:     j.queries.Load(),
-			Served:      st.Served,
-			Dropped:     st.Dropped,
-			Autoscaling: j.autoStop != nil,
+			Policy:         j.runtime.PolicyName(),
+			Replicas:       make(map[string]int, len(j.Models)),
+			QueueLen:       st.QueueLen,
+			Shards:         st.Shards,
+			ShardQueueLens: st.ShardQueueLens,
+			Queries:        j.queries.Load(),
+			Served:         st.Served,
+			Dropped:        st.Dropped,
+			Autoscaling:    j.autoStop != nil,
 		},
 	}
 	for i, m := range j.Models {
@@ -354,45 +393,61 @@ func sameModelSet(a, b []ModelInstance) bool {
 	return true
 }
 
-// Autoscaler tuning. The loop samples the runtime's backpressure signals —
-// queue depth and recent drain rate (the same numbers GET /stats exposes and
-// 429 Retry-After hints derive from) — every autoscaleInterval of wall time,
-// and moves each model's pool one replica at a time inside the spec bounds.
+// Autoscaler tuning. The loop samples the runtime's per-model demand
+// signals — each model's backlog estimate and the queue-growth rate the
+// sharded engine exposes (the same numbers GET /stats reports) — every
+// autoscaleInterval of wall time, and moves each model's pool inside the
+// spec bounds with a step proportional to its standing backlog.
 const (
 	// autoscaleInterval is the sampling cadence (wall clock; deliberately a
 	// few× the cluster-manager tick so scale decisions see settled state).
 	autoscaleInterval = 20 * time.Millisecond
-	// autoscaleHighWater is the queue depth that triggers a scale-up: two
-	// full max-size batches of standing backlog means the current pools are
-	// not draining the offered load.
+	// autoscaleHighWater is the per-model backlog that triggers a scale-up:
+	// two full max-size batches of standing backlog means the model's pool
+	// is not draining its share of the offered load. It is also the step
+	// quantum — every further high-water multiple of backlog adds another
+	// replica to the step.
 	autoscaleHighWater = 32
 )
 
-// autoscaleTarget is the pure scaling rule: pools outside [min, max] (after
-// a manual ScaleInference below the floor, say) snap back to the nearest
-// bound; inside the bounds, one step up under standing backlog and one step
-// down when the queue is empty and nothing has drained recently (the
-// deployment is idle).
-func autoscaleTarget(cur, min, max, queueLen int, drainRate float64) int {
+// autoscaleTarget is the pure scaling rule, proportional in the model's own
+// backlog rather than a fixed ±1 step. Pools outside [min, max] (after a
+// manual ScaleInference below the floor, say) snap back to the nearest
+// bound. Inside the bounds, the scale-up step is backlog/highWater replicas
+// — a model 4 high-water marks behind jumps 4 replicas at once instead of
+// crawling up one tick at a time — plus one more while the queue is still
+// growing (arrivals outpacing drains). The pool steps down one replica only
+// when the model is idle: no backlog, nothing draining, no growth.
+func autoscaleTarget(cur, min, max int, backlog, growth, drainRate float64) int {
 	if cur < min {
 		return min
 	}
 	if cur > max {
 		return max
 	}
-	if queueLen >= autoscaleHighWater && cur < max {
-		return cur + 1
+	if backlog >= autoscaleHighWater {
+		step := int(backlog) / autoscaleHighWater
+		if growth > 0 {
+			step++
+		}
+		if cur+step > max {
+			return max
+		}
+		return cur + step
 	}
-	if queueLen == 0 && drainRate == 0 && cur > min {
+	if backlog == 0 && drainRate == 0 && growth <= 0 && cur > min {
 		return cur - 1
 	}
 	return cur
 }
 
-// autoscaleLoop drives a deployment's replica pools from its backpressure
-// signals until stop closes (reconcile toggling autoscale off, or teardown).
-// Scale errors (e.g. transient cluster capacity) are dropped: the loop just
-// tries again next tick with fresh signals.
+// autoscaleLoop drives a deployment's replica pools from the runtime's
+// per-model backlog and queue-growth signals until stop closes (reconcile
+// toggling autoscale off, or teardown). Each model scales on its own
+// backlog, so a slow model under the async policy grows its pool without
+// dragging the fast ones along. Scale errors (e.g. transient cluster
+// capacity) are dropped: the loop just tries again next tick with fresh
+// signals.
 func (s *System) autoscaleLoop(job *InferenceJob, stop <-chan struct{}) {
 	t := time.NewTicker(autoscaleInterval)
 	defer t.Stop()
@@ -402,7 +457,7 @@ func (s *System) autoscaleLoop(job *InferenceJob, stop <-chan struct{}) {
 			return
 		case <-t.C:
 		}
-		queueLen, drain := job.runtime.Backpressure()
+		backlogs, growth, drain := job.runtime.Signals()
 		job.mu.Lock()
 		if job.stopped {
 			job.mu.Unlock()
@@ -410,7 +465,10 @@ func (s *System) autoscaleLoop(job *InferenceJob, stop <-chan struct{}) {
 		}
 		bounds := job.spec.Replicas
 		for mi := range job.Models {
-			target := autoscaleTarget(job.replicas[mi], bounds.Min, bounds.Max, queueLen, drain)
+			if mi >= len(backlogs) {
+				break
+			}
+			target := autoscaleTarget(job.replicas[mi], bounds.Min, bounds.Max, backlogs[mi].Queued, growth, drain)
 			if target != job.replicas[mi] {
 				_ = s.scaleModelLocked(job, mi, target)
 			}
