@@ -97,6 +97,35 @@ func BenchmarkShardedSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelDispatch drives the full serving path — concurrent
+// submitters, real batched dispatches, future resolution — through an
+// 8-shard runtime at 1/2/4 dispatch groups and reports served QPS (the
+// drain rate, not just fan-in), submitted QPS and the executed batch-size
+// mean. With one group every decision point serializes on a single dispatch
+// plane; with G > 1, independent planes claim replica leases and launch
+// concurrently, so served QPS scales with GOMAXPROCS on a multi-core run
+// (single-core runs still gate the batch-assembly and overhead numbers).
+// Run with a bounded iteration count:
+//
+//	go test . -run none -bench BenchmarkParallelDispatch -benchtime 1x
+func BenchmarkParallelDispatch(b *testing.B) {
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups-%d", groups), func(b *testing.B) {
+			var row exp.ServingBenchRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = exp.RunServingBenchRow(16000, 8, 8, groups, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.ServedQPS, "served-qps")
+			b.ReportMetric(row.SubmittedQPS, "submitted-qps")
+			b.ReportMetric(row.BatchSizeMean, "batch-mean")
+		})
+	}
+}
+
 func BenchmarkFig2TaskRegistry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fig := exp.Fig2Registry()

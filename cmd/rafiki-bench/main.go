@@ -8,12 +8,15 @@
 //	rafiki-bench -exp fig8 -scale full
 //	rafiki-bench -exp fig14,fig15
 //	rafiki-bench -exp ablations
+//	rafiki-bench -serving BENCH_serving.json   # serving-plane perf snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"rafiki/internal/exp"
@@ -23,7 +26,15 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids: fig2,fig3,table1,fig6,fig8,fig9,fig10,fig11,fig13,fig14,fig15,fig16,ablations,all")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 0, "override random seed (0 keeps the default)")
+	servingFlag := flag.String("serving", "", "run the serving-plane benchmark (submitted/served QPS at 1/8 shards × 1/4 dispatch groups, batch-size mean) and write the machine-readable report to this path")
 	flag.Parse()
+
+	if *servingFlag != "" {
+		if err := writeServingBench(*servingFlag); err != nil {
+			log.Fatalf("rafiki-bench: %v", err)
+		}
+		return
+	}
 
 	var sc exp.Scale
 	switch *scaleFlag {
@@ -87,4 +98,33 @@ func main() {
 		}
 		fmt.Println(fig.String())
 	}
+}
+
+// writeServingBench runs the serving-plane benchmark matrix (DESIGN.md §10)
+// and writes the machine-readable report: submitted and served QPS at
+// 1 and 8 queue shards crossed with 1 and 4 dispatch groups, plus the mean
+// executed batch size — the numbers CI archives per commit so the serving
+// perf trajectory is tracked across PRs.
+func writeServingBench(path string) error {
+	// Speedup 1000 shrinks the profiled model latencies until the dispatch
+	// plane — not model capacity — is the served-QPS bottleneck, which is
+	// exactly what dispatch groups parallelize.
+	rep, err := exp.RunServingBench(16000, 8, []int{1, 8}, []int{1, 4}, 1000)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, row := range rep.Rows {
+		fmt.Printf("serving shards=%d groups=%d submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d\n",
+			row.Shards, row.Groups, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen)
+	}
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GOMAXPROCS)
+	return nil
 }

@@ -10,10 +10,14 @@
 // wall-clock Runtime serves real concurrent clients — goroutines hammering
 // one deployment through per-request futures, batched by the same policy.
 //
-// The final act moves up to the SDK's declarative deployment API: a
+// The later acts move up to the SDK's declarative deployment API: a
 // DeploymentSpec deploys the trained ensemble under the RL policy with
 // autoscaling replica bounds, and a reconcile swaps the policy on the live
-// deployment without dropping queued queries.
+// deployment without dropping queued queries. The finale shows the parallel
+// dispatch planes (DESIGN.md §10): a sharded deployment with several
+// dispatch groups serves a concurrent flood, prints the per-group dispatch
+// and batch-size stats, and a live reconcile re-shards the queue layer
+// without dropping a request.
 //
 // Run with: go run ./examples/serving
 package main
@@ -164,6 +168,75 @@ func declarative() {
 	}
 	fmt.Printf("reconciled live to policy=%s replicas=%v — no queued query was dropped\n",
 		desc2.Status.Policy, desc2.Status.Replicas)
+	if err := sys.StopInference(inf.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	sharded(sys, trained)
+}
+
+// sharded is the parallel-dispatch finale: the same trained ensemble behind
+// 8 queue shards drained by 4 concurrent dispatch planes. Shards decouple
+// the submit fan-in, planes decouple the drain, replica leasing keeps the
+// shared pools consistent, and work-stealing keeps batches full even though
+// each shard's FIFO is shallow. A live reconcile then re-shards the queue
+// layer and narrows the planes without dropping a single queued query.
+func sharded(sys *rafiki.System, trained []rafiki.ModelInstance) {
+	inf, err := sys.Deploy(rafiki.DeploymentSpec{
+		Models:         trained,
+		Policy:         rafiki.PolicyGreedy,
+		SLO:            0.25,
+		QueueCap:       4096,
+		Shards:         8,
+		DispatchGroups: 4,
+		Replicas:       rafiki.ReplicaBounds{Min: 2, Max: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := inf.Spec()
+	fmt.Printf("\nsharded deployment %s: shards=%d dispatch_groups=%d replicas>=%d\n",
+		inf.ID, spec.Shards, spec.DispatchGroups, spec.Replicas.Min)
+
+	flood := func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Saturation 429s are expected at this offered load.
+				_, _ = sys.Query(inf.ID, []byte(fmt.Sprintf("flood_%d_salad.jpg", i)))
+			}(i)
+		}
+		wg.Wait()
+	}
+	flood(160)
+
+	st := inf.Stats()
+	fmt.Printf("served %d in %d dispatches across %d planes (per-plane %v)\n",
+		st.Served, st.Dispatches, st.DispatchGroups, st.GroupDispatches)
+	fmt.Printf("batch sizes: mean %.1f, histogram %v, %d requests stolen across shards\n",
+		st.BatchSizeMean, st.BatchSizeHist, st.Stolen)
+
+	// Reconcile the live topology: double the shards, halve the planes. The
+	// queued backlog re-hashes in arrival order; nothing is dropped.
+	desc, err := sys.ReconcileInference(inf.ID, rafiki.DeploymentSpec{
+		Policy:         rafiki.PolicyGreedy,
+		SLO:            0.25,
+		QueueCap:       4096,
+		Shards:         16,
+		DispatchGroups: 2,
+		Replicas:       rafiki.ReplicaBounds{Min: 2, Max: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconciled live to shards=%d dispatch_groups=%d\n",
+		desc.Status.Shards, desc.Status.DispatchGroups)
+	flood(80)
+	st = inf.Stats()
+	fmt.Printf("after re-shard: served %d total, batch mean %.1f, per-plane dispatches %v\n",
+		st.Served, st.BatchSizeMean, st.GroupDispatches)
 	if err := sys.StopInference(inf.ID); err != nil {
 		log.Fatal(err)
 	}

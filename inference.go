@@ -223,9 +223,10 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 		ensemble.NewAccuracyTable(zoo.NewPredictor(s.opts.Seed), 2000),
 		job.executeBatch,
 		infer.RuntimeConfig{
-			Timeline: &sim.WallTimeline{Speedup: s.opts.ServeSpeedup},
-			QueueCap: spec.QueueCap,
-			Shards:   spec.Shards,
+			Timeline:       &sim.WallTimeline{Speedup: s.opts.ServeSpeedup},
+			QueueCap:       spec.QueueCap,
+			Shards:         spec.Shards,
+			DispatchGroups: spec.DispatchGroups,
 		},
 	)
 	if err != nil {

@@ -1,0 +1,152 @@
+package exp
+
+// Serving-plane benchmark harness (DESIGN.md §10): drives real concurrent
+// wall-clock submissions through the batching Runtime across a
+// shards × dispatch-groups matrix and reports submitted QPS (fan-in), served
+// QPS (drain) and the executed batch-size mean (the stealing observable).
+// Both the BenchmarkParallelDispatch gate and cmd/rafiki-bench's
+// machine-readable BENCH_serving.json emitter run through here, so the
+// numbers tracked across PRs and the numbers gating a change are the same.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rafiki/internal/ensemble"
+	"rafiki/internal/infer"
+	"rafiki/internal/sim"
+	"rafiki/internal/zoo"
+)
+
+// ServingBenchRow is one (shards, dispatch groups) configuration's measured
+// serving throughput.
+type ServingBenchRow struct {
+	Shards int `json:"shards"`
+	Groups int `json:"dispatch_groups"`
+	// SubmittedQPS is accepted submissions per wall second over the submit
+	// phase — the fan-in rate the sharded queue layer sustains.
+	SubmittedQPS float64 `json:"submitted_qps"`
+	// ServedQPS is completed requests per wall second to the last future
+	// resolution — the rate the dispatch planes actually drain.
+	ServedQPS float64 `json:"served_qps"`
+	// BatchSizeMean is the mean executed batch size; Stolen counts requests
+	// work-stealing pulled across shards to fill batches.
+	BatchSizeMean float64 `json:"batch_size_mean"`
+	Stolen        int     `json:"stolen"`
+	Served        int     `json:"served"`
+	Dispatches    int     `json:"dispatches"`
+}
+
+// ServingBenchReport is the machine-readable serving-perf snapshot
+// (BENCH_serving.json): the environment it ran under plus one row per
+// configuration.
+type ServingBenchReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Requests   int               `json:"requests"`
+	Rows       []ServingBenchRow `json:"rows"`
+}
+
+// servingBenchReplicas is the per-model replica count of the bench
+// deployment: enough pool width that several dispatch planes can hold
+// leases at once, so drain parallelism — not model capacity — is measured.
+const servingBenchReplicas = 4
+
+// RunServingBenchRow measures one (shards, groups) configuration: submitters
+// goroutines push `requests` total payloads through a three-ConvNet
+// ensemble runtime (profiled latencies at speedup× wall speed) and every
+// future is awaited.
+func RunServingBenchRow(requests, submitters, shards, groups int, speedup float64) (ServingBenchRow, error) {
+	row := ServingBenchRow{Shards: shards, Groups: groups}
+	d, err := infer.NewDeployment(
+		[]string{"inception_v3", "inception_v4", "inception_resnet_v2"},
+		[]int{1, 2, 4, 8, 16}, 0.25, 1)
+	if err != nil {
+		return row, err
+	}
+	d.Replicas = []int{servingBenchReplicas, servingBenchReplicas, servingBenchReplicas}
+	rt, err := infer.NewRuntime(d, &infer.SyncAll{D: d},
+		ensemble.NewAccuracyTable(zoo.NewPredictor(1), 200),
+		func(ids []uint64, payloads []any, models []string) ([]any, error) {
+			return make([]any, len(ids)), nil
+		},
+		infer.RuntimeConfig{
+			Timeline:       &sim.WallTimeline{Speedup: speedup},
+			QueueCap:       1 << 30,
+			Shards:         shards,
+			DispatchGroups: groups,
+		})
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+
+	payload := []byte("q")
+	futs := make([][]*infer.Future, submitters)
+	errs := make(chan error, submitters)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			n := requests / submitters
+			if s < requests%submitters {
+				n++
+			}
+			futs[s] = make([]*infer.Future, 0, n)
+			for i := 0; i < n; i++ {
+				f, err := rt.Submit(payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				futs[s] = append(futs[s], f)
+			}
+		}(s)
+	}
+	wg.Wait()
+	submitElapsed := time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return row, err
+	default:
+	}
+	for _, fs := range futs {
+		for _, f := range fs {
+			if _, err := f.Wait(); err != nil {
+				return row, err
+			}
+		}
+	}
+	total := time.Since(start).Seconds()
+
+	st := rt.Stats()
+	if st.Served < requests {
+		return row, fmt.Errorf("exp: serving bench served %d of %d", st.Served, requests)
+	}
+	row.SubmittedQPS = float64(requests) / submitElapsed
+	row.ServedQPS = float64(requests) / total
+	row.BatchSizeMean = st.BatchSizeMean
+	row.Stolen = st.Stolen
+	row.Served = st.Served
+	row.Dispatches = st.Dispatches
+	return row, nil
+}
+
+// RunServingBench measures the full matrix: every shard count crossed with
+// every dispatch-group count.
+func RunServingBench(requests, submitters int, shards, groups []int, speedup float64) (*ServingBenchReport, error) {
+	rep := &ServingBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Requests: requests}
+	for _, sh := range shards {
+		for _, g := range groups {
+			row, err := RunServingBenchRow(requests, submitters, sh, g, speedup)
+			if err != nil {
+				return nil, fmt.Errorf("exp: serving bench shards=%d groups=%d: %w", sh, g, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}

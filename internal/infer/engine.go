@@ -17,7 +17,9 @@ import (
 // clock is responsible for scheduling a new decision point (Engine.Step) at
 // every ModelFinish time, and for delivering results at Finish.
 type DispatchOutcome struct {
-	// Requests is the dispatched batch, oldest first.
+	// Requests is the dispatched batch, oldest first. Under work-stealing
+	// the head comes from the drained shard and the tail from its sibling
+	// shards (each contributing its own oldest requests first).
 	Requests []Request
 	// Models are the serving model indices; ModelNames the matching names.
 	Models     []int
@@ -26,6 +28,11 @@ type DispatchOutcome struct {
 	Replicas []int
 	// Batch is the chosen candidate batch size (≥ len(Requests)).
 	Batch int
+	// Stolen counts batch requests taken from sibling shards by
+	// work-stealing assembly (0 without stealing).
+	Stolen int
+	// Group is the dispatch group that executed the decision.
+	Group int
 	// Decided is the decision time; ModelFinish[i] is when Models[i] frees
 	// up; Finish is the ensemble completion (the slowest selected model).
 	Decided     float64
@@ -55,6 +62,26 @@ type engineShard struct {
 	events []arrivalEvent
 }
 
+// engineGroup is one dispatch plane: the subset of queue shards it drains
+// (shard s belongs to group s mod ngroups), its round-robin cursor, and its
+// policy instance. Groups are drained by independent decision loops — the
+// drivers serialize decision points per group, not globally — so a group's
+// fields are only touched by its own loop (or by reconfiguration, which
+// excludes all loops via the topology lock / the runtime's control lock).
+type engineGroup struct {
+	// shards are the absolute indices of the queue shards this group owns.
+	shards []int
+	// rr is the group's round-robin drain cursor (an index into shards).
+	rr int
+	// pol is the group's policy instance. With one group it is exactly
+	// Engine.Policy; with several it is a per-group clone when the policy
+	// implements GroupedPolicy, else the shared Engine.Policy.
+	pol Policy
+	// shared marks pol as shared across groups: Decide→Feedback spans then
+	// serialize on the engine's policy lock so reward pairing stays intact.
+	shared bool
+}
+
 // ModelBacklog is one model's demand signal, derived from the sharded queue
 // layer's counters: how much queued work the model is expected to absorb and
 // how much it already has in flight. The autoscaler sizes its step from these
@@ -70,20 +97,44 @@ type ModelBacklog struct {
 	Inflight int
 }
 
+// leaseSet is one dispatch group's claim on the shared replica pools: the
+// short poolMu critical section marks the earliest-free free replica of each
+// model as leased, and the group plans (policy decision) and launches its
+// batch outside the lock. Leases are either committed at dispatch (the
+// replica's busy-until advances to the batch finish — it returns to the pool
+// when that time passes) or released untouched on a wait.
+type leaseSet struct {
+	// rep[m] is the leased replica of model m, -1 when none was free.
+	rep []int
+	// free[m] mirrors rep[m] >= 0 — the policy's FreeModels view.
+	free []bool
+	// until[m] is the earliest busy-until among available replicas of an
+	// unleased model (absolute time), used for busy-left features and the
+	// "busy until" dispatch error.
+	until []float64
+	// allDown[m] marks a model with no live replica at all.
+	allDown []bool
+	// n counts leased models.
+	n int
+}
+
 // Engine is the clock-agnostic core of the serving service: the sharded FIFO
-// queue layer, model-occupancy tracking, policy invocation with Equation 7
-// reward accounting, and metrics. It never reads a clock — every entry point
-// takes the current time as an argument and completion times come back to the
-// caller as data — so the same engine serves the virtual-time Simulator and
-// the wall-clock Runtime (DESIGN.md §6).
+// queue layer partitioned into dispatch groups, replica-lease occupancy
+// tracking, policy invocation with Equation 7 reward accounting, and metrics.
+// It never reads a clock — every entry point takes the current time as an
+// argument and completion times come back to the caller as data — so the
+// same engine serves the virtual-time Simulator and the wall-clock Runtime
+// (DESIGN.md §6, §10).
 //
-// Decision points (Step) and every mutator other than Enqueue are not safe
-// for concurrent use; drivers serialize them (the Simulator is
-// single-threaded, the Runtime holds its dispatch lock). Enqueue is the
-// exception: requests hash to one of the queue shards and only take that
-// shard's lock, so concurrent submitters on different shards never contend
-// with each other — and never with the dispatcher except for the brief
-// per-shard pop.
+// Concurrency contract: Enqueue is safe for concurrent use (requests hash to
+// one queue shard and take only that shard's lock). StepGroup may run
+// concurrently for *different* groups — shared state splits into the replica
+// pool (poolMu, the lease critical section), the metric/reward plane (metMu)
+// and the policy (per-group instances, or polMu when shared) — but callers
+// must serialize decision points within one group. Every other mutator
+// (SetShards, SetGroups, SetReplicas, SetPolicy, ...) requires the caller to
+// exclude all decision loops first: the Runtime holds its control lock
+// exclusively, the Simulator is single-threaded.
 type Engine struct {
 	Deployment *Deployment
 	Policy     Policy
@@ -95,42 +146,58 @@ type Engine struct {
 	// MeasureFrom discards metrics before this time (RL warm-up).
 	MeasureFrom float64
 
-	// topo guards the identity of the shard set: Enqueue holds it shared,
-	// SetShards exclusively while re-hashing the backlog.
+	// topo guards the identity of the shard and group sets: Enqueue and
+	// StepGroup hold it shared, SetShards/SetGroups exclusively.
 	topo    sync.RWMutex
 	shards  []engineShard
+	groups  []engineGroup
 	nshards atomic.Int32
+	ngroups atomic.Int32
 	// queued is the global backlog count; queueCap the global bound
 	// (0 = unbounded). Both atomic so the admission check never takes a lock
 	// beyond the target shard's.
 	queued   atomic.Int64
 	queueCap atomic.Int64
-	// rr is the round-robin drain cursor: decision points visit non-empty
-	// shards starting here, so no shard starves behind a hot neighbour.
-	rr int
 
+	// poolMu guards the replica pools — the lease critical section. Claims
+	// and commits are O(models × replicas) scans; everything slow (policy,
+	// queue pops, reward accounting, launching) happens outside it.
+	//
 	// busy[m][r] is the busy-until time of replica r of model m; down[m][r]
 	// marks a replica whose container is dead (excluded from dispatch until
-	// the cluster manager restarts it). State/dispatch always work off the
-	// earliest-free available replica, so policies keep their per-model view.
-	busy [][]float64
-	down [][]bool
+	// the cluster manager restarts it); leased[m][r] marks a replica claimed
+	// by a dispatch group that has not committed or released it yet.
+	poolMu sync.Mutex
+	busy   [][]float64
+	down   [][]bool
+	leased [][]bool
 	// repBatch[m][r] is the size of the batch in flight on replica r of model
 	// m (stale once busy[m][r] passes; Backlogs filters by busy-until).
 	repBatch [][]int
+
+	// polMu serializes Decide→Feedback spans when the policy cannot fan out
+	// per group (it does not implement GroupedPolicy): reward pairing must
+	// stay intact for online learners, so concurrent groups then take turns
+	// deciding while their launch planes still overlap.
+	polMu sync.Mutex
+
+	// metMu guards the reward/metric plane: met, the accuracy series clock,
+	// the dispatch-share counters, and the ensemble accuracy table — all
+	// globally consistent across dispatch groups.
+	metMu sync.Mutex
 	// dispatched[m] counts requests dispatched to model m; popped counts all
 	// dispatched requests. Their ratio is the model's recent share of the
 	// stream, which Backlogs uses to split the queued backlog per model.
 	dispatched []uint64
 	popped     uint64
-
-	met     *Metrics
-	maxAccT float64
+	met        *Metrics
+	maxAccT    float64
 }
 
 // NewEngine wires an engine with a single queue shard of the given global
-// capacity (0 = unbounded; the paper drops arrivals beyond a full queue).
-// SetShards widens the queue layer.
+// capacity (0 = unbounded; the paper drops arrivals beyond a full queue) and
+// a single dispatch group. SetShards widens the queue layer; SetGroups
+// splits dispatch across planes.
 func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap int) *Engine {
 	e := &Engine{
 		Deployment: d,
@@ -139,6 +206,7 @@ func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap in
 		shards:     []engineShard{{q: NewQueue(0)}},
 		busy:       make([][]float64, len(d.Profiles)),
 		down:       make([][]bool, len(d.Profiles)),
+		leased:     make([][]bool, len(d.Profiles)),
 		repBatch:   make([][]int, len(d.Profiles)),
 		dispatched: make([]uint64, len(d.Profiles)),
 		met: &Metrics{
@@ -147,23 +215,32 @@ func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap in
 			// Only the recent tail feeds drain-rate estimates, so bound
 			// retention: a long-lived runtime must not grow one map entry
 			// per second of serving forever.
-			ServedRate: boundedWindowCounter(1, 64),
-			Accuracy:   metrics.NewTimeSeries("accuracy"),
+			ServedRate:      boundedWindowCounter(1, 64),
+			Accuracy:        metrics.NewTimeSeries("accuracy"),
+			GroupDispatches: make([]int, 1),
 		},
 	}
 	e.nshards.Store(1)
+	e.ngroups.Store(1)
 	e.queueCap.Store(int64(queueCap))
 	for m := range e.busy {
 		e.busy[m] = make([]float64, d.ReplicaCount(m))
 		e.down[m] = make([]bool, d.ReplicaCount(m))
+		e.leased[m] = make([]bool, d.ReplicaCount(m))
 		e.repBatch[m] = make([]int, d.ReplicaCount(m))
 	}
+	e.rebuildGroups(1)
 	return e
 }
 
 // maxEngineShards bounds SetShards against runaway configurations: shards
 // beyond it buy no parallelism and only fragment batches.
 const maxEngineShards = 256
+
+// maxEngineGroups bounds SetGroups: groups beyond the machine's core count
+// buy no drain parallelism, and the Runtime pre-allocates one plane per
+// possible group.
+const maxEngineGroups = 64
 
 // mix64 is the splitmix64 finalizer: request IDs are sequential, so shard
 // routing runs them through a full-avalanche mix before reducing.
@@ -177,6 +254,10 @@ func mix64(x uint64) uint64 {
 // ShardCount returns the live shard count. Safe to call concurrently.
 func (e *Engine) ShardCount() int { return int(e.nshards.Load()) }
 
+// GroupCount returns the live dispatch-group count. Safe to call
+// concurrently.
+func (e *Engine) GroupCount() int { return int(e.ngroups.Load()) }
+
 // shardFor maps a request ID onto a shard index for the given shard count.
 func shardFor(id uint64, n int) int {
 	if n <= 1 {
@@ -185,9 +266,56 @@ func shardFor(id uint64, n int) int {
 	return int(mix64(id) % uint64(n))
 }
 
+// GroupOf maps a request ID onto the dispatch group that drains its shard.
+// Safe to call concurrently (drivers use it to wake the right drain plane).
+func (e *Engine) GroupOf(id uint64) int {
+	return shardFor(id, e.ShardCount()) % e.GroupCount()
+}
+
+// rebuildGroups repartitions the shards across n dispatch groups (shard s
+// goes to group s mod n) and rebuilds the per-group policy instances.
+// Callers hold topo exclusively or otherwise exclude all decision loops.
+func (e *Engine) rebuildGroups(n int) {
+	e.groups = make([]engineGroup, n)
+	for s := range e.shards {
+		g := s % n
+		e.groups[g].shards = append(e.groups[g].shards, s)
+	}
+	e.ngroups.Store(int32(n))
+	e.rebindPolicies()
+	e.metMu.Lock()
+	// Only a real re-group resets the per-plane counters: a re-shard with
+	// an unchanged group count keeps every shard on its old plane index, so
+	// the history still describes the live planes.
+	if len(e.met.GroupDispatches) != n {
+		e.met.GroupDispatches = make([]int, n)
+	}
+	e.metMu.Unlock()
+}
+
+// rebindPolicies installs each group's policy instance: with one group the
+// canonical Policy itself (the classic engine, identical object identity);
+// with several, per-group clones when the policy supports fanning out, else
+// the shared instance with Decide→Feedback spans serialized on polMu.
+func (e *Engine) rebindPolicies() {
+	if len(e.groups) == 1 {
+		e.groups[0].pol, e.groups[0].shared = e.Policy, false
+		return
+	}
+	gp, ok := e.Policy.(GroupedPolicy)
+	for g := range e.groups {
+		if ok {
+			e.groups[g].pol, e.groups[g].shared = gp.CloneForGroup(g), false
+		} else {
+			e.groups[g].pol, e.groups[g].shared = e.Policy, true
+		}
+	}
+}
+
 // SetShards re-shards the queue layer to n FIFOs. Queued requests are
 // re-hashed onto the new shards in global arrival order, so nothing is
-// dropped or reordered within a shard. Drivers serialize this with Step;
+// dropped or reordered within a shard; the dispatch groups repartition over
+// the new shard set. Drivers serialize this with all decision loops;
 // concurrent Enqueues are held off for the duration of the swap.
 func (e *Engine) SetShards(n int) error {
 	if n < 1 || n > maxEngineShards {
@@ -224,8 +352,25 @@ func (e *Engine) SetShards(n int) error {
 	for _, r := range all {
 		e.shards[shardFor(r.ID, n)].q.Push(r)
 	}
-	e.rr = 0
 	e.nshards.Store(int32(n))
+	e.rebuildGroups(int(e.ngroups.Load()))
+	return nil
+}
+
+// SetGroups repartitions dispatch across n concurrent planes: shard s is
+// drained by group s mod n, each group runs its own decision loop against
+// the shared replica pools via leases. One group is the classic fully
+// serialized engine. Callers exclude all decision loops for the duration.
+func (e *Engine) SetGroups(n int) error {
+	if n < 1 || n > maxEngineGroups {
+		return fmt.Errorf("infer: dispatch-group count must be in [1, %d], got %d", maxEngineGroups, n)
+	}
+	if n == len(e.groups) {
+		return nil
+	}
+	e.topo.Lock()
+	defer e.topo.Unlock()
+	e.rebuildGroups(n)
 	return nil
 }
 
@@ -242,16 +387,19 @@ func boundedWindowCounter(width float64, keep int) *metrics.WindowCounter {
 // so a live deployment can move between greedy and RL scheduling without
 // dropping work. The per-model dispatch-share history resets — a new policy
 // routes the stream differently, so the old shares would mis-split the
-// backlog signal. Drivers serialize this with Step like every other call.
+// backlog signal. Drivers serialize this with all decision loops.
 func (e *Engine) SetPolicy(p Policy) error {
 	if p == nil {
 		return fmt.Errorf("infer: nil policy")
 	}
 	e.Policy = p
+	e.rebindPolicies()
+	e.metMu.Lock()
 	e.popped = 0
 	for m := range e.dispatched {
 		e.dispatched[m] = 0
 	}
+	e.metMu.Unlock()
 	return nil
 }
 
@@ -282,6 +430,8 @@ func (e *Engine) SetQueueCap(n int) error {
 
 // ReplicaCounts returns the current per-model replica counts.
 func (e *Engine) ReplicaCounts() []int {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	out := make([]int, len(e.busy))
 	for m, reps := range e.busy {
 		out[m] = len(reps)
@@ -292,7 +442,8 @@ func (e *Engine) ReplicaCounts() []int {
 // SetReplicas resizes model m's replica pool to n. Growing adds immediately
 // free replicas; shrinking drops the highest-indexed slots (their containers
 // are being torn down — batches already dispatched to them still complete,
-// the slots just stop taking new work).
+// the slots just stop taking new work). Callers exclude decision loops, so
+// no lease is outstanding on a dropped slot.
 func (e *Engine) SetReplicas(m, n int) error {
 	if m < 0 || m >= len(e.busy) {
 		return fmt.Errorf("infer: model index %d out of range", m)
@@ -300,13 +451,17 @@ func (e *Engine) SetReplicas(m, n int) error {
 	if n < 1 {
 		return fmt.Errorf("infer: model %s needs at least one replica, got %d", e.Deployment.ModelNames[m], n)
 	}
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	for len(e.busy[m]) < n {
 		e.busy[m] = append(e.busy[m], 0)
 		e.down[m] = append(e.down[m], false)
+		e.leased[m] = append(e.leased[m], false)
 		e.repBatch[m] = append(e.repBatch[m], 0)
 	}
 	e.busy[m] = e.busy[m][:n]
 	e.down[m] = e.down[m][:n]
+	e.leased[m] = e.leased[m][:n]
 	e.repBatch[m] = e.repBatch[m][:n]
 	return nil
 }
@@ -319,8 +474,11 @@ func (e *Engine) AddReplica(m int) (int, error) {
 	if m < 0 || m >= len(e.busy) {
 		return 0, fmt.Errorf("infer: model index %d out of range", m)
 	}
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	e.busy[m] = append(e.busy[m], 0)
 	e.down[m] = append(e.down[m], true)
+	e.leased[m] = append(e.leased[m], false)
 	e.repBatch[m] = append(e.repBatch[m], 0)
 	return len(e.busy[m]) - 1, nil
 }
@@ -332,6 +490,8 @@ func (e *Engine) SetReplicaDown(m, r int, down bool) error {
 	if m < 0 || m >= len(e.busy) {
 		return fmt.Errorf("infer: model index %d out of range", m)
 	}
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
 	if r < 0 || r >= len(e.busy[m]) {
 		return fmt.Errorf("infer: model %s has no replica %d", e.Deployment.ModelNames[m], r)
 	}
@@ -344,24 +504,101 @@ func (e *Engine) SetReplicaDown(m, r int, down bool) error {
 	return nil
 }
 
-// bestReplica returns the earliest-free available replica of model m and its
-// busy-until time; ok is false when every replica is down.
-func (e *Engine) bestReplica(m int) (idx int, until float64, ok bool) {
-	idx = -1
-	for r, u := range e.busy[m] {
-		if e.down[m][r] {
+// claim is the lease critical section: under poolMu it marks the
+// earliest-free free replica of every model as leased by the calling group
+// and snapshots the busy-left view of the rest. The caller plans its batch
+// outside the lock and either commits the leases it uses (commitLease) or
+// returns them untouched (releaseLease).
+func (e *Engine) claim(now float64) *leaseSet {
+	nm := len(e.busy)
+	ls := &leaseSet{
+		rep:     make([]int, nm),
+		free:    make([]bool, nm),
+		until:   make([]float64, nm),
+		allDown: make([]bool, nm),
+	}
+	e.poolMu.Lock()
+	for m := range e.busy {
+		ls.rep[m] = -1
+		idx, until := -1, 0.0
+		live := false
+		for r, u := range e.busy[m] {
+			if e.down[m][r] {
+				continue
+			}
+			live = true
+			if e.leased[m][r] {
+				continue
+			}
+			if idx < 0 || u < until {
+				idx, until = r, u
+			}
+		}
+		if !live {
+			ls.allDown[m] = true
 			continue
 		}
-		if idx < 0 || u < until {
-			idx, until = r, u
+		if idx < 0 {
+			// Every live replica is leased by a sibling group. The soonest
+			// one could possibly free is a smallest-batch service away —
+			// an optimistic busy-left floor for the policy's features.
+			ls.until[m] = now + e.Deployment.Profiles[m].BatchLatency(e.Deployment.Batches[0])
+			continue
+		}
+		if until <= now+1e-12 {
+			e.leased[m][idx] = true
+			ls.rep[m] = idx
+			ls.free[m] = true
+			ls.n++
+		} else {
+			ls.until[m] = until
 		}
 	}
-	return idx, until, idx >= 0
+	e.poolMu.Unlock()
+	return ls
+}
+
+// releaseLease returns every uncommitted lease to the pool (a wait decision,
+// or an error before commit).
+func (e *Engine) releaseLease(ls *leaseSet) {
+	if ls.n == 0 {
+		return
+	}
+	e.poolMu.Lock()
+	for m, r := range ls.rep {
+		if r >= 0 {
+			e.leased[m][r] = false
+		}
+	}
+	e.poolMu.Unlock()
+	ls.n = 0
+}
+
+// commitLease occupies the chosen models' leased replicas until their batch
+// finish times and returns every other lease to the pool. finish is parallel
+// to models.
+func (e *Engine) commitLease(ls *leaseSet, models []int, finish []float64, batch int) {
+	e.poolMu.Lock()
+	for i, m := range models {
+		r := ls.rep[m]
+		e.busy[m][r] = finish[i]
+		e.repBatch[m][r] = batch
+		e.leased[m][r] = false
+		ls.rep[m] = -1
+	}
+	for m, r := range ls.rep {
+		if r >= 0 {
+			e.leased[m][r] = false
+		}
+	}
+	e.poolMu.Unlock()
+	ls.n = 0
 }
 
 // Metrics returns the engine's live metrics after folding in any buffered
-// arrival events. Callers must not mutate them and, under a concurrent
-// driver, must hold the driver's lock.
+// arrival events. Callers must not mutate them and must exclude concurrent
+// decision loops (the Simulator is single-threaded; the Runtime reads
+// through fillStats instead).
 func (e *Engine) Metrics() *Metrics {
 	e.flushArrivals()
 	return e.met
@@ -371,8 +608,11 @@ func (e *Engine) Metrics() *Metrics {
 // every shard. Safe to call concurrently.
 func (e *Engine) QueueLen() int { return int(e.queued.Load()) }
 
-// ShardQueueLens returns the per-shard queue depths. Driver-serialized.
+// ShardQueueLens returns the per-shard queue depths. Safe to call
+// concurrently.
 func (e *Engine) ShardQueueLens() []int {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
 	out := make([]int, len(e.shards))
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -381,6 +621,24 @@ func (e *Engine) ShardQueueLens() []int {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// GroupQueueLen returns the queued backlog across group g's shards. Safe to
+// call concurrently; 0 for a group index beyond the live count.
+func (e *Engine) GroupQueueLen(g int) int {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	if g < 0 || g >= len(e.groups) {
+		return 0
+	}
+	n := 0
+	for _, si := range e.groups[g].shards {
+		sh := &e.shards[si]
+		sh.mu.Lock()
+		n += sh.q.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Enqueue admits a request at time now onto its hash shard, buffering the
@@ -409,14 +667,31 @@ func (e *Engine) Enqueue(now float64, r Request) bool {
 }
 
 // flushArrivals folds buffered enqueue events into the canonical metrics.
-// Driver-serialized (metric state is only touched under the driver's lock).
+// Safe for concurrent use: it pins the shard topology shared (a live
+// re-shard swaps the slice and moves the buffered events), shard buffers
+// drain under their own locks, and the fold happens under metMu; the
+// counters are commutative, so interleaved flushes from sibling groups land
+// identically.
 func (e *Engine) flushArrivals() {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	e.flushArrivalsLocked()
+}
+
+// flushArrivalsLocked is flushArrivals for callers already holding topo
+// (shared or exclusive) — a second RLock on the same goroutine could
+// deadlock behind a waiting writer.
+func (e *Engine) flushArrivalsLocked() {
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		events := sh.events
 		sh.events = nil
 		sh.mu.Unlock()
+		if len(events) == 0 {
+			continue
+		}
+		e.metMu.Lock()
 		for _, ev := range events {
 			if ev.now < e.MeasureFrom {
 				continue
@@ -427,34 +702,36 @@ func (e *Engine) flushArrivals() {
 				e.met.ArrivalRate.Add(ev.at, 1)
 			}
 		}
+		e.metMu.Unlock()
 	}
 }
 
-// nextShard returns the next non-empty shard at or after the round-robin
-// cursor, advancing the cursor past it; ok is false when every shard is
-// empty (a concurrent enqueue may have bumped the global count before its
-// push landed — the submitter's own decision point covers it).
-func (e *Engine) nextShard() (int, bool) {
-	n := len(e.shards)
+// nextShard returns the group's next non-empty shard at or after its
+// round-robin cursor, advancing the cursor past it; ok is false when every
+// shard in the group is empty (a concurrent enqueue may have bumped the
+// global count before its push landed — the submitter's own decision point
+// covers it).
+func (e *Engine) nextShard(gr *engineGroup) (int, bool) {
+	n := len(gr.shards)
 	for off := 0; off < n; off++ {
-		i := (e.rr + off) % n
-		sh := &e.shards[i]
+		i := (gr.rr + off) % n
+		sh := &e.shards[gr.shards[i]]
 		sh.mu.Lock()
 		l := sh.q.Len()
 		sh.mu.Unlock()
 		if l > 0 {
-			e.rr = (i + 1) % n
-			return i, true
+			gr.rr = (i + 1) % n
+			return gr.shards[i], true
 		}
 	}
 	return 0, false
 }
 
-// nonEmptyShards counts shards with queued requests.
-func (e *Engine) nonEmptyShards() int {
+// nonEmptyShards counts group gr's shards with queued requests.
+func (e *Engine) nonEmptyShards(gr *engineGroup) int {
 	n := 0
-	for i := range e.shards {
-		sh := &e.shards[i]
+	for _, si := range gr.shards {
+		sh := &e.shards[si]
 		sh.mu.Lock()
 		if sh.q.Len() > 0 {
 			n++
@@ -464,15 +741,51 @@ func (e *Engine) nonEmptyShards() int {
 	return n
 }
 
-// Step runs one decision point at time now: it visits non-empty queue shards
-// round-robin, invoking the policy on each until every waiting shard has
-// been offered once with no dispatch, the queues empty, or no model is free,
-// and returns the executed dispatches. Reward accounting and occupancy stay
-// global — sharding only stripes the FIFO. The driver must call Step again
-// at every returned ModelFinish time (each model freeing is a new decision
-// point). With one shard this is exactly the classic single-FIFO loop.
+// Step runs one decision point across every dispatch group in order — the
+// single-threaded driver surface (the Simulator, and the Runtime's control
+// path). With one group this is exactly the classic engine loop. The driver
+// must call Step again at every returned ModelFinish time (each model
+// freeing is a new decision point).
 func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
-	e.flushArrivals()
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	var outs []DispatchOutcome
+	for g := range e.groups {
+		o, err := e.stepGroupLocked(now, g)
+		outs = append(outs, o...)
+		if err != nil {
+			return outs, err
+		}
+	}
+	return outs, nil
+}
+
+// StepGroup runs one decision point for dispatch group g at time now,
+// returning the executed dispatches. Safe to call concurrently for
+// *different* groups; callers serialize decision points within one group
+// (the Runtime holds the group's plane lock). A group index beyond the live
+// count is a no-op (a stale wakeup after a reconfigure).
+func (e *Engine) StepGroup(now float64, g int) ([]DispatchOutcome, error) {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	if g < 0 || g >= len(e.groups) {
+		return nil, nil
+	}
+	return e.stepGroupLocked(now, g)
+}
+
+// stepGroupLocked is one group's decision loop with topo held shared: it
+// visits the group's non-empty queue shards round-robin, claiming replica
+// leases, invoking the group's policy on each shard until every waiting
+// shard has been offered once with no dispatch, the queues empty, or no
+// model is free. Reward accounting and occupancy stay global — grouping
+// partitions the drain loop, not the model pool.
+func (e *Engine) stepGroupLocked(now float64, g int) ([]DispatchOutcome, error) {
+	e.flushArrivalsLocked()
+	gr := &e.groups[g]
+	if len(gr.shards) == 0 {
+		return nil, nil
+	}
 	var outs []DispatchOutcome
 	// waits counts consecutive policy waits; waitTarget is the non-empty
 	// shard count snapshotted at the first wait of each run (a dispatch
@@ -480,95 +793,199 @@ func (e *Engine) Step(now float64) ([]DispatchOutcome, error) {
 	// of one per wait.
 	waits, waitTarget := 0, 0
 	for {
-		if len(outs) > 64*len(e.shards) {
-			return outs, fmt.Errorf("infer: policy %s dispatched %d times in one decision point", e.Policy.Name(), len(outs))
+		if len(outs) > 64*len(gr.shards) {
+			return outs, fmt.Errorf("infer: policy %s dispatched %d times in one decision point", gr.pol.Name(), len(outs))
 		}
 		if e.QueueLen() == 0 {
 			return outs, nil
 		}
-		si, ok := e.nextShard()
+		si, ok := e.nextShard(gr)
 		if !ok {
 			return outs, nil
 		}
-		st := e.state(now, si)
-		anyFree := false
-		for _, f := range st.FreeModels {
-			if f {
-				anyFree = true
-				break
-			}
-		}
-		if !anyFree {
+		ls := e.claim(now)
+		if ls.n == 0 {
 			return outs, nil
 		}
+		st := e.stateForShard(now, gr, si, ls)
+		if gr.shared {
+			e.polMu.Lock()
+		}
+		e.metMu.Lock()
 		e.met.Decisions++
-		act := e.Policy.Decide(st)
+		e.metMu.Unlock()
+		act := gr.pol.Decide(st)
 		if act.Wait {
-			e.Policy.Feedback(0)
+			e.releaseLease(ls)
+			gr.pol.Feedback(0)
+			if gr.shared {
+				e.polMu.Unlock()
+			}
 			waits++
 			if waits == 1 {
-				waitTarget = e.nonEmptyShards()
+				waitTarget = e.nonEmptyShards(gr)
 			}
 			if waits >= waitTarget {
 				return outs, nil
 			}
 			continue
 		}
-		waits = 0
-		out, err := e.dispatch(now, si, act)
+		out, err := e.dispatch(now, gr, g, si, act, ls)
 		if err != nil {
+			if gr.shared {
+				e.polMu.Unlock()
+			}
+			e.releaseLease(ls)
 			return outs, err
 		}
-		e.Policy.Feedback(out.Reward)
+		gr.pol.Feedback(out.Reward)
+		if gr.shared {
+			e.polMu.Unlock()
+		}
+		waits = 0
 		outs = append(outs, out)
 	}
 }
 
-// state builds the policy's decision state at time now for draining shard
-// si: the queue view (depth and head waits) is the shard's, the model view
-// is global.
+// state builds the classic policy view for draining shard si — the
+// single-group engine's decision state, kept for tests and tooling. It
+// claims and immediately releases a lease set, so it must not run
+// concurrently with decision loops.
 func (e *Engine) state(now float64, si int) *State {
+	ls := e.claim(now)
+	st := e.stateForShard(now, &e.groups[0], si, ls)
+	e.releaseLease(ls)
+	return st
+}
+
+// stateForShard builds the policy's decision state at time now for group gr
+// draining shard si: the queue view (depth and head waits) is the shard's —
+// widened by the sibling requests work-stealing could pull in when the shard
+// alone cannot fill the maximum batch — and the model view is the lease
+// set's snapshot of the shared pools.
+func (e *Engine) stateForShard(now float64, gr *engineGroup, si int, ls *leaseSet) *State {
 	d := e.Deployment
 	sh := &e.shards[si]
 	sh.mu.Lock()
 	queueLen := sh.q.Len()
 	waits := sh.q.Waits(now, 16)
 	sh.mu.Unlock()
+	if steal := e.stealable(gr, si, queueLen); steal > 0 {
+		queueLen += steal
+	}
 	st := &State{
 		Now:          now,
 		QueueLen:     queueLen,
 		Waits:        waits,
-		FreeModels:   make([]bool, len(d.Profiles)),
+		FreeModels:   ls.free,
 		BusyLeft:     make([]float64, len(d.Profiles)),
 		Tau:          d.Tau,
 		Batches:      d.Batches,
 		LatencyTable: d.LatencyTable(),
 	}
-	for i := range e.busy {
-		// The model looks free/busy as its best replica: policies keep
-		// their per-model view and replication only widens capacity.
-		_, until, ok := e.bestReplica(i)
-		if !ok {
+	for m := range st.BusyLeft {
+		switch {
+		case ls.free[m]:
+			st.BusyLeft[m] = 0
+		case ls.allDown[m]:
 			// Every replica is down: the model cannot serve until the
 			// cluster manager restarts a container.
-			st.BusyLeft[i] = math.Inf(1)
-			continue
+			st.BusyLeft[m] = math.Inf(1)
+		default:
+			left := ls.until[m] - now
+			if left < 0 {
+				left = 0
+			}
+			st.BusyLeft[m] = left
 		}
-		left := until - now
-		if left <= 1e-12 {
-			st.FreeModels[i] = true
-			left = 0
-		}
-		st.BusyLeft[i] = left
 	}
 	return st
 }
 
-// dispatch validates and executes an action at time now against shard si's
-// queue, returning its outcome with the Equation 7 reward:
+// stealable reports how many sibling-shard requests work-stealing could pull
+// into a batch headed by shard si: nothing while the shard itself covers the
+// maximum candidate batch (Algorithm 3's full-batch rule needs no help), and
+// at most the gap to that batch otherwise.
+func (e *Engine) stealable(gr *engineGroup, si, own int) int {
+	maxB := e.Deployment.MaxBatch()
+	if own >= maxB || len(gr.shards) < 2 {
+		return 0
+	}
+	gap := maxB - own
+	steal := 0
+	for _, sj := range gr.shards {
+		if sj == si {
+			continue
+		}
+		sh := &e.shards[sj]
+		sh.mu.Lock()
+		steal += sh.q.Len()
+		sh.mu.Unlock()
+		if steal >= gap {
+			return gap
+		}
+	}
+	return steal
+}
+
+// popBatch assembles a dispatch batch of up to n requests headed by shard
+// si: the shard's own oldest requests first, then — when the shard alone
+// cannot fill the batch — requests stolen from the heads of the group's
+// sibling shards in round-robin order. Stealing from a sibling's head keeps
+// every shard's FIFO order intact: a shard's remaining requests are all
+// younger than the ones just taken. Returns the batch and how many requests
+// were stolen.
+func (e *Engine) popBatch(gr *engineGroup, si, n int) ([]Request, int) {
+	sh := &e.shards[si]
+	sh.mu.Lock()
+	own := n
+	if l := sh.q.Len(); own > l {
+		own = l
+	}
+	var batch []Request
+	if own > 0 {
+		batch = sh.q.PopN(own)
+	}
+	sh.mu.Unlock()
+	stolen := 0
+	if len(batch) < n {
+		// Visit siblings in the group's shard order starting after si, so
+		// the steal order is deterministic and follows the drain rotation.
+		start := 0
+		for i, s := range gr.shards {
+			if s == si {
+				start = i + 1
+				break
+			}
+		}
+		for off := 0; off < len(gr.shards)-1 && len(batch) < n; off++ {
+			sj := gr.shards[(start+off)%len(gr.shards)]
+			if sj == si {
+				continue
+			}
+			sib := &e.shards[sj]
+			sib.mu.Lock()
+			take := n - len(batch)
+			if l := sib.q.Len(); take > l {
+				take = l
+			}
+			if take > 0 {
+				batch = append(batch, sib.q.PopN(take)...)
+				stolen += take
+			}
+			sib.mu.Unlock()
+		}
+	}
+	return batch, stolen
+}
+
+// dispatch validates and executes an action at time now for group g against
+// shard si's queue (topping the batch up from sibling shards when the shard
+// alone cannot fill it), committing the lease set's claimed replicas and
+// returning the outcome with the Equation 7 reward:
 // a(M[v]) · (b − β·|overdue in batch|), normalized by the maximum batch size
 // so rewards stay O(1).
-func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, error) {
+func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, ls *leaseSet) (DispatchOutcome, error) {
 	d := e.Deployment
 	if len(act.Models) == 0 {
 		return DispatchOutcome{}, fmt.Errorf("infer: dispatch with empty model subset")
@@ -589,28 +1006,20 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 		if mi < 0 || mi >= len(d.Profiles) {
 			return DispatchOutcome{}, fmt.Errorf("infer: model index %d out of range", mi)
 		}
-		rep, until, ok := e.bestReplica(mi)
-		if !ok {
-			return DispatchOutcome{}, fmt.Errorf("infer: model %s has no live replica", d.ModelNames[mi])
-		}
-		if until > now+1e-12 {
-			return DispatchOutcome{}, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], until)
+		if ls.rep[mi] < 0 {
+			if ls.allDown[mi] {
+				return DispatchOutcome{}, fmt.Errorf("infer: model %s has no live replica", d.ModelNames[mi])
+			}
+			return DispatchOutcome{}, fmt.Errorf("infer: model %s is busy until %v", d.ModelNames[mi], ls.until[mi])
 		}
 		names[i] = d.ModelNames[mi]
-		replicas[i] = rep
+		replicas[i] = ls.rep[mi]
 	}
-	sh := &e.shards[si]
-	sh.mu.Lock()
-	n := act.Batch
-	if n > sh.q.Len() {
-		n = sh.q.Len()
-	}
+	batch, stolen := e.popBatch(gr, si, act.Batch)
+	n := len(batch)
 	if n == 0 {
-		sh.mu.Unlock()
 		return DispatchOutcome{}, fmt.Errorf("infer: dispatch on empty queue")
 	}
-	batch := sh.q.PopN(n)
-	sh.mu.Unlock()
 	e.queued.Add(-int64(n))
 
 	out := DispatchOutcome{
@@ -619,22 +1028,28 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 		ModelNames:  names,
 		Replicas:    replicas,
 		Batch:       act.Batch,
+		Stolen:      stolen,
+		Group:       g,
 		Decided:     now,
 		ModelFinish: make([]float64, len(act.Models)),
 		Finish:      now,
 	}
 	// Occupy the chosen replica of each selected model; the ensemble
 	// completes with the slowest.
-	e.popped += uint64(n)
 	for i, mi := range act.Models {
 		f := now + d.Profiles[mi].BatchLatency(n)
-		e.busy[mi][replicas[i]] = f
-		e.repBatch[mi][replicas[i]] = n
-		e.dispatched[mi] += uint64(n)
 		out.ModelFinish[i] = f
 		if f > out.Finish {
 			out.Finish = f
 		}
+	}
+	e.commitLease(ls, act.Models, out.ModelFinish, n)
+
+	measured := now >= e.MeasureFrom
+	e.metMu.Lock()
+	e.popped += uint64(n)
+	for _, mi := range act.Models {
+		e.dispatched[mi] += uint64(n)
 	}
 	// Exponentially decay the share counters so Backlogs tracks the recent
 	// stream, not lifetime history: halving preserves the ratios while a
@@ -645,8 +1060,6 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 			e.dispatched[m] >>= 1
 		}
 	}
-
-	measured := now >= e.MeasureFrom
 	if measured {
 		e.met.ServedRate.Add(out.Finish, float64(n))
 	}
@@ -667,6 +1080,7 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 
 	acc, err := e.AccTable.Accuracy(names)
 	if err != nil {
+		e.metMu.Unlock()
 		return DispatchOutcome{}, err
 	}
 	rewardAcc := acc
@@ -682,6 +1096,14 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 	if measured {
 		e.met.Reward += out.Reward
 		e.met.Dispatches++
+		e.met.Stolen += stolen
+		if g < len(e.met.GroupDispatches) {
+			e.met.GroupDispatches[g]++
+		}
+		if e.met.BatchSizes == nil {
+			e.met.BatchSizes = make(map[int]int)
+		}
+		e.met.BatchSizes[n]++
 	}
 
 	// Measured accuracy via simulated predictions.
@@ -690,10 +1112,12 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 		for _, r := range batch {
 			preds, truth, err := e.Predictor.PredictAll(r.ID, names)
 			if err != nil {
+				e.metMu.Unlock()
 				return DispatchOutcome{}, err
 			}
 			vote, err := ensemble.VoteModels(names, preds)
 			if err != nil {
+				e.metMu.Unlock()
 				return DispatchOutcome{}, err
 			}
 			if vote == truth {
@@ -708,9 +1132,11 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 		}
 		e.maxAccT = at
 		if err := e.met.Accuracy.Append(at, float64(correct)/float64(n)); err != nil {
+			e.metMu.Unlock()
 			return DispatchOutcome{}, err
 		}
 	}
+	e.metMu.Unlock()
 	return out, nil
 }
 
@@ -718,24 +1144,96 @@ func (e *Engine) dispatch(now float64, si int, act Action) (DispatchOutcome, err
 // this many requests have been counted, every counter halves.
 const shareHalfLife = 1 << 14
 
+// MetricSnapshot is a consistent copy of the engine's reward/metric plane,
+// safe to read while decision loops keep dispatching (the concurrent
+// drivers' alternative to Metrics).
+type MetricSnapshot struct {
+	Served, Overdue, Dropped int
+	Decisions, Dispatches    int
+	Stolen                   int
+	Reward                   float64
+	BatchSizes               map[int]int
+	BatchSizeMean            float64
+	GroupDispatches          []int
+	Latencies                []float64
+	DrainRate, ArrivalRate   float64
+}
+
+// SnapshotMetrics copies the metric plane under its lock, with the drain and
+// arrival rates computed over the trailing window (timeline seconds) ending
+// at now. Safe to call concurrently with decision loops.
+func (e *Engine) SnapshotMetrics(now, window float64) MetricSnapshot {
+	e.flushArrivals()
+	e.metMu.Lock()
+	defer e.metMu.Unlock()
+	m := e.met
+	snap := MetricSnapshot{
+		Served:          m.Served,
+		Overdue:         m.Overdue,
+		Dropped:         m.Dropped,
+		Decisions:       m.Decisions,
+		Dispatches:      m.Dispatches,
+		Stolen:          m.Stolen,
+		Reward:          m.Reward,
+		BatchSizeMean:   m.BatchSizeMean(),
+		GroupDispatches: append([]int(nil), m.GroupDispatches...),
+		Latencies:       append([]float64(nil), m.Latencies...),
+		DrainRate:       m.ServedRate.TotalSince(now-window) / window,
+		ArrivalRate:     m.ArrivalRate.TotalSince(now-window) / window,
+	}
+	if len(m.BatchSizes) > 0 {
+		snap.BatchSizes = make(map[int]int, len(m.BatchSizes))
+		for b, n := range m.BatchSizes {
+			snap.BatchSizes[b] = n
+		}
+	}
+	return snap
+}
+
+// DrainRate reports the recent completion rate (requests per timeline second
+// over the trailing window) without a full metric snapshot — the rejection
+// path reads it once per queue-full request. Safe to call concurrently.
+func (e *Engine) DrainRate(now, window float64) float64 {
+	e.metMu.Lock()
+	defer e.metMu.Unlock()
+	return e.met.ServedRate.TotalSince(now-window) / window
+}
+
+// Rates reports the recent arrival and drain rates (requests per timeline
+// second over the trailing window). Safe to call concurrently.
+func (e *Engine) Rates(now, window float64) (arrival, drain float64) {
+	e.flushArrivals()
+	e.metMu.Lock()
+	defer e.metMu.Unlock()
+	return e.met.ArrivalRate.TotalSince(now-window) / window,
+		e.met.ServedRate.TotalSince(now-window) / window
+}
+
 // Backlogs reports each model's demand signal at time now: its estimated
 // share of the queued backlog (by recent, exponentially decayed dispatch
-// participation) plus the requests already in flight on its replicas.
-// Driver-serialized.
+// participation) plus the requests already in flight on its replicas. Safe
+// to call concurrently with decision loops.
 func (e *Engine) Backlogs(now float64) []ModelBacklog {
-	out := make([]ModelBacklog, len(e.busy))
 	queued := float64(e.QueueLen())
-	for m := range e.busy {
-		share := 1.0
+	e.metMu.Lock()
+	shares := make([]float64, len(e.dispatched))
+	for m := range shares {
+		shares[m] = 1.0
 		if e.popped > 0 {
-			share = float64(e.dispatched[m]) / float64(e.popped)
+			shares[m] = float64(e.dispatched[m]) / float64(e.popped)
 		}
-		out[m].Queued = share * queued
+	}
+	e.metMu.Unlock()
+	out := make([]ModelBacklog, len(shares))
+	e.poolMu.Lock()
+	for m := range e.busy {
+		out[m].Queued = shares[m] * queued
 		for r, until := range e.busy[m] {
 			if until > now+1e-12 {
 				out[m].Inflight += e.repBatch[m][r]
 			}
 		}
 	}
+	e.poolMu.Unlock()
 	return out
 }

@@ -25,9 +25,10 @@ type goldenRun struct {
 	seed     int64
 	// shards is the queue-shard count (0 = the default single FIFO). The
 	// 0- and 1-shard rows pin the pre-refactor numbers bit-for-bit; the
-	// multi-shard row pins the sharded scheduler's own behaviour against
-	// regressions.
+	// multi-shard rows pin the sharded scheduler's own behaviour against
+	// regressions. groups is the dispatch-group count (0 = one loop).
 	shards int
+	groups int
 
 	served, overdue, dropped, decisions int
 	reward                              float64
@@ -35,6 +36,7 @@ type goldenRun struct {
 	accLen                              int
 	arrivals                            float64
 	latencySum                          float64
+	stolen                              int
 }
 
 var goldenRuns = []goldenRun{
@@ -66,19 +68,35 @@ var goldenRuns = []goldenRun{
 		arrivals: 13812, latencySum: 15788.2858000239,
 	},
 	{
-		// The same ensemble workload over 8 queue shards, pinned once from
-		// this revision: round-robin draining visits every shard (more
-		// decisions), and each shard's shallower FIFO reaches Algorithm 3's
-		// full-batch rule less often (smaller batches, more overdue under
-		// this saturated single-replica load) — sharding buys submit-path
-		// concurrency, not batch efficiency. Deterministic, so any change to
-		// the sharded scheduler shows up here.
+		// The same ensemble workload over 8 queue shards, re-pinned when
+		// work-stealing batch assembly landed (DESIGN.md §10): a drained
+		// shard that cannot fill Algorithm 3's maximum batch tops it up
+		// from its siblings' heads, so the saturated single-replica load
+		// dispatches near-full batches again (served and accuracy match the
+		// single-FIFO row; overdue and reward recover most of the gap the
+		// PR 4 shallow-FIFO row lost: 9655 overdue / 53.27 reward then,
+		// 2953 / 141.41 now). Deterministic, so any change to the sharded
+		// scheduler or the stealing order shows up here.
 		models: []string{"inception_v3", "inception_v4", "inception_resnet_v2"},
 		policy: func(d *Deployment) Policy { return &SyncAll{D: d} },
 		tau:    1.0, anchor: 128, duration: 120, seed: 4, shards: 8,
-		served: 13744, overdue: 9655, dropped: 0, decisions: 37172,
-		reward: 53.2688085937, accMean: 0.8258874850, accLen: 554,
-		arrivals: 13812, latencySum: 33648.1359000115,
+		served: 13808, overdue: 2953, dropped: 0, decisions: 33017,
+		reward: 141.4118164063, accMean: 0.8291894769, accLen: 274,
+		arrivals: 13812, latencySum: 14797.3640000396, stolen: 10973,
+	},
+	{
+		// 8 shards split across 2 dispatch groups (the simulator drains
+		// groups sequentially, so this is deterministic): each group steals
+		// only within its own 4 shards, so batches sit between the
+		// single-group stolen-full row above and the PR 4 no-stealing
+		// numbers — the drain-parallelism vs batch-efficiency trade the
+		// dispatch_groups knob exposes.
+		models: []string{"inception_v3", "inception_v4", "inception_resnet_v2"},
+		policy: func(d *Deployment) Policy { return &SyncAll{D: d} },
+		tau:    1.0, anchor: 128, duration: 120, seed: 4, shards: 8, groups: 2,
+		served: 13808, overdue: 4048, dropped: 0, decisions: 34643,
+		reward: 127.1468750000, accMean: 0.8265128968, accLen: 420,
+		arrivals: 13812, latencySum: 18271.0424000409, stolen: 7516,
 	},
 }
 
@@ -95,6 +113,7 @@ func TestSimulatorMatchesSeedGolden(t *testing.T) {
 		}
 		s := NewSimulator(d, g.policy(d), workload.NewSource(arr), ensemble.NewAccuracyTable(zoo.NewPredictor(g.seed), 4000))
 		s.Shards = g.shards
+		s.Groups = g.groups
 		s.Predictor = zoo.NewPredictor(g.seed + 1)
 		met, err := s.Run(g.duration)
 		if err != nil {
@@ -121,6 +140,9 @@ func TestSimulatorMatchesSeedGolden(t *testing.T) {
 		}
 		if math.Abs(sum-g.latencySum) > 1e-6 {
 			t.Fatalf("%s: latency sum = %.10f, want %.10f", g.models, sum, g.latencySum)
+		}
+		if met.Stolen != g.stolen {
+			t.Fatalf("%s: stolen = %d, want %d", g.models, met.Stolen, g.stolen)
 		}
 	}
 }

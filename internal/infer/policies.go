@@ -19,6 +19,10 @@ func (g *GreedySingle) Name() string { return "greedy" }
 // Feedback implements Policy (baselines ignore rewards).
 func (g *GreedySingle) Feedback(float64) {}
 
+// CloneForGroup implements GroupedPolicy: the scheduler is stateless, so a
+// fresh instance per dispatch group decides identically.
+func (g *GreedySingle) CloneForGroup(int) Policy { return &GreedySingle{D: g.D, Model: g.Model} }
+
 // Decide implements Policy.
 func (g *GreedySingle) Decide(s *State) Action {
 	if !s.FreeModels[g.Model] {
@@ -62,6 +66,9 @@ func (p *SyncAll) Name() string { return "greedy-sync" }
 
 // Feedback implements Policy.
 func (p *SyncAll) Feedback(float64) {}
+
+// CloneForGroup implements GroupedPolicy (stateless scheduler).
+func (p *SyncAll) CloneForGroup(int) Policy { return &SyncAll{D: p.D} }
 
 // Decide implements Policy.
 func (p *SyncAll) Decide(s *State) Action {
@@ -115,6 +122,11 @@ func (p *AsyncEach) Name() string { return "greedy-async" }
 
 // Feedback implements Policy.
 func (p *AsyncEach) Feedback(float64) {}
+
+// CloneForGroup implements GroupedPolicy. The rotation cursor is the only
+// state; each group keeps its own, staggered by the group index so sibling
+// groups start their round-robin on different models.
+func (p *AsyncEach) CloneForGroup(g int) Policy { return &AsyncEach{D: p.D, next: g} }
 
 // Decide implements Policy.
 func (p *AsyncEach) Decide(s *State) Action {

@@ -23,7 +23,7 @@ var (
 // Executor computes the results of one dispatched batch: ids and payloads
 // are the batch requests (parallel slices, oldest first) and models the
 // serving model subset. It must return one result per request. Executors
-// run outside the runtime lock and may be called from timer goroutines.
+// run outside the runtime locks and may be called from timer goroutines.
 type Executor func(ids []uint64, payloads []any, models []string) ([]any, error)
 
 // Future is a pending wall-clock request: it resolves when the batch the
@@ -32,7 +32,7 @@ type Future struct {
 	done    chan struct{}
 	payload any
 	// dispatched flips when the request leaves the queue for a batch;
-	// guarded by the runtime's dispatch lock.
+	// guarded by the dispatching group's plane lock.
 	dispatched bool
 
 	// set before done is closed, immutable afterwards.
@@ -85,6 +85,21 @@ type Stats struct {
 	// backlog depths (their sum is QueueLen).
 	Shards         int   `json:"shards"`
 	ShardQueueLens []int `json:"shard_queue_lens"`
+	// DispatchGroups is the live dispatch-plane count; GroupDispatches the
+	// per-group executed dispatch counts — the observable that independent
+	// planes are actually draining. The counters sum to Dispatches unless a
+	// live re-group changed the plane count, which resets them (the old
+	// per-plane history does not describe the new layout).
+	DispatchGroups  int   `json:"dispatch_groups"`
+	GroupDispatches []int `json:"group_dispatches"`
+	// BatchSizeMean is the mean executed batch size; BatchSizeHist the
+	// histogram of executed dispatch sizes (actual popped counts) — the
+	// sharding-vs-batching trade of DESIGN.md §9/§10, observable instead of
+	// just documented. Stolen counts requests work-stealing pulled across
+	// shards into another shard's batch.
+	BatchSizeMean float64     `json:"batch_size_mean"`
+	BatchSizeHist map[int]int `json:"batch_size_hist,omitempty"`
+	Stolen        int         `json:"stolen"`
 	// ModelBacklogs is each model's estimated share of the queued backlog
 	// (parallel to the deployment's model list) — exactly the signal the
 	// proportional autoscaler steps on. ModelInflight counts the requests
@@ -111,6 +126,12 @@ type RuntimeConfig struct {
 	// different shards never contend, and decision points drain the shards
 	// round-robin.
 	Shards int
+	// DispatchGroups is the dispatch-plane count (0 or 1 = one fully
+	// serialized dispatch loop). With G > 1, shard s is drained by plane
+	// s mod G: each plane has its own dispatch lock and coalesced sweep, so
+	// independent shards dispatch concurrently across cores, claiming
+	// replicas from the shared pools via short lease critical sections.
+	DispatchGroups int
 	// PollInterval is the re-decision cadence (timeline seconds) while
 	// requests wait in a non-empty queue — the wall-clock analogue of the
 	// Simulator's arrival tick, which lets deadline-pressure dispatches
@@ -133,19 +154,43 @@ type stripe struct {
 	pending map[uint64]*Future
 }
 
+// plane is one dispatch group's runtime-side state: the lock serializing
+// the group's decision points, its wait-poll flag, and its coalesced-sweep
+// flag. The Runtime pre-allocates one plane per possible group index, so a
+// live group-count change never resizes anything — a stale sweep armed for
+// a no-longer-populated group just runs an empty StepGroup.
+type plane struct {
+	// mu serializes the group's decision points. Always acquired with the
+	// control lock held shared; the control lock held exclusively implies
+	// no plane lock is held by anyone.
+	mu sync.Mutex
+	// pollSet marks a pending wait-poll tick for this group; guarded by mu
+	// (or the exclusive control lock).
+	pollSet bool
+	// sweepSet coalesces the group's decision points: only the submitter
+	// that flips it schedules a sweep; everyone else piggybacks.
+	sweepSet atomic.Bool
+}
+
 // Runtime is the wall-clock driver of the dispatch Engine: goroutine-safe,
 // channel-fed, with per-request futures. Concurrent callers Submit payloads;
 // the scheduling Policy groups them into shared batches; the Executor
 // computes each batch's results when the (profiled) service time elapses.
 //
-// The data plane is lock-striped: a submission touches only its pending-table
-// stripe and its queue shard, never the dispatch lock. With one queue shard
-// the submitter then runs its decision point synchronously under the dispatch
-// lock — exactly the pre-shard runtime, bit-for-bit. With N > 1 shards,
-// decision points are instead coalesced: the first submitter after an idle
-// sweep schedules one via the timeline, and every submission that lands while
-// it is pending shares it — so the per-request decision cost amortizes across
-// the fan-in instead of serializing it.
+// The data plane is lock-striped and, with DispatchGroups > 1, partitioned
+// into parallel dispatch planes: a submission touches only its pending-table
+// stripe and its queue shard, then wakes its shard's plane. Each plane has
+// its own lock and coalesced sweep, claims replicas from the shared
+// per-model pools via the engine's lease critical sections, and launches
+// its batches while sibling planes keep dispatching — so with many shards
+// and many replicas, served throughput scales with cores, not just
+// submitted throughput (DESIGN.md §10).
+//
+// With one queue shard the submitter runs its decision point synchronously
+// under plane 0's lock — exactly the pre-shard runtime, bit-for-bit. With
+// N > 1 shards, decision points are coalesced per plane: the first submitter
+// after an idle sweep schedules one via the timeline, and every submission
+// that lands while it is pending shares it.
 //
 // Decision points mirror the Simulator's: every submission (directly or via
 // the coalesced sweep), every model freeing up, and a poll tick while
@@ -158,12 +203,15 @@ type Runtime struct {
 	// SetSLO must not overwrite with its τ-derived default.
 	pollConfigured bool
 
-	// disp serializes the engine's decision state (Step, occupancy, policy,
-	// metrics) — the control lock of the data plane. Lock order: disp, then
-	// stripe, then engine shard; never the reverse.
-	disp    sync.Mutex
-	eng     *Engine
-	pollSet bool
+	// ctl is the control lock of the data plane: decision sweeps hold it
+	// shared (plus their plane lock), reconfiguration and teardown hold it
+	// exclusively — so a control operation observes no in-flight sweep and
+	// may touch every plane and the whole engine. Lock order: ctl, then
+	// plane, then stripe/engine internals; never the reverse.
+	ctl sync.RWMutex
+	eng *Engine
+
+	planes [maxEngineGroups]plane
 
 	// closed flips once (teardown or poison); errv holds the poisoning
 	// engine error, stored before closed so closedErr never misses it.
@@ -171,9 +219,6 @@ type Runtime struct {
 	errv   atomic.Value
 
 	nextID atomic.Uint64
-	// sweepSet coalesces sharded-mode decision points: only the submitter
-	// that flips it schedules a sweep; everyone else piggybacks.
-	sweepSet atomic.Bool
 
 	stripes  [runtimeStripes]stripe
 	inflight sync.WaitGroup
@@ -201,6 +246,11 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	eng := NewEngine(d, p, acc, queueCap)
 	if cfg.Shards > 1 {
 		if err := eng.SetShards(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DispatchGroups > 1 {
+		if err := eng.SetGroups(cfg.DispatchGroups); err != nil {
 			return nil, err
 		}
 	}
@@ -266,19 +316,22 @@ func (r *Runtime) Submit(payload any) (*Future, error) {
 	st.mu.Unlock()
 
 	if r.eng.ShardCount() > 1 {
-		// Sharded mode: hand the decision point to a coalesced sweep so the
-		// submit path never serializes on the dispatch lock. A poisoning
-		// policy error reaches the caller through the future.
-		r.scheduleSweep()
+		// Sharded mode: hand the decision point to the shard's dispatch
+		// plane via a coalesced sweep, so the submit path never serializes
+		// on a dispatch lock. A poisoning policy error reaches the caller
+		// through the future.
+		r.scheduleSweep(r.eng.GroupOf(id))
 		return f, nil
 	}
 	// Single-shard compatibility path: run the decision point synchronously
-	// under the dispatch lock (exactly the pre-shard runtime), so a policy
+	// under plane 0's lock (exactly the pre-shard runtime), so a policy
 	// error at this decision point surfaces from Submit itself.
-	r.disp.Lock()
-	err := r.step(r.tl.Now())
+	r.ctl.RLock()
+	r.planes[0].mu.Lock()
+	err := r.stepGroup(r.tl.Now(), 0)
 	dispatched := f.dispatched
-	r.disp.Unlock()
+	r.planes[0].mu.Unlock()
+	r.ctl.RUnlock()
 	if err != nil {
 		// The engine failed at this decision point. If this request made it
 		// into a batch before the error, that batch still completes — hand
@@ -291,34 +344,41 @@ func (r *Runtime) Submit(payload any) (*Future, error) {
 	return f, nil
 }
 
-// scheduleSweep arms one coalesced decision point unless one is already
-// pending. The flag clears under the dispatch lock before the sweep reads
-// the queues, so a submission that finds it set is always observed either by
-// the pending sweep or by a successor scheduled after it.
-func (r *Runtime) scheduleSweep() {
-	if r.sweepSet.CompareAndSwap(false, true) {
-		r.tl.AfterFunc(0, r.sweep)
+// scheduleSweep arms one coalesced decision point on group g's plane unless
+// one is already pending. The flag clears under the plane lock before the
+// sweep reads the queues, so a submission that finds it set is always
+// observed either by the pending sweep or by a successor scheduled after it.
+func (r *Runtime) scheduleSweep(g int) {
+	if g < 0 || g >= len(r.planes) {
+		g = 0
+	}
+	if r.planes[g].sweepSet.CompareAndSwap(false, true) {
+		r.tl.AfterFunc(0, func() { r.sweep(g) })
 	}
 }
 
-// sweep is the coalesced decision point of sharded mode.
-func (r *Runtime) sweep() {
-	r.disp.Lock()
-	defer r.disp.Unlock()
-	r.sweepSet.Store(false)
+// sweep is one plane's coalesced decision point.
+func (r *Runtime) sweep(g int) {
+	r.ctl.RLock()
+	defer r.ctl.RUnlock()
+	p := &r.planes[g]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sweepSet.Store(false)
 	if r.closed.Load() {
 		return
 	}
-	_ = r.step(r.tl.Now())
+	_ = r.stepGroup(r.tl.Now(), g)
 }
 
-// step runs a decision point with r.disp held, launching any dispatches and
-// arming the wait poll.
-func (r *Runtime) step(now float64) error {
+// stepGroup runs one group's decision point, launching its dispatches and
+// arming the group's wait poll. Called with ctl held shared plus the
+// group's plane lock, or with ctl held exclusively (control path).
+func (r *Runtime) stepGroup(now float64, g int) error {
 	if r.closed.Load() {
 		return r.closedErr()
 	}
-	outs, err := r.eng.Step(now)
+	outs, err := r.eng.StepGroup(now, g)
 	for _, out := range outs {
 		r.launch(now, out)
 	}
@@ -333,26 +393,42 @@ func (r *Runtime) step(now float64) error {
 		r.failAll(err)
 		return err
 	}
-	if r.eng.QueueLen() > 0 && !r.pollSet {
-		r.pollSet = true
-		r.tl.AfterFunc(r.poll, r.pollTick)
+	if r.eng.GroupQueueLen(g) > 0 && !r.planes[g].pollSet {
+		r.planes[g].pollSet = true
+		r.tl.AfterFunc(r.poll, func() { r.pollTick(g) })
 	}
 	return nil
 }
 
-// pollTick is the recurring decision point while requests wait.
-func (r *Runtime) pollTick() {
-	r.disp.Lock()
-	defer r.disp.Unlock()
-	r.pollSet = false
+// stepAll runs a decision point on every live group in order. Control path
+// only: the caller holds ctl exclusively, so no plane lock is needed.
+func (r *Runtime) stepAll(now float64) error {
+	for g := 0; g < r.eng.GroupCount(); g++ {
+		if err := r.stepGroup(now, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pollTick is a plane's recurring decision point while its shards hold
+// waiting requests.
+func (r *Runtime) pollTick(g int) {
+	r.ctl.RLock()
+	defer r.ctl.RUnlock()
+	p := &r.planes[g]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pollSet = false
 	if r.closed.Load() {
 		return
 	}
-	_ = r.step(r.tl.Now())
+	_ = r.stepGroup(r.tl.Now(), g)
 }
 
 // launch schedules a dispatched batch's completion and the follow-up
-// decision points at each model's finish time. Called with r.disp held.
+// decision points at each model's finish time. Called with ctl held (shared
+// plus the dispatching plane's lock, or exclusively on the control path).
 func (r *Runtime) launch(now float64, out DispatchOutcome) {
 	futs := make([]*Future, len(out.Requests))
 	for i, req := range out.Requests {
@@ -368,13 +444,32 @@ func (r *Runtime) launch(now float64, out DispatchOutcome) {
 	r.inflight.Add(1)
 	r.tl.AfterFunc(out.Finish-now, func() { r.complete(out, futs) })
 	for _, f := range out.ModelFinish {
-		r.tl.AfterFunc(f-now, func() {
-			r.disp.Lock()
-			defer r.disp.Unlock()
-			if !r.closed.Load() {
-				_ = r.step(r.tl.Now())
-			}
-		})
+		r.tl.AfterFunc(f-now, r.onModelFree)
+	}
+}
+
+// onModelFree is the decision point at a dispatched model's finish time: the
+// freed replica is new capacity for any plane, so in sharded mode every
+// plane with backlog gets a coalesced sweep; the single-shard runtime steps
+// synchronously like the pre-shard engine.
+func (r *Runtime) onModelFree() {
+	if r.closed.Load() {
+		return
+	}
+	if r.eng.ShardCount() == 1 {
+		r.ctl.RLock()
+		r.planes[0].mu.Lock()
+		if !r.closed.Load() {
+			_ = r.stepGroup(r.tl.Now(), 0)
+		}
+		r.planes[0].mu.Unlock()
+		r.ctl.RUnlock()
+		return
+	}
+	for g := 0; g < r.eng.GroupCount(); g++ {
+		if r.eng.GroupQueueLen(g) > 0 {
+			r.scheduleSweep(g)
+		}
 	}
 }
 
@@ -433,21 +528,21 @@ func (r *Runtime) failAll(err error) {
 // conservative policy can flush a waiting backlog at once). Batches already
 // dispatched complete under the old decision.
 func (r *Runtime) SetPolicy(p Policy) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
 	if err := r.eng.SetPolicy(p); err != nil {
 		return err
 	}
-	return r.step(r.tl.Now())
+	return r.stepAll(r.tl.Now())
 }
 
 // PolicyName reports the live policy's name.
 func (r *Runtime) PolicyName() string {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.RLock()
+	defer r.ctl.RUnlock()
 	return r.eng.Policy.Name()
 }
 
@@ -456,8 +551,8 @@ func (r *Runtime) PolicyName() string {
 // explicitly), then re-runs a decision point (a looser τ may justify
 // waiting, a tighter one may demand an immediate flush).
 func (r *Runtime) SetSLO(tau float64) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
@@ -467,14 +562,14 @@ func (r *Runtime) SetSLO(tau float64) error {
 	if !r.pollConfigured {
 		r.poll = tau / 25
 	}
-	return r.step(r.tl.Now())
+	return r.stepAll(r.tl.Now())
 }
 
 // SetQueueCap rebounds the request queue on the live runtime (see
 // Engine.SetQueueCap for the shrink semantics).
 func (r *Runtime) SetQueueCap(n int) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
@@ -482,39 +577,58 @@ func (r *Runtime) SetQueueCap(n int) error {
 }
 
 // SetShards re-shards the live queue layer to n FIFOs: the queued backlog is
-// re-hashed in arrival order (nothing dropped or reordered within a shard)
-// and the next decision point drains the new layout. Moving between 1 and
-// N > 1 also switches the submit path between the synchronous single-shard
-// mode and the coalesced sharded mode.
+// re-hashed in arrival order (nothing dropped or reordered within a shard),
+// the dispatch planes repartition over the new shard set, and the next
+// decision point drains the new layout. Moving between 1 and N > 1 also
+// switches the submit path between the synchronous single-shard mode and the
+// coalesced sharded mode.
 func (r *Runtime) SetShards(n int) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
 	if err := r.eng.SetShards(n); err != nil {
 		return err
 	}
-	return r.step(r.tl.Now())
+	return r.stepAll(r.tl.Now())
 }
 
 // Shards reports the live queue-shard count.
 func (r *Runtime) Shards() int { return r.eng.ShardCount() }
+
+// SetDispatchGroups repartitions the live dispatch plane into n concurrent
+// per-group decision loops (shard s drains on plane s mod n) and re-runs a
+// decision point on every plane so any backlog lands on the new layout.
+func (r *Runtime) SetDispatchGroups(n int) error {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
+	}
+	if err := r.eng.SetGroups(n); err != nil {
+		return err
+	}
+	return r.stepAll(r.tl.Now())
+}
+
+// DispatchGroups reports the live dispatch-plane count.
+func (r *Runtime) DispatchGroups() int { return r.eng.GroupCount() }
 
 // SetReplicas resizes model m's replica pool on the live runtime. Growing
 // immediately re-runs a decision point so queued requests flow onto the new
 // capacity; shrinking stops dispatching to the dropped slots while batches
 // already in flight on them still complete.
 func (r *Runtime) SetReplicas(m, n int) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
 	if err := r.eng.SetReplicas(m, n); err != nil {
 		return err
 	}
-	return r.step(r.tl.Now())
+	return r.stepAll(r.tl.Now())
 }
 
 // AddReplica appends one replica slot for model m in the down state and
@@ -522,8 +636,8 @@ func (r *Runtime) SetReplicas(m, n int) error {
 // launch second, SetReplicaDown(m, r, false) once it is running. No
 // decision point runs (a down slot adds no capacity).
 func (r *Runtime) AddReplica(m int) (int, error) {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return 0, r.closedErr()
 	}
@@ -534,8 +648,8 @@ func (r *Runtime) AddReplica(m int) (int, error) {
 // cluster manager's failure detection and container restarts back into
 // dispatch availability. Recovery re-runs a decision point.
 func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
-	r.disp.Lock()
-	defer r.disp.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	if r.closed.Load() {
 		return r.closedErr()
 	}
@@ -545,17 +659,15 @@ func (r *Runtime) SetReplicaDown(m, rep int, down bool) error {
 	if down {
 		return nil
 	}
-	return r.step(r.tl.Now())
+	return r.stepAll(r.tl.Now())
 }
 
 // Backpressure reads the queue length and recent drain rate without the
 // full Stats snapshot (no latency copy or percentile sort) — the rejection
 // path calls this once per queue-full request, exactly when the runtime is
-// saturated.
+// saturated. It never blocks on the dispatch planes.
 func (r *Runtime) Backpressure() (queueLen int, drainRate float64) {
-	r.disp.Lock()
-	defer r.disp.Unlock()
-	return r.eng.QueueLen(), r.eng.Metrics().ServedRate.TotalSince(r.tl.Now()-drainWindow) / drainWindow
+	return r.eng.QueueLen(), r.eng.DrainRate(r.tl.Now(), drainWindow)
 }
 
 // Signals snapshots the autoscaler's inputs: each model's backlog estimate
@@ -563,47 +675,45 @@ func (r *Runtime) Backpressure() (queueLen int, drainRate float64) {
 // drains over the recent window, requests per timeline second), and the
 // drain rate itself.
 func (r *Runtime) Signals() (backlogs []ModelBacklog, growth, drainRate float64) {
-	r.disp.Lock()
-	defer r.disp.Unlock()
 	now := r.tl.Now()
 	backlogs = r.eng.Backlogs(now)
-	m := r.eng.Metrics()
-	arrivals := m.ArrivalRate.TotalSince(now-drainWindow) / drainWindow
-	drainRate = m.ServedRate.TotalSince(now-drainWindow) / drainWindow
-	return backlogs, arrivals - drainRate, drainRate
+	arrivals, drain := r.eng.Rates(now, drainWindow)
+	return backlogs, arrivals - drain, drain
 }
 
-// Stats snapshots the serving metrics. The percentile sort runs on a copy
-// outside the runtime lock, so scraping stats never stalls serving.
+// Stats snapshots the serving metrics. Every piece is read under its own
+// engine lock, so scraping stats never stalls the dispatch planes; the
+// percentile sort runs on a copy outside any lock.
 func (r *Runtime) Stats() Stats {
-	r.disp.Lock()
 	now := r.tl.Now()
-	m := r.eng.Metrics()
+	snap := r.eng.SnapshotMetrics(now, drainWindow)
 	backlogs := r.eng.Backlogs(now)
-	drain := m.ServedRate.TotalSince(now-drainWindow) / drainWindow
 	st := Stats{
-		Served:         m.Served,
-		Overdue:        m.Overdue,
-		Dropped:        m.Dropped,
-		Decisions:      m.Decisions,
-		Dispatches:     m.Dispatches,
-		QueueLen:       r.eng.QueueLen(),
-		Reward:         m.Reward,
-		Replicas:       r.eng.ReplicaCounts(),
-		DrainRate:      drain,
-		Shards:         r.eng.ShardCount(),
-		ShardQueueLens: r.eng.ShardQueueLens(),
-		ModelBacklogs:  make([]float64, len(backlogs)),
-		ModelInflight:  make([]int, len(backlogs)),
-		QueueGrowth:    m.ArrivalRate.TotalSince(now-drainWindow)/drainWindow - drain,
+		Served:          snap.Served,
+		Overdue:         snap.Overdue,
+		Dropped:         snap.Dropped,
+		Decisions:       snap.Decisions,
+		Dispatches:      snap.Dispatches,
+		QueueLen:        r.eng.QueueLen(),
+		Reward:          snap.Reward,
+		Replicas:        r.eng.ReplicaCounts(),
+		DrainRate:       snap.DrainRate,
+		Shards:          r.eng.ShardCount(),
+		ShardQueueLens:  r.eng.ShardQueueLens(),
+		DispatchGroups:  r.eng.GroupCount(),
+		GroupDispatches: snap.GroupDispatches,
+		BatchSizeMean:   snap.BatchSizeMean,
+		BatchSizeHist:   snap.BatchSizes,
+		Stolen:          snap.Stolen,
+		ModelBacklogs:   make([]float64, len(backlogs)),
+		ModelInflight:   make([]int, len(backlogs)),
+		QueueGrowth:     snap.ArrivalRate - snap.DrainRate,
 	}
 	for i, b := range backlogs {
 		st.ModelBacklogs[i] = b.Queued
 		st.ModelInflight[i] = b.Inflight
 	}
-	lat := append([]float64(nil), m.Latencies...)
-	r.disp.Unlock()
-	pct := percentiles(lat, 50, 99)
+	pct := percentiles(snap.Latencies, 50, 99)
 	st.P50Latency, st.P99Latency = pct[0], pct[1]
 	return st
 }
@@ -613,9 +723,9 @@ func (r *Runtime) Stats() Stats {
 // idempotent.
 func (r *Runtime) Close() {
 	if r.closed.CompareAndSwap(false, true) {
-		r.disp.Lock()
+		r.ctl.Lock()
 		r.failAll(ErrClosed)
-		r.disp.Unlock()
+		r.ctl.Unlock()
 	}
 	r.inflight.Wait()
 }
