@@ -31,16 +31,20 @@ bench:
 
 # One pass of the replica-scaling benchmark (virtual time, deterministic),
 # a bounded run of the sharded-submit benchmark (wall clock, 1/4/8 queue
-# shards), and one pass of the parallel-dispatch benchmark (wall clock,
-# 8 shards × 1/2/4 dispatch groups, full serve path): cheap gates that the
-# dispatch hot path still scales with replicas, the submit path with shards,
-# and the drain path with dispatch groups. The fixed iteration counts bound
-# the standing backlog the submit benchmark accumulates. The serving matrix
-# is also emitted as machine-readable BENCH_serving.json (submitted + served
-# QPS at 1/8 shards × 1/4 groups, batch-size mean) so the serving perf
+# shards), one pass of the parallel-dispatch benchmark (wall clock,
+# 8 shards × 1/2/4 dispatch groups, full serve path), and one pass of the
+# prediction-cache benchmark (Zipfian stream, cache off vs on): cheap gates
+# that the dispatch hot path still scales with replicas, the submit path
+# with shards, the drain path with dispatch groups, and the read-through
+# cache still short-circuits a skewed stream. The fixed iteration counts
+# bound the standing backlog the submit benchmark accumulates. The serving
+# matrix and the cache rows are also emitted as machine-readable
+# BENCH_serving.json (submitted + served QPS at 1/8 shards × 1/4 groups,
+# batch-size mean, cache-off/on QPS + hit rates) so the serving perf
 # trajectory is tracked across PRs — CI archives it per commit.
 bench-smoke:
 	$(GO) test ./internal/infer/ -run none -bench BenchmarkReplicaScaling -benchtime 1x
 	$(GO) test . -run none -bench BenchmarkShardedSubmit -benchtime 20000x
 	$(GO) test . -run none -bench BenchmarkParallelDispatch -benchtime 1x
+	$(GO) test . -run none -bench BenchmarkPredictionCache -benchtime 1x
 	$(GO) run ./cmd/rafiki-bench -serving BENCH_serving.json

@@ -126,6 +126,28 @@ func BenchmarkParallelDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictionCache replays one Zipfian key stream (s=1.1 over 1024
+// keys; the top 16 ranks carry over half the mass) through the serving
+// runtime with the read-through prediction cache off and on, and reports
+// both served QPS, their ratio and the hot-region hit rate. Run with a
+// bounded iteration count:
+//
+//	go test . -run none -bench BenchmarkPredictionCache -benchtime 1x
+func BenchmarkPredictionCache(b *testing.B) {
+	var rep *exp.CacheBenchReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = exp.RunCacheBench(16000, 8, 1024, 16, 1.1, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Rows[0].ServedQPS, "cache-off-qps")
+	b.ReportMetric(rep.Rows[1].ServedQPS, "cache-on-qps")
+	b.ReportMetric(rep.SpeedupX, "speedup-x")
+	b.ReportMetric(rep.Rows[1].HotHitRate, "hot-hit-rate")
+}
+
 func BenchmarkFig2TaskRegistry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fig := exp.Fig2Registry()

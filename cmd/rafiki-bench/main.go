@@ -102,14 +102,22 @@ func main() {
 
 // writeServingBench runs the serving-plane benchmark matrix (DESIGN.md §10)
 // and writes the machine-readable report: submitted and served QPS at
-// 1 and 8 queue shards crossed with 1 and 4 dispatch groups, plus the mean
-// executed batch size — the numbers CI archives per commit so the serving
-// perf trajectory is tracked across PRs.
+// 1 and 8 queue shards crossed with 1 and 4 dispatch groups, the mean
+// executed batch size, plus the prediction-cache pass over a Zipfian key
+// stream (cache-off vs cache-on served QPS and hit rates, DESIGN.md §11) —
+// the numbers CI archives per commit so the serving perf trajectory is
+// tracked across PRs.
 func writeServingBench(path string) error {
 	// Speedup 1000 shrinks the profiled model latencies until the dispatch
 	// plane — not model capacity — is the served-QPS bottleneck, which is
 	// exactly what dispatch groups parallelize.
 	rep, err := exp.RunServingBench(16000, 8, []int{1, 8}, []int{1, 4}, 1000)
+	if err != nil {
+		return err
+	}
+	// The cache rows replay one Zipfian stream (s=1.1 over 1024 keys, hot
+	// region = top 16 ranks) with the cache off and on.
+	rep.Cache, err = exp.RunCacheBench(16000, 8, 1024, 16, 1.1, 1000)
 	if err != nil {
 		return err
 	}
@@ -125,6 +133,12 @@ func writeServingBench(path string) error {
 		fmt.Printf("serving shards=%d groups=%d submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d\n",
 			row.Shards, row.Groups, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen)
 	}
+	for _, row := range rep.Cache.Rows {
+		fmt.Printf("cache on=%v served=%.0f qps hit-rate=%.2f hot-hit-rate=%.2f collapsed=%d\n",
+			row.Cache, row.ServedQPS, row.HitRate, row.HotHitRate, row.Collapsed)
+	}
+	fmt.Printf("cache speedup %.1fx (zipf s=%.1f, %d keys, hot region %d)\n",
+		rep.Cache.SpeedupX, rep.Cache.ZipfS, rep.Cache.Keys, rep.Cache.HotKeys)
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GOMAXPROCS)
 	return nil
 }

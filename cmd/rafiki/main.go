@@ -46,6 +46,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 
 	"rafiki"
 	"rafiki/internal/rest"
@@ -58,6 +59,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	slo := flag.Float64("slo", 0.25, "serving latency SLO tau in seconds")
 	speedup := flag.Float64("speedup", 1, "serving clock speedup (1 = profiled GPU latencies in real time)")
+	pprofOn := flag.Bool("pprof", os.Getenv("RAFIKI_PPROF") == "1",
+		"expose /debug/pprof/ profiling endpoints (also RAFIKI_PPROF=1)")
 	flag.Parse()
 
 	sys, err := rafiki.New(rafiki.Options{
@@ -67,8 +70,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("rafiki: %v", err)
 	}
+	var opts []rest.ServerOption
+	if *pprofOn {
+		opts = append(opts, rest.WithPprof())
+		log.Printf("rafiki profiling enabled at /debug/pprof/")
+	}
 	log.Printf("rafiki listening on %s (%d nodes, %d workers/job, serving slo %.3fs)", *addr, *nodes, *workers, *slo)
-	if err := http.ListenAndServe(*addr, rest.NewServer(sys)); err != nil {
+	if err := http.ListenAndServe(*addr, rest.NewServer(sys, opts...)); err != nil {
 		log.Fatalf("rafiki: %v", err)
 	}
 }

@@ -17,7 +17,10 @@
 // dispatch planes (DESIGN.md §10): a sharded deployment with several
 // dispatch groups serves a concurrent flood, prints the per-group dispatch
 // and batch-size stats, and a live reconcile re-shards the queue layer
-// without dropping a request.
+// without dropping a request — then the prediction cache (DESIGN.md §11)
+// admits a hot input after repeat touches, serves it without touching the
+// dispatch planes, and drops it the moment a live policy swap supersedes
+// the ensemble that computed it.
 //
 // Run with: go run ./examples/serving
 package main
@@ -237,6 +240,52 @@ func sharded(sys *rafiki.System, trained []rafiki.ModelInstance) {
 	st = inf.Stats()
 	fmt.Printf("after re-shard: served %d total, batch mean %.1f, per-plane dispatches %v\n",
 		st.Served, st.BatchSizeMean, st.GroupDispatches)
+	if err := sys.StopInference(inf.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	cached(sys, trained)
+}
+
+// cached is the prediction-cache act (DESIGN.md §11): the same ensemble with
+// the read-through cache enabled serves a skewed stream — a hot input is
+// admitted after repeat touches and then short-circuits the dispatch planes
+// entirely — and a live policy reconcile bumps the cache epoch, so no result
+// from the superseded ensemble is ever served stale.
+func cached(sys *rafiki.System, trained []rafiki.ModelInstance) {
+	spec := rafiki.DeploymentSpec{
+		Models: trained,
+		Policy: rafiki.PolicyGreedy,
+		SLO:    0.25,
+		// Threshold 1.5: the second touch of a key admits it.
+		Cache: &rafiki.CacheSpec{Enabled: true, AdmitThreshold: 1.5},
+	}
+	inf, err := sys.Deploy(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := []byte("todays_special_ramen.jpg")
+	for i := 0; i < 6; i++ {
+		if _, err := sys.Query(inf.ID, hot); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := inf.Stats()
+	fmt.Printf("\ncached deployment %s: 6 hot queries -> hits=%d admissions=%d hit_rate=%.2f\n",
+		inf.ID, st.Cache.Hits, st.Cache.Admissions, st.Cache.HitRate)
+
+	// Swap the policy live: the epoch bump invalidates the cached
+	// full-ensemble result, so the next query recomputes under async.
+	spec.Policy = rafiki.PolicyAsync
+	if _, err := sys.ReconcileInference(inf.ID, spec); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Query(inf.ID, hot); err != nil {
+		log.Fatal(err)
+	}
+	st = inf.Stats()
+	fmt.Printf("after live policy swap: invalidations=%d stale_evictions=%d — the superseded ensemble result was recomputed, never served\n",
+		st.Cache.Invalidations, st.Cache.StaleEvictions)
 	if err := sys.StopInference(inf.ID); err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"rafiki/internal/cluster"
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
+	"rafiki/internal/predcache"
 	"rafiki/internal/rl"
 	"rafiki/internal/sim"
 	"rafiki/internal/zoo"
@@ -34,6 +35,10 @@ type InferenceJob struct {
 	byName  map[string]ModelInstance
 	runtime *infer.Runtime
 	dep     *infer.Deployment
+	// cache is the read-through prediction cache, nil when the spec has no
+	// enabled cache block. An atomic pointer so Query (which never takes
+	// job.mu) can read it lock-free while a reconcile swaps or retunes it.
+	cache atomic.Pointer[predcache.Cache]
 	// speedup converts timeline (profiled) seconds into wall seconds for
 	// client-facing hints like RetryAfterSeconds.
 	speedup float64
@@ -83,6 +88,10 @@ type InferenceStats struct {
 	// a slot, derived from the runtime's recent drain rate and the serving
 	// clock speedup. 0 means no estimate (nothing has drained recently).
 	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+	// Cache is the prediction cache's counter snapshot (hit rate, hot keys,
+	// staleness evictions, singleflight collapses); absent when the
+	// deployment has no enabled cache block.
+	Cache *predcache.Stats `json:"cache,omitempty"`
 	infer.Stats
 }
 
@@ -233,6 +242,9 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 		return nil, fmt.Errorf("rafiki: runtime: %w", err)
 	}
 	job.runtime = rt
+	if cfg, enabled := cacheConfigFor(spec.Cache); enabled {
+		job.cache.Store(predcache.New(cfg))
+	}
 
 	// Register the serving containers: a master (the queue/dispatcher,
 	// which replica placement colocates toward) plus one worker per model
@@ -394,6 +406,9 @@ func (s *System) scaleModelLocked(job *InferenceJob, mi, target int) error {
 			}
 		}
 		job.replicas[mi] = target
+		// Replica topology changed — an invalidation event for the
+		// prediction cache (manual scale, reconcile clamp, or autoscaler).
+		job.invalidateCache()
 		return nil
 	}
 	if target < cur {
@@ -403,6 +418,7 @@ func (s *System) scaleModelLocked(job *InferenceJob, mi, target int) error {
 			return fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err)
 		}
 		job.replicas[mi] = target
+		job.invalidateCache()
 		for r := cur - 1; r >= target; r-- {
 			if err := s.cluster.Remove(job.replicaContainer(mi, r)); err != nil {
 				return fmt.Errorf("rafiki: scale %s/%s: %w", job.ID, model, err)
@@ -468,6 +484,10 @@ func (j *InferenceJob) Stats() InferenceStats {
 	if st.DrainRate > 0 {
 		out.RetryAfterSeconds = retryAfter(st.QueueLen, st.DrainRate, j.speedup)
 	}
+	if c := j.cache.Load(); c != nil {
+		cs := c.Snapshot()
+		out.Cache = &cs
+	}
 	return out
 }
 
@@ -512,6 +532,11 @@ type QueryResult struct {
 // payload when it embeds a class name (handy for demos: querying
 // "my_pizza.jpg" grounds the truth at "pizza"), otherwise it is a
 // deterministic hash of the payload.
+// When the deployment's spec enables the prediction cache, the query first
+// consults it: a fresh hit is served without touching the runtime at all, a
+// hot-key miss in flight collapses onto the concurrent leader's submission,
+// and only cold keys or singleflight leaders travel the batching path. With
+// no cache block the path above is unchanged.
 func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 	job, err := s.InferenceJobByID(jobID)
 	if err != nil {
@@ -520,16 +545,84 @@ func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 	if len(payload) == 0 {
 		return nil, fmt.Errorf("rafiki: empty query payload")
 	}
-	fut, err := job.runtime.Submit(append([]byte(nil), payload...))
-	if err != nil {
-		return nil, fmt.Errorf("rafiki: query %s: %w", jobID, err)
+	if c := job.cache.Load(); c != nil {
+		// One defensive copy shared by the cache entry and the runtime:
+		// neither mutates it, and the caller may reuse its buffer.
+		p := append([]byte(nil), payload...)
+		v, _, err := c.GetOrCompute(payloadHash(p), p, func() (any, error) {
+			res, err := job.submitAndWait(p)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rafiki: query %s: %w", jobID, err)
+		}
+		job.queries.Add(1)
+		return v.(*QueryResult), nil
 	}
-	res, err := fut.Wait()
+	res, err := job.submitAndWait(append([]byte(nil), payload...))
 	if err != nil {
 		return nil, fmt.Errorf("rafiki: query %s: %w", jobID, err)
 	}
 	job.queries.Add(1)
+	return res, nil
+}
+
+// submitAndWait is the uncached serving path: enqueue the payload into the
+// job's runtime and block on the batch future. The payload must be owned by
+// the callee (callers copy).
+func (j *InferenceJob) submitAndWait(payload []byte) (*QueryResult, error) {
+	fut, err := j.runtime.Submit(payload)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fut.Wait()
+	if err != nil {
+		return nil, err
+	}
 	return res.(*QueryResult), nil
+}
+
+// cacheConfigFor translates a spec's cache block (defaulted and validated)
+// into the predcache configuration, with the QueryResult-aware clone hook.
+func cacheConfigFor(c *CacheSpec) (predcache.Config, bool) {
+	if c == nil || !c.Enabled {
+		return predcache.Config{}, false
+	}
+	return predcache.Config{
+		Capacity:       c.Capacity,
+		TTL:            c.TTLSeconds,
+		AdmitThreshold: c.AdmitThreshold,
+		HalfLife:       c.HalfLifeSeconds,
+		Clone:          cloneQueryResult,
+	}, true
+}
+
+// cloneQueryResult deep-copies a cached QueryResult so callers mutating a
+// served result (the Votes map in particular) cannot corrupt the stored copy
+// or a sibling caller's.
+func cloneQueryResult(v any) any {
+	r, ok := v.(*QueryResult)
+	if !ok {
+		return v
+	}
+	cp := *r
+	cp.Votes = make(map[string]string, len(r.Votes))
+	for k, val := range r.Votes {
+		cp.Votes[k] = val
+	}
+	return &cp
+}
+
+// invalidateCache bumps the prediction cache's epoch (a no-op without a
+// cache): every entry written before the bump is dropped at its next lookup
+// instead of being served.
+func (j *InferenceJob) invalidateCache() {
+	if c := j.cache.Load(); c != nil {
+		c.Invalidate()
+	}
 }
 
 // executeBatch is the job's infer.Executor: it computes the simulated

@@ -1,0 +1,35 @@
+package exp
+
+import "testing"
+
+// TestCacheBenchAcceptance gates the prediction cache's reason to exist: on
+// a skewed (Zipf s=1.1) stream the cache-on pass must serve at least 3× the
+// cache-off QPS with at least an 80% hit rate over the hot region. The
+// margin is structural, not a tuning accident — a hit costs a shard-lock
+// lookup while a miss rides a profiled-latency model dispatch — so the gate
+// holds on loaded CI runners too. The stream is long enough (16k draws, the
+// bench-smoke shape) that admission warm-up misses stop dominating the
+// cache-on pass.
+func TestCacheBenchAcceptance(t *testing.T) {
+	rep, err := RunCacheBench(16000, 8, 1024, 16, 1.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := rep.Rows[0], rep.Rows[1]
+	if off.Cache || !on.Cache {
+		t.Fatalf("row order = %+v", rep.Rows)
+	}
+	if off.HitRate != 0 || off.Hits != 0 {
+		t.Fatalf("cache-off row carries cache stats: %+v", off)
+	}
+	if rep.SpeedupX < 3 {
+		t.Errorf("cache-on speedup = %.2fx (on %.0f qps, off %.0f qps), want >= 3x",
+			rep.SpeedupX, on.ServedQPS, off.ServedQPS)
+	}
+	if on.HotHitRate < 0.8 {
+		t.Errorf("hot-region hit rate = %.3f, want >= 0.8", on.HotHitRate)
+	}
+	if on.Admissions == 0 {
+		t.Error("cache-on pass admitted nothing")
+	}
+}

@@ -46,6 +46,10 @@ type ServingBenchReport struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Requests   int               `json:"requests"`
 	Rows       []ServingBenchRow `json:"rows"`
+	// Cache, when present, is the prediction-cache pass over the Zipfian
+	// stream (RunCacheBench): cmd/rafiki-bench attaches it so one artifact
+	// tracks the dispatch matrix and the cache speedup together.
+	Cache *CacheBenchReport `json:"cache,omitempty"`
 }
 
 // servingBenchReplicas is the per-model replica count of the bench

@@ -80,6 +80,13 @@ type engineGroup struct {
 	// shared marks pol as shared across groups: Decide→Feedback spans then
 	// serialize on the engine's policy lock so reward pairing stays intact.
 	shared bool
+	// lease and st are the loop's decision scratch, reused across iterations:
+	// the claimed lease view and the policy state (with its Waits/BusyLeft
+	// buffers) live only for one Decide, so per-group reuse is safe under the
+	// same exclusion that protects rr. Policies must not retain *State or its
+	// slices across calls (the online RL adapter copies what it rewrites).
+	lease leaseSet
+	st    State
 }
 
 // ModelBacklog is one model's demand signal, derived from the sharded queue
@@ -116,6 +123,25 @@ type leaseSet struct {
 	allDown []bool
 	// n counts leased models.
 	n int
+}
+
+// reset sizes the lease set for nm models and clears every per-model slot,
+// reusing the backing slices when they are already big enough.
+func (ls *leaseSet) reset(nm int) {
+	if cap(ls.rep) < nm {
+		ls.rep = make([]int, nm)
+		ls.free = make([]bool, nm)
+		ls.until = make([]float64, nm)
+		ls.allDown = make([]bool, nm)
+	}
+	ls.rep = ls.rep[:nm]
+	ls.free = ls.free[:nm]
+	ls.until = ls.until[:nm]
+	ls.allDown = ls.allDown[:nm]
+	for m := 0; m < nm; m++ {
+		ls.rep[m], ls.free[m], ls.until[m], ls.allDown[m] = -1, false, 0, false
+	}
+	ls.n = 0
 }
 
 // Engine is the clock-agnostic core of the serving service: the sharded FIFO
@@ -506,20 +532,14 @@ func (e *Engine) SetReplicaDown(m, r int, down bool) error {
 
 // claim is the lease critical section: under poolMu it marks the
 // earliest-free free replica of every model as leased by the calling group
-// and snapshots the busy-left view of the rest. The caller plans its batch
-// outside the lock and either commits the leases it uses (commitLease) or
-// returns them untouched (releaseLease).
-func (e *Engine) claim(now float64) *leaseSet {
-	nm := len(e.busy)
-	ls := &leaseSet{
-		rep:     make([]int, nm),
-		free:    make([]bool, nm),
-		until:   make([]float64, nm),
-		allDown: make([]bool, nm),
-	}
+// and snapshots the busy-left view of the rest into ls (reset first, so a
+// group's scratch lease set is reusable across iterations). The caller plans
+// its batch outside the lock and either commits the leases it uses
+// (commitLease) or returns them untouched (releaseLease).
+func (e *Engine) claim(now float64, ls *leaseSet) {
+	ls.reset(len(e.busy))
 	e.poolMu.Lock()
 	for m := range e.busy {
-		ls.rep[m] = -1
 		idx, until := -1, 0.0
 		live := false
 		for r, u := range e.busy[m] {
@@ -555,7 +575,6 @@ func (e *Engine) claim(now float64) *leaseSet {
 		}
 	}
 	e.poolMu.Unlock()
-	return ls
 }
 
 // releaseLease returns every uncommitted lease to the pool (a wait decision,
@@ -803,11 +822,12 @@ func (e *Engine) stepGroupLocked(now float64, g int) ([]DispatchOutcome, error) 
 		if !ok {
 			return outs, nil
 		}
-		ls := e.claim(now)
+		ls := &gr.lease
+		e.claim(now, ls)
 		if ls.n == 0 {
 			return outs, nil
 		}
-		st := e.stateForShard(now, gr, si, ls)
+		st := e.stateForShard(now, gr, si, ls, &gr.st)
 		if gr.shared {
 			e.polMu.Lock()
 		}
@@ -850,35 +870,41 @@ func (e *Engine) stepGroupLocked(now float64, g int) ([]DispatchOutcome, error) 
 // state builds the classic policy view for draining shard si — the
 // single-group engine's decision state, kept for tests and tooling. It
 // claims and immediately releases a lease set, so it must not run
-// concurrently with decision loops.
+// concurrently with decision loops. The returned state is freshly allocated
+// (no group scratch), so callers may hold it across later decision points.
 func (e *Engine) state(now float64, si int) *State {
-	ls := e.claim(now)
-	st := e.stateForShard(now, &e.groups[0], si, ls)
-	e.releaseLease(ls)
+	var ls leaseSet
+	e.claim(now, &ls)
+	st := e.stateForShard(now, &e.groups[0], si, &ls, new(State))
+	e.releaseLease(&ls)
 	return st
 }
 
 // stateForShard builds the policy's decision state at time now for group gr
-// draining shard si: the queue view (depth and head waits) is the shard's —
-// widened by the sibling requests work-stealing could pull in when the shard
-// alone cannot fill the maximum batch — and the model view is the lease
-// set's snapshot of the shared pools.
-func (e *Engine) stateForShard(now float64, gr *engineGroup, si int, ls *leaseSet) *State {
+// draining shard si into st (reusing st's Waits/BusyLeft buffers, so a
+// group's scratch state costs no steady-state allocations): the queue view
+// (depth and head waits) is the shard's — widened by the sibling requests
+// work-stealing could pull in when the shard alone cannot fill the maximum
+// batch — and the model view is the lease set's snapshot of the shared pools.
+func (e *Engine) stateForShard(now float64, gr *engineGroup, si int, ls *leaseSet, st *State) *State {
 	d := e.Deployment
 	sh := &e.shards[si]
 	sh.mu.Lock()
 	queueLen := sh.q.Len()
-	waits := sh.q.Waits(now, 16)
+	waits := sh.q.WaitsAppend(now, 16, st.Waits[:0])
 	sh.mu.Unlock()
 	if steal := e.stealable(gr, si, queueLen); steal > 0 {
 		queueLen += steal
 	}
-	st := &State{
+	if cap(st.BusyLeft) < len(d.Profiles) {
+		st.BusyLeft = make([]float64, len(d.Profiles))
+	}
+	*st = State{
 		Now:          now,
 		QueueLen:     queueLen,
 		Waits:        waits,
 		FreeModels:   ls.free,
-		BusyLeft:     make([]float64, len(d.Profiles)),
+		BusyLeft:     st.BusyLeft[:len(d.Profiles)],
 		Tau:          d.Tau,
 		Batches:      d.Batches,
 		LatencyTable: d.LatencyTable(),
@@ -934,17 +960,20 @@ func (e *Engine) stealable(gr *engineGroup, si, own int) int {
 // sibling shards in round-robin order. Stealing from a sibling's head keeps
 // every shard's FIFO order intact: a shard's remaining requests are all
 // younger than the ones just taken. Returns the batch and how many requests
-// were stolen.
+// were stolen. The batch backing array is allocated once up front — it
+// escapes into the DispatchOutcome the driver holds until the batch
+// finishes, so unlike the group's decision scratch it cannot be pooled —
+// and every shard appends into it in place.
 func (e *Engine) popBatch(gr *engineGroup, si, n int) ([]Request, int) {
+	batch := make([]Request, 0, n)
 	sh := &e.shards[si]
 	sh.mu.Lock()
 	own := n
 	if l := sh.q.Len(); own > l {
 		own = l
 	}
-	var batch []Request
 	if own > 0 {
-		batch = sh.q.PopN(own)
+		batch = sh.q.PopAppend(own, batch)
 	}
 	sh.mu.Unlock()
 	stolen := 0
@@ -970,7 +999,7 @@ func (e *Engine) popBatch(gr *engineGroup, si, n int) ([]Request, int) {
 				take = l
 			}
 			if take > 0 {
-				batch = append(batch, sib.q.PopN(take)...)
+				batch = sib.q.PopAppend(take, batch)
 				stolen += take
 			}
 			sib.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"rafiki/internal/metrics"
 	"rafiki/internal/zoo"
@@ -76,12 +77,19 @@ func (q *Queue) Push(r Request) bool {
 
 // PopN removes and returns the oldest n requests (n ≤ Len).
 func (q *Queue) PopN(n int) []Request {
+	return q.PopAppend(n, make([]Request, 0, n))
+}
+
+// PopAppend removes the oldest n requests (n ≤ Len), appending them to dst.
+// Work-stealing batch assembly threads one pre-sized buffer through the
+// drained shard and its siblings, so a stolen batch costs a single allocation
+// instead of one per contributing shard.
+func (q *Queue) PopAppend(n int, dst []Request) []Request {
 	if n > q.n {
 		panic(fmt.Sprintf("infer: pop %d from queue of %d", n, q.n))
 	}
-	out := make([]Request, n)
-	for i := range out {
-		out[i] = q.buf[q.head]
+	for i := 0; i < n; i++ {
+		dst = append(dst, q.buf[q.head])
 		q.buf[q.head] = Request{} // drop the reference for hygiene
 		q.head = (q.head + 1) % len(q.buf)
 	}
@@ -89,7 +97,7 @@ func (q *Queue) PopN(n int) []Request {
 	if q.n == 0 {
 		q.head = 0
 	}
-	return out
+	return dst
 }
 
 // OldestWait returns how long the head request has waited at time now, or 0
@@ -108,11 +116,21 @@ func (q *Queue) Waits(now float64, k int) []float64 {
 	if n > q.n {
 		n = q.n
 	}
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = now - q.at(i).Arrival
+	return q.WaitsAppend(now, k, make([]float64, 0, n))
+}
+
+// WaitsAppend is Waits appending into buf (typically a scratch slice
+// truncated to length 0), so steady-state decision loops read the
+// queue-status features without allocating.
+func (q *Queue) WaitsAppend(now float64, k int, buf []float64) []float64 {
+	n := k
+	if n > q.n {
+		n = q.n
 	}
-	return out
+	for i := 0; i < n; i++ {
+		buf = append(buf, now-q.at(i).Arrival)
+	}
+	return buf
 }
 
 // Action is one scheduling decision: dispatch the oldest batch to a model
@@ -196,6 +214,12 @@ type Deployment struct {
 	// reproduces the single-instance engine bit-for-bit. Live deployments
 	// resize the pool through Engine.SetReplicas.
 	Replicas []int
+
+	// latOnce/latTable cache LatencyTable: profiles and batch candidates are
+	// immutable after construction, and every dispatch decision reads the
+	// table, so it is materialized once and shared read-only.
+	latOnce  sync.Once
+	latTable [][]float64
 }
 
 // ReplicaCount returns the configured replica count for model m (≥ 1).
@@ -245,17 +269,20 @@ func (d *Deployment) MaxBatch() int { return d.Batches[len(d.Batches)-1] }
 // Latency returns c(model i, batch b).
 func (d *Deployment) Latency(model, b int) float64 { return d.Profiles[model].BatchLatency(b) }
 
-// LatencyTable materializes c(m,b) over the batch candidates.
+// LatencyTable returns c(m,b) over the batch candidates, materialized on
+// first use and shared afterwards. Callers must treat the table as read-only.
 func (d *Deployment) LatencyTable() [][]float64 {
-	out := make([][]float64, len(d.Profiles))
-	for i, p := range d.Profiles {
-		row := make([]float64, len(d.Batches))
-		for j, b := range d.Batches {
-			row[j] = p.BatchLatency(b)
+	d.latOnce.Do(func() {
+		d.latTable = make([][]float64, len(d.Profiles))
+		for i, p := range d.Profiles {
+			row := make([]float64, len(d.Batches))
+			for j, b := range d.Batches {
+				row[j] = p.BatchLatency(b)
+			}
+			d.latTable[i] = row
 		}
-		out[i] = row
-	}
-	return out
+	})
+	return d.latTable
 }
 
 // MaxThroughput is the paper's ru: the sum of per-model throughput at the

@@ -14,26 +14,40 @@
 //	GET     /api/v1/train/{id}             200      training job status
 //	GET     /api/v1/train/{id}/models      200      trained model instances (409 while running)
 //	GET     /api/v1/inference              200      list deployments (spec + status each)
-//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, shards, replica bounds, autoscale)
-//	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status (incl. shard count + per-shard queue depths)
+//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, shards, replica bounds, autoscale, cache)
+//	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status (incl. shard count, per-shard queue depths, cache counters)
 //	PUT     /api/v1/inference/{id}         200      reconcile the live deployment to a changed spec
-//	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate, per-shard queue depths, per-model backlogs)
+//	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate, per-shard queue depths, per-model backlogs, cache counters)
 //	POST    /api/v1/inference/{id}/scale   200      manually resize the replica pools (inside the spec bounds)
 //	DELETE  /api/v1/inference/{id}         204      stop the deployment, release its containers
 //	POST    /api/v1/query/{id}             200      classify a payload
+//	GET     /debug/pprof/...               200      profiling (only when the server was built WithPprof; 404 otherwise)
 //
 // Deployments are declarative resources: POST /api/v1/inference takes a
 // DeploymentSpec (scheduling policy greedy|rl|async, latency SLO, queue cap,
-// queue-shard count, per-model replica bounds {min,max}, autoscale toggle),
-// GET echoes the spec alongside observed status, and PUT validates a changed
-// spec in full before reconciling the live runtime — a policy swap keeps
-// queued requests, an SLO or queue-cap change retunes the scheduler, a
-// shard-count change re-hashes the queued backlog onto the new queue layout,
-// and replica-bound changes clamp the live pools. Errors: 400 for malformed
-// bodies and spec validation, 404
+// queue-shard count, per-model replica bounds {min,max}, autoscale toggle,
+// prediction-cache block), GET echoes the spec alongside observed status, and
+// PUT validates a changed spec in full before reconciling the live runtime —
+// a policy swap keeps queued requests, an SLO or queue-cap change retunes the
+// scheduler, a shard-count change re-hashes the queued backlog onto the new
+// queue layout, and replica-bound changes clamp the live pools. Errors: 400
+// for malformed bodies and spec validation, 404
 // for unknown ids and routes, 405 for wrong methods on known routes, and 409
 // when a deploy/reconcile references a train_job_id that is unknown or still
 // running (the same conflict GET /train/{id}/models reports).
+//
+// The optional "cache" spec block configures the read-through prediction
+// cache (DESIGN.md §11): {"enabled":true, "capacity":N, "ttl_seconds":S,
+// "admit_threshold":T, "half_life_seconds":H}. When enabled, query results
+// for hot payloads are served from a sharded LRU without touching the
+// batching runtime; only keys whose exponential-decay frequency crosses the
+// admission threshold are stored, concurrent identical misses collapse into
+// one engine submission, and a policy swap, replica scale, or fresh trainer
+// checkpoint bumps the cache epoch so a superseded ensemble's results are
+// never served. The describe and stats endpoints expose the counters as a
+// "cache" object: hits, misses, hit_rate, entries, hot_keys, admissions,
+// singleflight_collapsed, stale_evictions, ttl_evictions,
+// capacity_evictions, invalidations, epoch.
 //
 // Queries are served through the deployment's batching runtime: concurrent
 // POST /query callers are grouped into shared batches by the serving policy
@@ -49,6 +63,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -58,13 +73,35 @@ import (
 
 // Server is the HTTP facade over a System.
 type Server struct {
-	sys *rafiki.System
-	mux *http.ServeMux
+	sys   *rafiki.System
+	mux   *http.ServeMux
+	pprof bool
+}
+
+// ServerOption tunes a Server at construction.
+type ServerOption func(*Server)
+
+// WithPprof mounts net/http/pprof's profiling handlers under /debug/pprof/.
+// Off by default — the endpoints expose goroutine dumps and CPU/heap
+// profiles, so an operator opts in explicitly (rafiki-server's -pprof flag or
+// RAFIKI_PPROF=1); without the option the routes 404 like any unknown path.
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
 }
 
 // NewServer wraps a System.
-func NewServer(sys *rafiki.System) *Server {
+func NewServer(sys *rafiki.System, opts ...ServerOption) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /api/v1/datasets", s.handleDatasets)
@@ -238,6 +275,12 @@ type InferenceRequest struct {
 	Replicas ReplicaField `json:"replicas,omitzero"`
 	// Autoscale drives replica counts from backpressure inside the bounds.
 	Autoscale bool `json:"autoscale,omitempty"`
+	// Cache configures the read-through prediction cache:
+	// {"enabled":true,"capacity":N,"ttl_seconds":S,"admit_threshold":T,
+	// "half_life_seconds":H}, all but "enabled" defaulting when zero. A PUT
+	// can enable, retune (entries kept), or disable it live; policy swaps,
+	// replica scaling and fresh checkpoints invalidate cached results.
+	Cache *rafiki.CacheSpec `json:"cache,omitempty"`
 }
 
 // ReplicaField carries replica bounds on the wire in either shape:
@@ -284,6 +327,7 @@ func (req InferenceRequest) spec(models []rafiki.ModelInstance) rafiki.Deploymen
 		DispatchGroups: req.DispatchGroups,
 		Replicas:       req.Replicas.ReplicaBounds,
 		Autoscale:      req.Autoscale,
+		Cache:          req.Cache,
 	}
 }
 

@@ -771,3 +771,124 @@ func TestShardedAsyncDeploymentRoundTrip(t *testing.T) {
 	}
 	_ = ts
 }
+
+// TestCacheBlockOverREST round-trips the "cache" spec block: deploy with it,
+// read the defaulted spec back, observe hit counters in both the describe and
+// stats endpoints, retune it live, and see a policy-swap PUT invalidate.
+func TestCacheBlockOverREST(t *testing.T) {
+	c, _ := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{
+		Cache: &rafiki.CacheSpec{Enabled: true, AdmitThreshold: 1, TTLSeconds: 120},
+	})
+
+	desc, err := c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := desc.Spec.Cache
+	if cs == nil || !cs.Enabled {
+		t.Fatalf("described spec lost the cache block: %+v", desc.Spec)
+	}
+	if cs.TTLSeconds != 120 || cs.AdmitThreshold != 1 || cs.Capacity == 0 || cs.HalfLifeSeconds == 0 {
+		t.Fatalf("cache block not defaulted on the wire: %+v", cs)
+	}
+
+	// Two identical queries: with threshold 1 the first is cached, the
+	// second is a hit.
+	if _, err := c.Query(infID, "rest_cache_pizza.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(infID, "rest_cache_pizza.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label == "" {
+		t.Fatal("cached query lost its label on the wire")
+	}
+	st, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.HitRate == 0 {
+		t.Fatalf("stats endpoint cache block = %+v, want one hit", st.Cache)
+	}
+	desc, err = c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Status.Cache == nil || desc.Status.Cache.Hits != 1 {
+		t.Fatalf("describe status cache block = %+v, want one hit", desc.Status.Cache)
+	}
+
+	// A PUT that swaps the policy must invalidate: the epoch moves and the
+	// next identical query recomputes instead of hitting.
+	if _, err := c.Reconcile(infID, InferenceRequest{
+		Policy: "async",
+		Cache:  &rafiki.CacheSpec{Enabled: true, AdmitThreshold: 1, TTLSeconds: 120},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(infID, "rest_cache_pizza.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Invalidations == 0 || st.Cache.StaleEvictions == 0 {
+		t.Fatalf("post-PUT cache stats = %+v, want invalidation + staleness eviction", st.Cache)
+	}
+	if st.Cache.Hits != 1 {
+		t.Fatalf("post-PUT hits = %d, want still 1 (zero stale hits)", st.Cache.Hits)
+	}
+
+	// Disabling the block drops the counters from both endpoints.
+	if _, err := c.Reconcile(infID, InferenceRequest{Policy: "async"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache != nil {
+		t.Fatalf("disabled cache still reports stats: %+v", st.Cache)
+	}
+
+	// A bad cache block is a 400 at validation, touching nothing.
+	if _, err := c.Reconcile(infID, InferenceRequest{
+		Cache: &rafiki.CacheSpec{Enabled: true, TTLSeconds: -1},
+	}); err == nil || !strings.Contains(err.Error(), "cache TTL") {
+		t.Fatalf("bad cache block err = %v", err)
+	}
+}
+
+// TestPprofGatedByOption: the profiling endpoints 404 on a default server and
+// serve only when the operator opted in with WithPprof.
+func TestPprofGatedByOption(t *testing.T) {
+	sys, err := rafiki.New(rafiki.Options{Seed: 7, Workers: 1, NodeCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(NewServer(sys))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("default server pprof status = %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(NewServer(sys, WithPprof()))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof-enabled server status = %d, body %.60q", resp.StatusCode, body)
+	}
+}

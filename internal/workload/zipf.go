@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rafiki/internal/sim"
+)
+
+// Zipf draws keys from a Zipfian distribution over ranks 1..N with exponent
+// s: rank r is drawn with probability proportional to 1/r^s. It models the
+// heavily key-skewed query traffic of a popular deployment — with s ≥ 1 a
+// handful of head keys carry most of the mass, which is exactly the regime a
+// prediction cache with hotness-tracked admission exploits. Draws are
+// deterministic in (N, s, seed stream), so benchmarks and tests replay the
+// same key sequence.
+type Zipf struct {
+	// S is the skew exponent and N the key-space size.
+	S float64
+	N int
+
+	// cum is the normalized cumulative mass over ranks; cum[r] = P(rank ≤ r+1).
+	cum []float64
+	rng *sim.RNG
+}
+
+// NewZipf builds a Zipfian key generator over n keys with exponent s > 0,
+// drawing from the given deterministic stream.
+func NewZipf(n int, s float64, rng *sim.RNG) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs a positive key count, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be positive, got %v", s)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: zipf needs an RNG")
+	}
+	z := &Zipf{S: s, N: n, cum: make([]float64, n), rng: rng}
+	total := 0.0
+	for r := 1; r <= n; r++ {
+		total += math.Pow(float64(r), -s)
+		z.cum[r-1] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z, nil
+}
+
+// Next draws the next key, in [0, N): key k is rank k+1, so key 0 is the
+// hottest.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Mass returns the probability mass of the hottest k keys — the fraction of
+// traffic a cache holding exactly the hot region would serve.
+func (z *Zipf) Mass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.N {
+		return 1
+	}
+	return z.cum[k-1]
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"rafiki/internal/sim"
+)
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	z1, err := NewZipf(1024, 1.1, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, _ := NewZipf(1024, 1.1, sim.NewRNG(7))
+	const draws = 20000
+	counts := make([]int, 1024)
+	for i := 0; i < draws; i++ {
+		a, b := z1.Next(), z2.Next()
+		if a != b {
+			t.Fatalf("draw %d: same seed diverged: %d vs %d", i, a, b)
+		}
+		if a < 0 || a >= 1024 {
+			t.Fatalf("draw %d out of range: %d", i, a)
+		}
+		counts[a]++
+	}
+	// The head must dominate: with s=1.1 over 1024 keys the top-16 region
+	// carries ~54% of the mass. Allow slack for sampling noise.
+	head := 0
+	for _, c := range counts[:16] {
+		head += c
+	}
+	if frac := float64(head) / draws; frac < 0.45 {
+		t.Fatalf("top-16 keys drew only %.2f of traffic, want ≥ 0.45", frac)
+	}
+	if counts[0] <= counts[512] {
+		t.Fatalf("rank 1 (%d draws) not hotter than rank 513 (%d draws)", counts[0], counts[512])
+	}
+	// Mass must agree with the analytic cumulative distribution.
+	if m := z1.Mass(1024); m != 1 {
+		t.Fatalf("full mass = %v, want 1", m)
+	}
+	if m := z1.Mass(16); m < 0.5 || m > 0.6 {
+		t.Fatalf("top-16 mass = %v, want ≈ 0.54", m)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1.1, sim.NewRNG(1)); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := NewZipf(10, 0, sim.NewRNG(1)); err == nil {
+		t.Fatal("want error for s=0")
+	}
+	if _, err := NewZipf(10, 1.1, nil); err == nil {
+		t.Fatal("want error for nil rng")
+	}
+}

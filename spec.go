@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rafiki/internal/infer"
+	"rafiki/internal/predcache"
 	"rafiki/internal/rl"
 	"rafiki/internal/sim"
 )
@@ -84,6 +85,35 @@ type DeploymentSpec struct {
 	// scale step is proportional to each model's standing backlog, and a
 	// drained idle pool steps back down.
 	Autoscale bool `json:"autoscale"`
+	// Cache configures the read-through prediction cache on the query path
+	// (REST "cache" block). Nil or Enabled=false serves every query through
+	// the runtime, exactly as before the cache existed. Live-reconcilable:
+	// a PUT can enable, disable, or retune it without redeploying.
+	Cache *CacheSpec `json:"cache,omitempty"`
+}
+
+// CacheSpec configures a deployment's read-through prediction cache: results
+// are keyed by the query payload's digest and served without touching the
+// batching runtime. Only hot keys are cached — an exponential-decay frequency
+// tracker must see a key's decayed count reach AdmitThreshold before its
+// result is stored — and concurrent identical misses on a hot key collapse
+// into a single engine submission. Entries expire after TTLSeconds and are
+// invalidated wholesale (epoch bump) when the deployment's policy, replica
+// topology, or backing checkpoints change, so a superseded ensemble's
+// results are never served (DESIGN.md §11).
+type CacheSpec struct {
+	// Enabled turns the cache on. All other fields default when zero.
+	Enabled bool `json:"enabled"`
+	// Capacity bounds the stored entry count (default 4096).
+	Capacity int `json:"capacity,omitempty"`
+	// TTLSeconds is the entry lifetime in wall seconds (default 60).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// AdmitThreshold is the decayed touch count at which a key becomes hot
+	// and cacheable (default 2).
+	AdmitThreshold float64 `json:"admit_threshold,omitempty"`
+	// HalfLifeSeconds is the hotness decay half-life (default 10): a key
+	// must repeat within a couple of half-lives to stay hot.
+	HalfLifeSeconds float64 `json:"half_life_seconds,omitempty"`
 }
 
 // defaultQueueCap matches the runtime's default queue bound.
@@ -112,8 +142,41 @@ func (spec DeploymentSpec) withDefaults(opts Options) DeploymentSpec {
 	if spec.DispatchGroups == 0 {
 		spec.DispatchGroups = 1
 	}
+	if spec.Cache != nil {
+		// Copy before defaulting: the spec arrived by value but the cache
+		// block is a pointer into the caller's struct.
+		c := *spec.Cache
+		if c.Enabled {
+			if c.Capacity == 0 {
+				c.Capacity = defaultCacheCapacity
+			}
+			if c.TTLSeconds == 0 {
+				c.TTLSeconds = defaultCacheTTLSeconds
+			}
+			if c.AdmitThreshold == 0 {
+				c.AdmitThreshold = defaultCacheAdmitThreshold
+			}
+			if c.HalfLifeSeconds == 0 {
+				c.HalfLifeSeconds = defaultCacheHalfLifeSeconds
+			}
+		}
+		spec.Cache = &c
+	}
 	return spec
 }
+
+// Prediction-cache defaults: a modest entry bound, a one-minute TTL, and an
+// admission threshold/half-life pair under which a key must repeat within a
+// couple of half-lives before its results are cached.
+const (
+	defaultCacheCapacity        = 4096
+	defaultCacheTTLSeconds      = 60
+	defaultCacheAdmitThreshold  = 2
+	defaultCacheHalfLifeSeconds = 10
+)
+
+// maxCacheCapacity caps a deployment's cache entry bound.
+const maxCacheCapacity = 1 << 20
 
 // maxShardsPerDeployment caps the queue-shard count: shards beyond it buy no
 // submit-path parallelism and only fragment batches.
@@ -159,6 +222,20 @@ func (spec DeploymentSpec) validate() error {
 	}
 	if spec.DispatchGroups < 1 || spec.DispatchGroups > maxDispatchGroupsPerDeployment {
 		return fmt.Errorf("rafiki: dispatch groups must be in [1, %d], got %d", maxDispatchGroupsPerDeployment, spec.DispatchGroups)
+	}
+	if c := spec.Cache; c != nil && c.Enabled {
+		if c.Capacity < 1 || c.Capacity > maxCacheCapacity {
+			return fmt.Errorf("rafiki: cache capacity must be in [1, %d], got %d", maxCacheCapacity, c.Capacity)
+		}
+		if c.TTLSeconds <= 0 {
+			return fmt.Errorf("rafiki: cache TTL must be positive, got %v", c.TTLSeconds)
+		}
+		if c.AdmitThreshold <= 0 {
+			return fmt.Errorf("rafiki: cache admit threshold must be positive, got %v", c.AdmitThreshold)
+		}
+		if c.HalfLifeSeconds <= 0 {
+			return fmt.Errorf("rafiki: cache half-life must be positive, got %v", c.HalfLifeSeconds)
+		}
 	}
 	return nil
 }
@@ -218,6 +295,10 @@ type InferenceStatus struct {
 	RLSteps int64 `json:"rl_steps,omitempty"`
 	// Autoscaling reports whether the autoscale loop is running.
 	Autoscaling bool `json:"autoscaling"`
+	// Cache is the prediction cache's live counters (hit rate, hot keys,
+	// staleness evictions, singleflight collapses); absent when the spec has
+	// no enabled cache block.
+	Cache *predcache.Stats `json:"cache,omitempty"`
 }
 
 // InferenceDescription is the full REST resource: desired spec plus observed
@@ -344,6 +425,10 @@ func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceD
 			old.Flush()
 		}
 		job.rlPolicy = online
+		// The scheduler decides which models answer each batch, so cached
+		// results now describe a superseded ensemble: bump the cache epoch
+		// before any post-swap query can observe a stale hit.
+		job.invalidateCache()
 	}
 	if spec.SLO != job.spec.SLO {
 		if err := job.runtime.SetSLO(spec.SLO); err != nil {
@@ -376,6 +461,18 @@ func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceD
 	} else if !spec.Autoscale && job.autoStop != nil {
 		close(job.autoStop)
 		job.autoStop = nil
+	}
+	// Prediction-cache reconcile: enable builds a fresh (empty) cache,
+	// disable drops it — in-flight queries holding the old pointer finish
+	// against it harmlessly — and a retune reconfigures the live cache in
+	// place, keeping its entries (a capacity shrink trims LRU-first).
+	switch cfg, enabled := cacheConfigFor(spec.Cache); {
+	case enabled && job.cache.Load() == nil:
+		job.cache.Store(predcache.New(cfg))
+	case enabled:
+		job.cache.Load().Configure(cfg)
+	default:
+		job.cache.Store(nil)
 	}
 	job.spec = spec
 	desc := describeLocked(job)
@@ -411,6 +508,10 @@ func describeLocked(j *InferenceJob) InferenceDescription {
 	}
 	if j.rlPolicy != nil {
 		out.Status.RLSteps = j.rlPolicy.Steps()
+	}
+	if c := j.cache.Load(); c != nil {
+		cs := c.Snapshot()
+		out.Status.Cache = &cs
 	}
 	return out
 }

@@ -203,8 +203,36 @@ func (s *System) Train(cfg TrainConfig) (*TrainJob, error) {
 		job.mu.Lock()
 		job.done = true
 		job.mu.Unlock()
+		// Checkpoint publication: the job's best checkpoints are now in the
+		// parameter server, so any deployment serving these architectures
+		// has prediction-cache entries describing superseded models.
+		s.invalidateCachesForModels(job.models)
 	}()
 	return job, nil
+}
+
+// invalidateCachesForModels bumps the prediction-cache epoch of every live
+// deployment serving one of the given architectures — the event-driven
+// invalidation hook for trainer checkpoint publication.
+func (s *System) invalidateCachesForModels(models []string) {
+	set := make(map[string]struct{}, len(models))
+	for _, m := range models {
+		set[m] = struct{}{}
+	}
+	s.mu.Lock()
+	jobs := make([]*InferenceJob, 0, len(s.inferJobs))
+	for _, j := range s.inferJobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		for _, m := range j.Models {
+			if _, ok := set[m.Model]; ok {
+				j.invalidateCache()
+				break
+			}
+		}
+	}
 }
 
 // trainerFor derives the surrogate config for an architecture: the ceiling
