@@ -119,9 +119,21 @@ func BenchmarkParallelDispatch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			// Goroutine-bound gate: batch execution runs on the bounded
+			// per-model pools, so the process peak stays O(replicas + shards
+			// + planes + submitters) — tens, plus transient timer-callback
+			// goroutines when replica-free timers contend on the dispatch
+			// lock — while the row executes ~3000 dispatches. One goroutine
+			// per dispatch (or per request) would blow straight past this.
+			const maxGoroutineBound = 256
+			if row.MaxGoroutines > maxGoroutineBound {
+				b.Fatalf("goroutine peak %d exceeds the bounded-pool gate %d (dispatches=%d)",
+					row.MaxGoroutines, maxGoroutineBound, row.Dispatches)
+			}
 			b.ReportMetric(row.ServedQPS, "served-qps")
 			b.ReportMetric(row.SubmittedQPS, "submitted-qps")
 			b.ReportMetric(row.BatchSizeMean, "batch-mean")
+			b.ReportMetric(float64(row.MaxGoroutines), "max-goroutines")
 		})
 	}
 }

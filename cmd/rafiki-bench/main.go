@@ -102,11 +102,12 @@ func main() {
 
 // writeServingBench runs the serving-plane benchmark matrix (DESIGN.md §10)
 // and writes the machine-readable report: submitted and served QPS at
-// 1 and 8 queue shards crossed with 1 and 4 dispatch groups, the mean
-// executed batch size, plus the prediction-cache pass over a Zipfian key
-// stream (cache-off vs cache-on served QPS and hit rates, DESIGN.md §11) —
-// the numbers CI archives per commit so the serving perf trajectory is
-// tracked across PRs.
+// 1 and 8 queue shards crossed with 1 and 4 dispatch groups on the sim tier,
+// the largest configuration re-run on the real nn backend (DESIGN.md §12),
+// the mean executed batch size and per-row peak goroutine count, plus the
+// prediction-cache pass over a Zipfian key stream (cache-off vs cache-on
+// served QPS and hit rates, DESIGN.md §11) — the numbers CI archives per
+// commit so the serving perf trajectory is tracked across PRs.
 func writeServingBench(path string) error {
 	// Speedup 1000 shrinks the profiled model latencies until the dispatch
 	// plane — not model capacity — is the served-QPS bottleneck, which is
@@ -130,8 +131,8 @@ func writeServingBench(path string) error {
 		return err
 	}
 	for _, row := range rep.Rows {
-		fmt.Printf("serving shards=%d groups=%d submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d\n",
-			row.Shards, row.Groups, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen)
+		fmt.Printf("serving shards=%d groups=%d backend=%s submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d max-goroutines=%d\n",
+			row.Shards, row.Groups, row.Backend, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen, row.MaxGoroutines)
 	}
 	for _, row := range rep.Cache.Rows {
 		fmt.Printf("cache on=%v served=%.0f qps hit-rate=%.2f hot-hit-rate=%.2f collapsed=%d\n",

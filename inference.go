@@ -7,10 +7,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rafiki/internal/cluster"
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
+	"rafiki/internal/nn"
 	"rafiki/internal/predcache"
 	"rafiki/internal/rl"
 	"rafiki/internal/sim"
@@ -226,6 +228,10 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 		return nil, fmt.Errorf("rafiki: policy: %w", err)
 	}
 	job.rlPolicy = online
+	backend, combine, err := s.buildBackend(spec, job)
+	if err != nil {
+		return nil, fmt.Errorf("rafiki: backend: %w", err)
+	}
 	rt, err := infer.NewRuntime(
 		dep,
 		policy,
@@ -236,6 +242,8 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 			QueueCap:       spec.QueueCap,
 			Shards:         spec.Shards,
 			DispatchGroups: spec.DispatchGroups,
+			Backend:        backend,
+			Combine:        combine,
 		},
 	)
 	if err != nil {
@@ -623,6 +631,136 @@ func (j *InferenceJob) invalidateCache() {
 	if c := j.cache.Load(); c != nil {
 		c.Invalidate()
 	}
+}
+
+// In-process nn backend shape: payloads featurize into a bag-of-bytes vector
+// of nnBackendFeatures buckets, forwarded through one hidden layer onto a
+// class-count head.
+const (
+	nnBackendFeatures = 16
+	nnBackendHidden   = 24
+)
+
+// buildBackend translates a defaulted, validated backend block into the
+// runtime's execution tier. BackendSim (or no block) returns nils: the
+// runtime installs its own SimBackend and keeps computing results through the
+// legacy batch Executor, bit-identical to a pre-backend deployment. BackendNN
+// builds one deterministically seeded internal/nn network per model (system
+// seed × job ID × model name); BackendHTTP a retrying remote client. Both
+// pair with the job's vote combiner, which folds per-model class indices into
+// QueryResults.
+func (s *System) buildBackend(spec DeploymentSpec, job *InferenceJob) (infer.Backend, infer.CombineFunc, error) {
+	b := spec.Backend
+	if b == nil || b.Type == BackendSim {
+		return nil, nil, nil
+	}
+	switch b.Type {
+	case BackendNN:
+		nets := make(map[string]*nn.MLP, len(job.Models))
+		for _, m := range job.Models {
+			rng := sim.NewRNG(s.opts.Seed).SplitNamed(job.ID + "/backend/" + m.Model)
+			nets[m.Model] = nn.NewMLP(
+				[]int{nnBackendFeatures, nnBackendHidden, len(job.Classes)},
+				nn.ReLU, nn.Linear, rng)
+		}
+		backend, err := infer.NewNNBackend(encodeBagOfBytes, nets)
+		if err != nil {
+			return nil, nil, err
+		}
+		return backend, job.combineClassVotes, nil
+	case BackendHTTP:
+		retries := b.MaxRetries
+		if retries < 0 {
+			retries = 0 // spec -1 means "no retries"
+		}
+		return &infer.HTTPBackend{
+			URL:        b.URL,
+			Timeout:    time.Duration(b.TimeoutMS) * time.Millisecond,
+			MaxRetries: retries,
+		}, job.combineClassVotes, nil
+	}
+	return nil, nil, fmt.Errorf("rafiki: unknown backend type %q", b.Type)
+}
+
+// encodeBagOfBytes featurizes a request payload for the nn backend: byte
+// counts folded into nnBackendFeatures buckets, normalized by length so the
+// vector scale is payload-size invariant.
+func encodeBagOfBytes(payload any) ([]float64, error) {
+	p, ok := payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("rafiki: nn backend payload is %T, not []byte", payload)
+	}
+	x := make([]float64, nnBackendFeatures)
+	for _, c := range p {
+		x[int(c)%nnBackendFeatures]++
+	}
+	if len(p) > 0 {
+		inv := 1 / float64(len(p))
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return x, nil
+}
+
+// combineClassVotes is the real-backend CombineFunc: preds[k][i] is model
+// k's class index for request i (int from the nn backend, float64 off the
+// HTTP wire), voted into a QueryResult per Section 5.2 with the deployed
+// accuracies as vote weights.
+func (j *InferenceJob) combineClassVotes(ids []uint64, payloads []any, models []string, preds [][]any) ([]any, error) {
+	accs := make([]float64, len(models))
+	for k, name := range models {
+		m, ok := j.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("rafiki: batch model %q not deployed", name)
+		}
+		accs[k] = m.Accuracy
+	}
+	out := make([]any, len(ids))
+	classes := make([]int, len(models))
+	for i := range ids {
+		votes := make(map[string]string, len(models))
+		for k := range models {
+			c, err := classIndex(preds[k][i], len(j.Classes))
+			if err != nil {
+				return nil, fmt.Errorf("rafiki: backend prediction from model %s: %w", models[k], err)
+			}
+			classes[k] = c
+			votes[models[k]] = j.Classes[c]
+		}
+		winner, err := ensemble.Vote(classes, accs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &QueryResult{
+			Label:      j.Classes[winner],
+			Confidence: ensembleConfidence(accs),
+			Votes:      votes,
+		}
+	}
+	return out, nil
+}
+
+// classIndex coerces one backend prediction into a class index, rejecting
+// anything a well-behaved backend would not produce (a remote endpoint
+// answering out of range fails the batch rather than mislabeling it).
+func classIndex(v any, n int) (int, error) {
+	var c int
+	switch t := v.(type) {
+	case int:
+		c = t
+	case float64:
+		c = int(t)
+		if float64(c) != t {
+			return 0, fmt.Errorf("non-integer class %v", t)
+		}
+	default:
+		return 0, fmt.Errorf("unsupported prediction type %T", v)
+	}
+	if c < 0 || c >= n {
+		return 0, fmt.Errorf("class %d outside [0, %d)", c, n)
+	}
+	return c, nil
 }
 
 // executeBatch is the job's infer.Executor: it computes the simulated

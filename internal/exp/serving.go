@@ -16,15 +16,19 @@ import (
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer"
+	"rafiki/internal/nn"
 	"rafiki/internal/sim"
 	"rafiki/internal/zoo"
 )
 
-// ServingBenchRow is one (shards, dispatch groups) configuration's measured
-// serving throughput.
+// ServingBenchRow is one (shards, dispatch groups, backend) configuration's
+// measured serving throughput.
 type ServingBenchRow struct {
 	Shards int `json:"shards"`
 	Groups int `json:"dispatch_groups"`
+	// Backend is the execution tier the row ran on: "sim" (profiled pacing)
+	// or "nn" (real in-process forward passes on the executor pools).
+	Backend string `json:"backend"`
 	// SubmittedQPS is accepted submissions per wall second over the submit
 	// phase — the fan-in rate the sharded queue layer sustains.
 	SubmittedQPS float64 `json:"submitted_qps"`
@@ -37,6 +41,11 @@ type ServingBenchRow struct {
 	Stolen        int     `json:"stolen"`
 	Served        int     `json:"served"`
 	Dispatches    int     `json:"dispatches"`
+	// MaxGoroutines is the peak process goroutine count sampled during the
+	// run — the observable that batch execution stays on the bounded
+	// per-model pools, O(replicas + planes + submitters), instead of
+	// spawning one goroutine per dispatch.
+	MaxGoroutines int `json:"max_goroutines"`
 }
 
 // ServingBenchReport is the machine-readable serving-perf snapshot
@@ -57,34 +66,105 @@ type ServingBenchReport struct {
 // leases at once, so drain parallelism — not model capacity — is measured.
 const servingBenchReplicas = 4
 
-// RunServingBenchRow measures one (shards, groups) configuration: submitters
-// goroutines push `requests` total payloads through a three-ConvNet
-// ensemble runtime (profiled latencies at speedup× wall speed) and every
-// future is awaited.
+// RunServingBenchRow measures one (shards, groups) configuration on the
+// default sim tier. See RunServingBenchRowBackend.
 func RunServingBenchRow(requests, submitters, shards, groups int, speedup float64) (ServingBenchRow, error) {
-	row := ServingBenchRow{Shards: shards, Groups: groups}
-	d, err := infer.NewDeployment(
-		[]string{"inception_v3", "inception_v4", "inception_resnet_v2"},
-		[]int{1, 2, 4, 8, 16}, 0.25, 1)
+	return RunServingBenchRowBackend(requests, submitters, shards, groups, speedup, "sim")
+}
+
+// benchModels is the bench deployment's ensemble.
+var benchModels = []string{"inception_v3", "inception_v4", "inception_resnet_v2"}
+
+// encodeBenchPayload is the nn tier's featurizer: byte counts folded into 8
+// buckets (the bench payload is tiny; the forward pass, not the encode, is
+// what the row measures).
+func encodeBenchPayload(p any) ([]float64, error) {
+	b, ok := p.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("exp: bench payload is %T, not []byte", p)
+	}
+	x := make([]float64, 8)
+	for _, c := range b {
+		x[int(c)%8]++
+	}
+	return x, nil
+}
+
+// RunServingBenchRowBackend measures one (shards, groups, backend)
+// configuration: submitters goroutines push `requests` total payloads through
+// a three-ConvNet ensemble runtime (profiled latencies at speedup× wall
+// speed) and every future is awaited. backendMode "sim" paces profiled
+// latencies on the executor pools; "nn" runs real per-model forward passes
+// on them. The row's MaxGoroutines samples the process-wide peak, gating the
+// bounded-pool property.
+func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup float64, backendMode string) (ServingBenchRow, error) {
+	row := ServingBenchRow{Shards: shards, Groups: groups, Backend: backendMode}
+	d, err := infer.NewDeployment(benchModels, []int{1, 2, 4, 8, 16}, 0.25, 1)
 	if err != nil {
 		return row, err
 	}
 	d.Replicas = []int{servingBenchReplicas, servingBenchReplicas, servingBenchReplicas}
+	cfg := infer.RuntimeConfig{
+		Timeline:       &sim.WallTimeline{Speedup: speedup},
+		QueueCap:       1 << 30,
+		Shards:         shards,
+		DispatchGroups: groups,
+		// The rows measure drain throughput, not saturation: a roomy pool
+		// queue absorbs the scheduling hiccups a near-instant backend at
+		// high speedup can hit (the pools still bound the goroutine count).
+		ExecQueueFactor: 256,
+	}
+	switch backendMode {
+	case "sim":
+	case "nn":
+		nets := make(map[string]*nn.MLP, len(benchModels))
+		rng := sim.NewRNG(1)
+		for _, name := range benchModels {
+			nets[name] = nn.NewMLP([]int{8, 16, 4}, nn.ReLU, nn.Linear, rng.SplitNamed(name))
+		}
+		backend, err := infer.NewNNBackend(encodeBenchPayload, nets)
+		if err != nil {
+			return row, err
+		}
+		cfg.Backend = backend
+		// Throughput is the measurement; the first model's argmaxes stand in
+		// for the voted results.
+		cfg.Combine = func(ids []uint64, payloads []any, models []string, preds [][]any) ([]any, error) {
+			return preds[0], nil
+		}
+	default:
+		return row, fmt.Errorf("exp: unknown bench backend %q", backendMode)
+	}
 	rt, err := infer.NewRuntime(d, &infer.SyncAll{D: d},
 		ensemble.NewAccuracyTable(zoo.NewPredictor(1), 200),
 		func(ids []uint64, payloads []any, models []string) ([]any, error) {
 			return make([]any, len(ids)), nil
 		},
-		infer.RuntimeConfig{
-			Timeline:       &sim.WallTimeline{Speedup: speedup},
-			QueueCap:       1 << 30,
-			Shards:         shards,
-			DispatchGroups: groups,
-		})
+		cfg)
 	if err != nil {
 		return row, err
 	}
 	defer rt.Close()
+
+	// Sample the process goroutine peak while the row runs.
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	maxGoroutines := runtime.NumGoroutine()
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stopSample:
+				return
+			default:
+			}
+			if g := runtime.NumGoroutine(); g > maxGoroutines {
+				maxGoroutines = g
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
 
 	payload := []byte("q")
 	futs := make([][]*infer.Future, submitters)
@@ -125,6 +205,9 @@ func RunServingBenchRow(requests, submitters, shards, groups int, speedup float6
 		}
 	}
 	total := time.Since(start).Seconds()
+	close(stopSample)
+	sampleWG.Wait()
+	row.MaxGoroutines = maxGoroutines
 
 	st := rt.Stats()
 	if st.Served < requests {
@@ -139,8 +222,11 @@ func RunServingBenchRow(requests, submitters, shards, groups int, speedup float6
 	return row, nil
 }
 
-// RunServingBench measures the full matrix: every shard count crossed with
-// every dispatch-group count.
+// RunServingBench measures the full matrix — every shard count crossed with
+// every dispatch-group count on the sim tier — then re-runs the largest
+// configuration on the real nn tier, so one artifact tracks both the
+// dispatch-plane scaling and what real execution costs against paced
+// simulation.
 func RunServingBench(requests, submitters int, shards, groups []int, speedup float64) (*ServingBenchReport, error) {
 	rep := &ServingBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Requests: requests}
 	for _, sh := range shards {
@@ -152,5 +238,11 @@ func RunServingBench(requests, submitters int, shards, groups []int, speedup flo
 			rep.Rows = append(rep.Rows, row)
 		}
 	}
+	sh, g := shards[len(shards)-1], groups[len(groups)-1]
+	row, err := RunServingBenchRowBackend(requests, submitters, sh, g, speedup, "nn")
+	if err != nil {
+		return nil, fmt.Errorf("exp: serving bench backend=nn: %w", err)
+	}
+	rep.Rows = append(rep.Rows, row)
 	return rep, nil
 }

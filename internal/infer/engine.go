@@ -35,9 +35,14 @@ type DispatchOutcome struct {
 	Group int
 	// Decided is the decision time; ModelFinish[i] is when Models[i] frees
 	// up; Finish is the ensemble completion (the slowest selected model).
-	Decided     float64
-	ModelFinish []float64
-	Finish      float64
+	// ModelLatency[i] is the planned service latency of Models[i] for this
+	// batch size (ModelFinish[i] - Decided, but exact: the backend layer
+	// echoes it as the simulated observation, and the latency EWMA must see
+	// the table value bit-for-bit, not a float round trip through addition).
+	Decided      float64
+	ModelFinish  []float64
+	ModelLatency []float64
+	Finish       float64
 	// Overdue counts batch requests whose latency exceeds τ.
 	Overdue int
 	// Reward is the action's Equation 7 reward.
@@ -206,6 +211,17 @@ type Engine struct {
 	// stay intact for online learners, so concurrent groups then take turns
 	// deciding while their launch planes still overlap.
 	polMu sync.Mutex
+
+	// latMu guards the latency-feedback plane's mutable state (the EWMAs);
+	// the applied per-model scales and the rescaled planning table publish
+	// through atomic pointers so the dispatch hot path reads them lock-free.
+	// Nil pointers mean "no feedback yet": every estimate is the profiled
+	// table value, bit-for-bit. See latency.go.
+	latMu      sync.Mutex
+	latObs     []float64
+	latRaw     []float64
+	latScalePt atomic.Pointer[[]float64]
+	latTablePt atomic.Pointer[[][]float64]
 
 	// metMu guards the reward/metric plane: met, the accuracy series clock,
 	// the dispatch-share counters, and the ensemble accuracy table — all
@@ -562,7 +578,7 @@ func (e *Engine) claim(now float64, ls *leaseSet) {
 			// Every live replica is leased by a sibling group. The soonest
 			// one could possibly free is a smallest-batch service away —
 			// an optimistic busy-left floor for the policy's features.
-			ls.until[m] = now + e.Deployment.Profiles[m].BatchLatency(e.Deployment.Batches[0])
+			ls.until[m] = now + e.modelLatency(m, e.Deployment.Batches[0])
 			continue
 		}
 		if until <= now+1e-12 {
@@ -907,7 +923,7 @@ func (e *Engine) stateForShard(now float64, gr *engineGroup, si int, ls *leaseSe
 		BusyLeft:     st.BusyLeft[:len(d.Profiles)],
 		Tau:          d.Tau,
 		Batches:      d.Batches,
-		LatencyTable: d.LatencyTable(),
+		LatencyTable: e.latencyTable(),
 	}
 	for m := range st.BusyLeft {
 		switch {
@@ -1051,22 +1067,28 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 	}
 	e.queued.Add(-int64(n))
 
+	// ModelFinish and ModelLatency share one allocation: both escape into
+	// the outcome the driver holds until the batch completes.
+	times := make([]float64, 2*len(act.Models))
 	out := DispatchOutcome{
-		Requests:    batch,
-		Models:      append([]int(nil), act.Models...),
-		ModelNames:  names,
-		Replicas:    replicas,
-		Batch:       act.Batch,
-		Stolen:      stolen,
-		Group:       g,
-		Decided:     now,
-		ModelFinish: make([]float64, len(act.Models)),
-		Finish:      now,
+		Requests:     batch,
+		Models:       append([]int(nil), act.Models...),
+		ModelNames:   names,
+		Replicas:     replicas,
+		Batch:        act.Batch,
+		Stolen:       stolen,
+		Group:        g,
+		Decided:      now,
+		ModelFinish:  times[:len(act.Models):len(act.Models)],
+		ModelLatency: times[len(act.Models):],
+		Finish:       now,
 	}
 	// Occupy the chosen replica of each selected model; the ensemble
 	// completes with the slowest.
 	for i, mi := range act.Models {
-		f := now + d.Profiles[mi].BatchLatency(n)
+		lat := e.modelLatency(mi, n)
+		out.ModelLatency[i] = lat
+		f := now + lat
 		out.ModelFinish[i] = f
 		if f > out.Finish {
 			out.Finish = f

@@ -1,0 +1,182 @@
+// Package executor provides the bounded, live-resizable worker pools the
+// serving runtime runs model backends on (DESIGN.md §12). One pool per
+// served model caps execution concurrency at the model's replica count and
+// bounds the submit queue, so the runtime's goroutine footprint under a
+// request flood is O(replicas), not O(dispatches): a dispatch whose model
+// pool is saturated fails fast instead of spawning a goroutine.
+package executor
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrSaturated reports a task rejected because the bounded submit queue
+	// is full — the pool's backpressure signal.
+	ErrSaturated = errors.New("executor: submit queue full")
+	// ErrClosed reports a task submitted after Close.
+	ErrClosed = errors.New("executor: pool closed")
+)
+
+// Task is one unit of work; it runs on exactly one pool worker.
+type Task func()
+
+// Stats is a point-in-time snapshot of a pool's gauges and counters.
+type Stats struct {
+	// Workers is the target worker count; Busy how many are running a task
+	// right now; QueueDepth how many submitted tasks wait for a worker.
+	Workers    int
+	Busy       int
+	QueueDepth int
+	// Submitted counts accepted tasks, Rejected tasks refused by the bounded
+	// queue, Completed tasks that finished running.
+	Submitted uint64
+	Rejected  uint64
+	Completed uint64
+}
+
+// Pool is a fixed-size worker pool with a bounded FIFO submit queue, both
+// live-resizable. Workers park on a condition variable when idle, so an idle
+// pool costs goroutines but no CPU; Resize grows by spawning and shrinks by
+// letting excess workers exit once the queue is drained below them.
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// queue is a FIFO of pending tasks; head indexes its first element (the
+	// tail is append-only and the slice compacts when head grows large).
+	queue    []Task
+	head     int
+	queueCap int
+
+	workers int // target worker count
+	spawned int // live worker goroutines
+	busy    int
+	closed  bool
+
+	submitted uint64
+	rejected  uint64
+	completed uint64
+}
+
+// NewPool builds a pool of `workers` workers (min 1) with a submit queue
+// bounded at queueCap tasks (min 1).
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pool{queueCap: queueCap, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.mu.Lock()
+	for i := 0; i < workers; i++ {
+		p.spawned++
+		go p.work()
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// Submit enqueues a task for the next free worker. It never blocks: a full
+// queue returns ErrSaturated, a closed pool ErrClosed.
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.rejected++
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if len(p.queue)-p.head >= p.queueCap {
+		p.rejected++
+		p.mu.Unlock()
+		return ErrSaturated
+	}
+	p.queue = append(p.queue, t)
+	p.submitted++
+	p.mu.Unlock()
+	p.cond.Signal()
+	return nil
+}
+
+// work is one worker's loop: pop-run until the pool closes (and its queue is
+// drained) or a shrink makes this worker surplus.
+func (p *Pool) work() {
+	p.mu.Lock()
+	for {
+		for len(p.queue) == p.head && !p.closed && p.spawned <= p.workers {
+			p.cond.Wait()
+		}
+		if len(p.queue) == p.head {
+			// Nothing queued and either the pool closed or we are surplus
+			// after a shrink. A closed pool still drains its queue first so
+			// every accepted task runs.
+			p.spawned--
+			p.mu.Unlock()
+			p.cond.Signal()
+			return
+		}
+		t := p.queue[p.head]
+		p.queue[p.head] = nil
+		p.head++
+		if p.head > 64 && p.head*2 >= len(p.queue) {
+			p.queue = append(p.queue[:0], p.queue[p.head:]...)
+			p.head = 0
+		}
+		p.busy++
+		p.mu.Unlock()
+		t()
+		p.mu.Lock()
+		p.busy--
+		p.completed++
+	}
+}
+
+// Resize retargets the pool to `workers` workers and a queue bound of
+// queueCap (min 1 each): growth spawns immediately, shrink lets surplus
+// workers exit as they go idle. Queued and running tasks are unaffected; a
+// tighter queue bound only gates new submissions.
+func (p *Pool) Resize(workers, queueCap int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p.mu.Lock()
+	p.workers = workers
+	p.queueCap = queueCap
+	for p.spawned < p.workers && !p.closed {
+		p.spawned++
+		go p.work()
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Close stops accepting tasks and releases the workers once the already
+// accepted queue drains. It does not wait for that drain (callers who need
+// completion track their own tasks) and is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Stats snapshots the pool's gauges and counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Workers:    p.workers,
+		Busy:       p.busy,
+		QueueDepth: len(p.queue) - p.head,
+		Submitted:  p.submitted,
+		Rejected:   p.rejected,
+		Completed:  p.completed,
+	}
+}

@@ -1,0 +1,152 @@
+package executor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 256)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 200 {
+		t.Fatalf("ran %d of 200 tasks", got)
+	}
+	st := p.Stats()
+	if st.Submitted != 200 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v, want 200 submitted, 0 rejected", st)
+	}
+	waitFor(t, func() bool { return p.Stats().Completed == 200 }, "completions")
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	gate := make(chan struct{})
+	block := func() { <-gate }
+	// One task occupies the worker, two fill the queue; the next must be
+	// rejected without blocking.
+	if err := p.Submit(block); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Stats().Busy == 1 }, "worker pickup")
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(block); err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+	}
+	if err := p.Submit(block); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated submit error = %v, want ErrSaturated", err)
+	}
+	if st := p.Stats(); st.Rejected != 1 || st.QueueDepth != 2 {
+		t.Fatalf("stats = %+v, want 1 rejected, queue depth 2", st)
+	}
+	close(gate)
+	waitFor(t, func() bool { return p.Stats().Completed == 3 }, "drain after gate")
+}
+
+func TestPoolResize(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	gate := make(chan struct{})
+	var concurrent atomic.Int64
+	var peak atomic.Int64
+	task := func() {
+		c := concurrent.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		<-gate
+		concurrent.Add(-1)
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return concurrent.Load() == 1 }, "single worker pickup")
+	// Growing mid-backlog puts the queued tasks on new workers immediately.
+	p.Resize(4, 16)
+	waitFor(t, func() bool { return concurrent.Load() == 4 }, "grown workers")
+	close(gate)
+	waitFor(t, func() bool { return p.Stats().Completed == 4 }, "drain")
+	if peak.Load() != 4 {
+		t.Fatalf("peak concurrency = %d, want 4", peak.Load())
+	}
+	// Shrinking lets surplus workers exit; the pool still runs tasks.
+	p.Resize(1, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(func() { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestPoolCloseDrainsAcceptedTasks(t *testing.T) {
+	p := NewPool(1, 8)
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	if err := p.Submit(func() { <-gate; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	close(gate)
+	waitFor(t, func() bool { return ran.Load() == 4 }, "accepted tasks after close")
+}
+
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(8, 1<<16)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := p.Submit(func() { ran.Add(1) }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return ran.Load() == 4000 }, "all tasks")
+}

@@ -1,0 +1,156 @@
+package infer
+
+// Latency feedback plane (DESIGN.md §12): observed per-model batch latencies
+// from the execution backends fold into an EWMA of the observed/profiled
+// ratio, and the dead-banded, quantized ratio rescales every latency the
+// planning side consumes — the policy's c(m,b) table, dispatch busy-until
+// commits, and the optimistic busy-left floor. A backend that consistently
+// runs slower (or faster) than the zoo profile therefore reshapes batching
+// and pacing within a few dozen batches, while the default simulated backend
+// reports the table value exactly and leaves every estimate bit-identical.
+
+import "math"
+
+const (
+	// latEWMAAlpha is the smoothing weight of one observation.
+	latEWMAAlpha = 0.2
+	// latRatioMin/latRatioMax clamp a single observation's ratio, so one
+	// GC pause or clock glitch cannot blow up the estimate.
+	latRatioMin = 0.05
+	latRatioMax = 20.0
+	// latDeadband is the half-width around ratio 1 inside which no scaling
+	// is applied: profile noise must not perturb the deterministic planning
+	// arithmetic. latQuantum quantizes the applied scale outside the band
+	// (the planning table is only rebuilt when the quantized scale moves).
+	latDeadband = 0.02
+	latQuantum  = 0.01
+)
+
+// ObserveLatency feeds one executed batch's observed service latency for
+// model m (timeline seconds) into the feedback plane. Non-positive
+// observations and out-of-range models are ignored. Safe to call
+// concurrently with decision loops.
+func (e *Engine) ObserveLatency(m, batch int, observed float64) {
+	if m < 0 || m >= len(e.Deployment.Profiles) || observed <= 0 {
+		return
+	}
+	profiled := e.Deployment.Profiles[m].BatchLatency(batch)
+	if profiled <= 0 {
+		return
+	}
+	ratio := observed / profiled
+	if ratio < latRatioMin {
+		ratio = latRatioMin
+	} else if ratio > latRatioMax {
+		ratio = latRatioMax
+	}
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
+	nm := len(e.Deployment.Profiles)
+	if e.latRaw == nil {
+		e.latObs = make([]float64, nm)
+		e.latRaw = make([]float64, nm)
+		for i := range e.latRaw {
+			e.latRaw[i] = 1
+		}
+	}
+	if e.latObs[m] == 0 {
+		e.latObs[m] = observed
+	} else {
+		e.latObs[m] += latEWMAAlpha * (observed - e.latObs[m])
+	}
+	// ratio == raw leaves the EWMA untouched exactly: the simulated backend
+	// always reports ratio 1, so its estimate never drifts off 1.0 through
+	// float arithmetic.
+	if ratio != e.latRaw[m] {
+		e.latRaw[m] += latEWMAAlpha * (ratio - e.latRaw[m])
+	}
+	applied := appliedScale(e.latRaw[m])
+	cur := 1.0
+	if sp := e.latScalePt.Load(); sp != nil {
+		cur = (*sp)[m]
+	}
+	if applied == cur {
+		return
+	}
+	// Publish a fresh scale vector and a rescaled planning table; readers
+	// holding the old pointers keep a consistent (just stale) view.
+	scales := make([]float64, nm)
+	if sp := e.latScalePt.Load(); sp != nil {
+		copy(scales, *sp)
+	} else {
+		for i := range scales {
+			scales[i] = 1
+		}
+	}
+	scales[m] = applied
+	base := e.Deployment.LatencyTable()
+	table := make([][]float64, len(base))
+	for mi, row := range base {
+		if scales[mi] == 1 {
+			table[mi] = row
+			continue
+		}
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			scaled[j] = v * scales[mi]
+		}
+		table[mi] = scaled
+	}
+	e.latScalePt.Store(&scales)
+	e.latTablePt.Store(&table)
+}
+
+// appliedScale turns a raw ratio EWMA into the scale planning consumes:
+// exactly 1 inside the dead-band, else quantized so the table is not rebuilt
+// on every observation.
+func appliedScale(raw float64) float64 {
+	if math.Abs(raw-1) < latDeadband {
+		return 1
+	}
+	return math.Round(raw/latQuantum) * latQuantum
+}
+
+// modelLatency is the planning-side service latency of model m at batch size
+// b: the profiled value, rescaled by the model's observed-latency feedback
+// when there is any. With no feedback (or a scale of exactly 1) it returns
+// the profile bit-for-bit.
+func (e *Engine) modelLatency(m, b int) float64 {
+	lat := e.Deployment.Profiles[m].BatchLatency(b)
+	if sp := e.latScalePt.Load(); sp != nil {
+		if s := (*sp)[m]; s != 1 {
+			lat *= s
+		}
+	}
+	return lat
+}
+
+// latencyTable is the c(m,b) table the policies plan with: the deployment's
+// cached profile table until latency feedback rescales a model, then the
+// published rescaled copy.
+func (e *Engine) latencyTable() [][]float64 {
+	if tp := e.latTablePt.Load(); tp != nil {
+		return *tp
+	}
+	return e.Deployment.LatencyTable()
+}
+
+// LatencyFeedback snapshots the feedback plane for observability: each
+// model's observed batch-latency EWMA (0 until a backend reported one) and
+// the applied observed/profiled scale (1 = planning on the raw profile).
+// Safe to call concurrently.
+func (e *Engine) LatencyFeedback() (observed, scale []float64) {
+	nm := len(e.Deployment.Profiles)
+	observed = make([]float64, nm)
+	scale = make([]float64, nm)
+	for i := range scale {
+		scale[i] = 1
+	}
+	e.latMu.Lock()
+	copy(observed, e.latObs)
+	e.latMu.Unlock()
+	if sp := e.latScalePt.Load(); sp != nil {
+		copy(scale, *sp)
+	}
+	return observed, scale
+}

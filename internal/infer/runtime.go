@@ -1,12 +1,14 @@
 package infer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"rafiki/internal/ensemble"
+	"rafiki/internal/infer/executor"
 	"rafiki/internal/sim"
 	"rafiki/internal/zoo"
 )
@@ -23,7 +25,8 @@ var (
 // Executor computes the results of one dispatched batch: ids and payloads
 // are the batch requests (parallel slices, oldest first) and models the
 // serving model subset. It must return one result per request. Executors
-// run outside the runtime locks and may be called from timer goroutines.
+// run outside the runtime locks, on executor-pool workers (or inline from
+// the finish event under a virtual-time driver).
 type Executor func(ids []uint64, payloads []any, models []string) ([]any, error)
 
 // Future is a pending wall-clock request: it resolves when the batch the
@@ -109,6 +112,28 @@ type Stats struct {
 	// QueueGrowth is the recent arrival rate minus the drain rate (requests
 	// per timeline second): positive means the backlog is building.
 	QueueGrowth float64 `json:"queue_growth"`
+	// Backend names the live execution backend (sim/nn/http).
+	Backend string `json:"backend"`
+	// ExecWorkers/ExecBusy/ExecQueueDepth are the per-model executor-pool
+	// gauges (parallel to the model list): target worker count (= the
+	// replica count), workers running a backend pass right now, and batches
+	// waiting for a worker. Empty under a virtual-time driver, which
+	// executes inline instead of on pools.
+	ExecWorkers    []int `json:"exec_workers,omitempty"`
+	ExecBusy       []int `json:"exec_busy,omitempty"`
+	ExecQueueDepth []int `json:"exec_queue_depth,omitempty"`
+	// ExecRejected counts dispatched batches refused by a saturated pool
+	// (failed with ErrBackendSaturated); BackendErrors failed backend
+	// passes; BackendRetries the backend's internal retries (HTTP).
+	ExecRejected   uint64 `json:"exec_rejected"`
+	BackendErrors  uint64 `json:"backend_errors"`
+	BackendRetries uint64 `json:"backend_retries"`
+	// ModelLatencyEWMA is each model's observed batch-latency EWMA in
+	// timeline seconds (0 until a backend reported one);
+	// ModelLatencyScale the applied observed/profiled ratio the dispatch
+	// planes plan with (1 = the raw zoo profile).
+	ModelLatencyEWMA  []float64 `json:"model_latency_ewma,omitempty"`
+	ModelLatencyScale []float64 `json:"model_latency_scale,omitempty"`
 }
 
 // drainWindow is the lookback (timeline seconds) of Stats.DrainRate.
@@ -141,6 +166,23 @@ type RuntimeConfig struct {
 	Predictor *zoo.Predictor
 	// MeasureFrom discards metrics before this timeline time.
 	MeasureFrom float64
+	// Backend executes each dispatched batch's per-model passes; nil
+	// defaults to SimBackend (profiled pacing, results computed by the
+	// batch Executor at ensemble finish — the pre-backend behaviour,
+	// bit-for-bit).
+	Backend Backend
+	// Combine folds per-model backend predictions into per-request results.
+	// Required when Backend returns predictions and no batch Executor is
+	// wired; nil falls back to the Executor.
+	Combine CombineFunc
+	// ExecQueueFactor scales each model pool's bounded submit queue:
+	// capacity = factor × workers, minimum 4. A dispatch that finds its
+	// model's queue full fails its batch with ErrBackendSaturated instead
+	// of queueing unboundedly. 0 defaults the capacity to the request-queue
+	// capacity: a batch holds at least one admitted request, so that bound
+	// can never reject a dispatch — saturation then only fires when a
+	// positive factor opts into a tighter queue.
+	ExecQueueFactor int
 }
 
 // runtimeStripes is the fixed stripe count of the pending-future table. It
@@ -203,6 +245,30 @@ type Runtime struct {
 	// SetSLO must not overwrite with its τ-derived default.
 	pollConfigured bool
 
+	// syncExec marks a non-concurrent timeline (the virtual-time EventLoop,
+	// whose event heap is unlocked and whose callbacks fire single-threaded
+	// from Step/RunUntil): backend passes then run inline from the batch's
+	// finish event, preserving the loop's determinism, instead of on the
+	// executor pools.
+	syncExec bool
+	// pools[m] is model m's bounded worker pool (workers = replica count,
+	// live-resized on scale events); nil under syncExec.
+	pools []*executor.Pool
+	// execQueueFactor scales each pool's submit queue; 0 means the default
+	// bound, execQueueCapDefault (the request-queue capacity at build time).
+	execQueueFactor     int
+	execQueueCapDefault int
+	// backend is the live backend handle; SetBackend swaps it and drains
+	// the old handle's in-flight batches before closing its backend.
+	backend atomic.Pointer[backendHandle]
+	// execCtx cancels on Close, failing in-flight backend work fast so
+	// teardown never waits out a slow or hung backend.
+	execCtx    context.Context
+	execCancel context.CancelFunc
+
+	execRejected atomic.Uint64
+	backendErrs  atomic.Uint64
+
 	// ctl is the control lock of the data plane: decision sweeps hold it
 	// shared (plus their plane lock), reconfiguration and teardown hold it
 	// exclusively — so a control operation observes no in-flight sweep and
@@ -228,8 +294,8 @@ type Runtime struct {
 // executor. The accuracy table feeds Equation 7 reward accounting, exactly
 // as in the simulator.
 func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Executor, cfg RuntimeConfig) (*Runtime, error) {
-	if exec == nil {
-		return nil, fmt.Errorf("infer: runtime needs an executor")
+	if exec == nil && (cfg.Backend == nil || cfg.Combine == nil) {
+		return nil, fmt.Errorf("infer: runtime needs an executor (or a backend with a combiner)")
 	}
 	tl := cfg.Timeline
 	if tl == nil {
@@ -270,17 +336,72 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	eng.Metrics().LatencyCap = 4096
 	eng.Metrics().ArrivalRate.Keep = 64
 	eng.Metrics().OverdueRate.Keep = 64
+	_, concurrent := tl.(sim.ConcurrentTimeline)
+	factor := cfg.ExecQueueFactor
+	if factor < 0 {
+		factor = 0
+	}
 	r := &Runtime{
-		tl:             tl,
-		exec:           exec,
-		poll:           poll,
-		pollConfigured: cfg.PollInterval > 0,
-		eng:            eng,
+		tl:                  tl,
+		exec:                exec,
+		poll:                poll,
+		pollConfigured:      cfg.PollInterval > 0,
+		syncExec:            !concurrent,
+		execQueueFactor:     factor,
+		execQueueCapDefault: queueCap,
+		eng:                 eng,
+	}
+	r.execCtx, r.execCancel = context.WithCancel(context.Background())
+	b := cfg.Backend
+	if b == nil {
+		b = &SimBackend{}
+	}
+	if tb, ok := b.(TimelineBinder); ok {
+		tb.BindTimeline(tl)
+	}
+	r.backend.Store(&backendHandle{b: b, combine: cfg.Combine, exec: exec})
+	if !r.syncExec {
+		counts := eng.ReplicaCounts()
+		r.pools = make([]*executor.Pool, len(counts))
+		for m, n := range counts {
+			r.pools[m] = executor.NewPool(n, r.execQueueCap(n))
+		}
 	}
 	for i := range r.stripes {
 		r.stripes[i].pending = map[uint64]*Future{}
 	}
 	return r, nil
+}
+
+// execQueueCap bounds a model pool's submit queue for a worker count. With
+// no explicit factor it falls back to the request-queue capacity, which can
+// never reject a batch of admitted requests; an explicit factor opts into
+// the tighter factor × workers bound (minimum 4) so saturation tests and
+// memory-constrained deployments can exercise ErrBackendSaturated.
+func (r *Runtime) execQueueCap(workers int) int {
+	if r.execQueueFactor <= 0 {
+		return r.execQueueCapDefault
+	}
+	c := workers * r.execQueueFactor
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+// resizePools retargets every model pool to the engine's live replica slot
+// counts. Called after any replica-pool mutation, under the exclusive
+// control lock.
+func (r *Runtime) resizePools() {
+	if r.pools == nil {
+		return
+	}
+	counts := r.eng.ReplicaCounts()
+	for m, p := range r.pools {
+		if m < len(counts) {
+			p.Resize(counts[m], r.execQueueCap(counts[m]))
+		}
+	}
 }
 
 // closedErr reports why the runtime rejects work: the poisoning engine error
@@ -426,11 +547,64 @@ func (r *Runtime) pollTick(g int) {
 	_ = r.stepGroup(r.tl.Now(), g)
 }
 
-// launch schedules a dispatched batch's completion and the follow-up
-// decision points at each model's finish time. Called with ctl held (shared
-// plus the dispatching plane's lock, or exclusively on the control path).
+// backendHandle binds a backend to the combiner/executor that folds its
+// predictions, and tracks the batches in flight on it so a swap can drain
+// the old backend before closing it.
+type backendHandle struct {
+	b       Backend
+	combine CombineFunc
+	exec    Executor
+	wg      sync.WaitGroup
+}
+
+// batchRun is one dispatched batch's execution state: the per-model backend
+// passes fill preds, the last one to finish finalizes the futures.
+type batchRun struct {
+	out      DispatchOutcome
+	futs     []*Future
+	ids      []uint64
+	payloads []any
+	h        *backendHandle
+	// preds[k] is model k's predictions; remaining counts unfinished model
+	// passes.
+	preds     [][]any
+	remaining atomic.Int32
+	// failOnce/err record the first model pass failure; written before the
+	// pass's remaining decrement, so finalize (which runs after observing
+	// zero) always sees it.
+	failOnce sync.Once
+	err      error
+}
+
+func (br *batchRun) fail(err error) {
+	br.failOnce.Do(func() { br.err = err })
+}
+
+// task builds model pass i's ExecTask view of the batch.
+func (br *batchRun) task(i int) ExecTask {
+	return ExecTask{
+		Model:           br.out.ModelNames[i],
+		ModelIndex:      br.out.Models[i],
+		IDs:             br.ids,
+		Payloads:        br.payloads,
+		Decided:         br.out.Decided,
+		ProfiledFinish:  br.out.ModelFinish[i],
+		ProfiledLatency: br.out.ModelLatency[i],
+	}
+}
+
+// launch hands a dispatched batch to the execution layer and schedules the
+// follow-up decision points at each model's profiled finish time. On a
+// concurrent timeline each model pass goes to the model's bounded pool
+// immediately (the SimBackend paces to the profiled finish; real backends
+// run for as long as they run); on a virtual-time loop the passes run
+// inline from the finish event, preserving the loop's determinism. Called
+// with ctl held (shared plus the dispatching plane's lock, or exclusively
+// on the control path).
 func (r *Runtime) launch(now float64, out DispatchOutcome) {
 	futs := make([]*Future, len(out.Requests))
+	ids := make([]uint64, len(out.Requests))
+	payloads := make([]any, len(out.Requests))
 	for i, req := range out.Requests {
 		st := &r.stripes[req.ID%runtimeStripes]
 		st.mu.Lock()
@@ -439,12 +613,60 @@ func (r *Runtime) launch(now float64, out DispatchOutcome) {
 		st.mu.Unlock()
 		if futs[i] != nil {
 			futs[i].dispatched = true
+			payloads[i] = futs[i].payload
+		}
+		ids[i] = req.ID
+	}
+	h := r.backend.Load()
+	h.wg.Add(1)
+	r.inflight.Add(1)
+	br := &batchRun{out: out, futs: futs, ids: ids, payloads: payloads, h: h,
+		preds: make([][]any, len(out.Models))}
+	br.remaining.Store(int32(len(out.Models)))
+	if r.syncExec {
+		r.tl.AfterFunc(out.Finish-now, func() {
+			for i := range br.out.Models {
+				r.runModelPass(br, i)
+			}
+		})
+	} else {
+		for i := range out.Models {
+			i := i
+			if err := r.pools[out.Models[i]].Submit(func() { r.runModelPass(br, i) }); err != nil {
+				r.execRejected.Add(1)
+				if errors.Is(err, executor.ErrSaturated) {
+					err = ErrBackendSaturated
+				} else {
+					err = r.closedErr()
+				}
+				br.fail(err)
+				r.passDone(br)
+			}
 		}
 	}
-	r.inflight.Add(1)
-	r.tl.AfterFunc(out.Finish-now, func() { r.complete(out, futs) })
 	for _, f := range out.ModelFinish {
 		r.tl.AfterFunc(f-now, r.onModelFree)
+	}
+}
+
+// runModelPass executes one model's backend pass and feeds the observed
+// latency back into the engine's planning EWMA.
+func (r *Runtime) runModelPass(br *batchRun, i int) {
+	preds, obs, err := br.h.b.Execute(r.execCtx, br.task(i))
+	if err != nil {
+		r.backendErrs.Add(1)
+		br.fail(err)
+	} else {
+		br.preds[i] = preds
+		r.eng.ObserveLatency(br.out.Models[i], len(br.ids), obs)
+	}
+	r.passDone(br)
+}
+
+// passDone retires one model pass; the last one finalizes the batch.
+func (r *Runtime) passDone(br *batchRun) {
+	if br.remaining.Add(-1) == 0 {
+		r.finalize(br)
 	}
 }
 
@@ -473,30 +695,38 @@ func (r *Runtime) onModelFree() {
 	}
 }
 
-// complete runs the executor for a finished batch and resolves its futures.
-func (r *Runtime) complete(out DispatchOutcome, futs []*Future) {
+// finalize folds a finished batch's model passes into per-request results
+// and resolves its futures: the handle's combiner when it has one, else the
+// batch Executor (the pre-backend path, invoked once at ensemble finish).
+func (r *Runtime) finalize(br *batchRun) {
 	defer r.inflight.Done()
-	ids := make([]uint64, len(out.Requests))
-	payloads := make([]any, len(out.Requests))
-	for i, req := range out.Requests {
-		ids[i] = req.ID
-		if futs[i] != nil {
-			payloads[i] = futs[i].payload
+	defer br.h.wg.Done()
+	err := br.err
+	var results []any
+	if err == nil {
+		if br.h.combine != nil {
+			results, err = br.h.combine(br.ids, br.payloads, br.out.ModelNames, br.preds)
+		} else {
+			results, err = br.h.exec(br.ids, br.payloads, br.out.ModelNames)
+		}
+		if err == nil && len(results) != len(br.futs) {
+			err = fmt.Errorf("infer: executor returned %d results for a batch of %d", len(results), len(br.futs))
 		}
 	}
-	results, err := r.exec(ids, payloads, out.ModelNames)
-	if err == nil && len(results) != len(futs) {
-		err = fmt.Errorf("infer: executor returned %d results for a batch of %d", len(results), len(futs))
+	if err != nil && r.closed.Load() && errors.Is(err, context.Canceled) {
+		// The pass was cancelled by Close, not failed by the backend:
+		// surface the teardown error the rest of the API reports.
+		err = r.closedErr()
 	}
-	for i, f := range futs {
+	for i, f := range br.futs {
 		if f == nil {
 			continue
 		}
 		// Each future gets its own copy of the serving subset: batch
 		// siblings share the outcome, and a caller mutating one result's
 		// Models() must not corrupt the others.
-		f.models = append([]string(nil), out.ModelNames...)
-		f.latency = out.Finish - out.Requests[i].Arrival
+		f.models = append([]string(nil), br.out.ModelNames...)
+		f.latency = br.out.Finish - br.out.Requests[i].Arrival
 		if err != nil {
 			f.err = err
 		} else {
@@ -539,6 +769,42 @@ func (r *Runtime) SetPolicy(p Policy) error {
 	return r.stepAll(r.tl.Now())
 }
 
+// SetBackend swaps the execution backend on the live runtime. Queued
+// requests dispatch onto the new backend from the next decision point;
+// batches already in flight drain on the old backend, which is closed (in
+// the background) once the last of them finishes. A nil backend reinstalls
+// the default SimBackend over the runtime's batch Executor. The runtime
+// takes ownership of the backend: pass a fresh instance, not one already
+// installed.
+func (r *Runtime) SetBackend(b Backend, combine CombineFunc) error {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	if r.closed.Load() {
+		return r.closedErr()
+	}
+	if b == nil {
+		b = &SimBackend{}
+		combine = nil
+	}
+	if combine == nil && r.exec == nil {
+		return fmt.Errorf("infer: backend %s needs a combiner (runtime has no batch executor)", b.Name())
+	}
+	if tb, ok := b.(TimelineBinder); ok {
+		tb.BindTimeline(r.tl)
+	}
+	old := r.backend.Swap(&backendHandle{b: b, combine: combine, exec: r.exec})
+	if old != nil && old.b != b {
+		go func() {
+			old.wg.Wait()
+			_ = old.b.Close()
+		}()
+	}
+	return nil
+}
+
+// BackendName reports the live execution backend's name.
+func (r *Runtime) BackendName() string { return r.backend.Load().b.Name() }
+
 // PolicyName reports the live policy's name.
 func (r *Runtime) PolicyName() string {
 	r.ctl.RLock()
@@ -573,7 +839,16 @@ func (r *Runtime) SetQueueCap(n int) error {
 	if r.closed.Load() {
 		return r.closedErr()
 	}
-	return r.eng.SetQueueCap(n)
+	if err := r.eng.SetQueueCap(n); err != nil {
+		return err
+	}
+	// The default pool-queue bound tracks the request-queue capacity so an
+	// executor queue never rejects a batch of admitted requests.
+	if r.execQueueFactor <= 0 {
+		r.execQueueCapDefault = n
+		r.resizePools()
+	}
+	return nil
 }
 
 // SetShards re-shards the live queue layer to n FIFOs: the queued backlog is
@@ -628,6 +903,7 @@ func (r *Runtime) SetReplicas(m, n int) error {
 	if err := r.eng.SetReplicas(m, n); err != nil {
 		return err
 	}
+	r.resizePools()
 	return r.stepAll(r.tl.Now())
 }
 
@@ -641,7 +917,11 @@ func (r *Runtime) AddReplica(m int) (int, error) {
 	if r.closed.Load() {
 		return 0, r.closedErr()
 	}
-	return r.eng.AddReplica(m)
+	idx, err := r.eng.AddReplica(m)
+	if err == nil {
+		r.resizePools()
+	}
+	return idx, err
 }
 
 // SetReplicaDown marks replica rep of model m dead or recovered, feeding the
@@ -715,17 +995,48 @@ func (r *Runtime) Stats() Stats {
 	}
 	pct := percentiles(snap.Latencies, 50, 99)
 	st.P50Latency, st.P99Latency = pct[0], pct[1]
+	st.ModelLatencyEWMA, st.ModelLatencyScale = r.eng.LatencyFeedback()
+	st.ExecRejected = r.execRejected.Load()
+	st.BackendErrors = r.backendErrs.Load()
+	h := r.backend.Load()
+	st.Backend = h.b.Name()
+	if rc, ok := h.b.(RetryCounter); ok {
+		st.BackendRetries = rc.Retries()
+	}
+	if r.pools != nil {
+		st.ExecWorkers = make([]int, len(r.pools))
+		st.ExecBusy = make([]int, len(r.pools))
+		st.ExecQueueDepth = make([]int, len(r.pools))
+		for m, p := range r.pools {
+			ps := p.Stats()
+			st.ExecWorkers[m] = ps.Workers
+			st.ExecBusy[m] = ps.Busy
+			st.ExecQueueDepth[m] = ps.QueueDepth
+		}
+	}
 	return st
 }
 
-// Close rejects new submissions and fails queued (undispatched) futures
-// with ErrClosed; already-dispatched batches still complete. Close is
-// idempotent.
+// Close rejects new submissions, fails queued (undispatched) futures with
+// ErrClosed, and cancels in-flight backend work: dispatched batches whose
+// passes have not completed fail fast with ErrClosed instead of racing
+// teardown (or holding it hostage to a slow or hung backend). Close returns
+// once the execution layer has fully drained and is idempotent.
 func (r *Runtime) Close() {
 	if r.closed.CompareAndSwap(false, true) {
 		r.ctl.Lock()
 		r.failAll(ErrClosed)
 		r.ctl.Unlock()
 	}
+	// Cancel outside the CAS so a Close after a policy poisoning (which
+	// flips closed without cancelling) still tears the backends down.
+	r.execCancel()
 	r.inflight.Wait()
+	for _, p := range r.pools {
+		p.Close()
+	}
+	if h := r.backend.Load(); h != nil {
+		h.wg.Wait()
+		_ = h.b.Close()
+	}
 }

@@ -14,7 +14,7 @@
 //	GET     /api/v1/train/{id}             200      training job status
 //	GET     /api/v1/train/{id}/models      200      trained model instances (409 while running)
 //	GET     /api/v1/inference              200      list deployments (spec + status each)
-//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, shards, replica bounds, autoscale, cache)
+//	POST    /api/v1/inference              201      deploy a DeploymentSpec (policy, SLO, queue cap, shards, replica bounds, autoscale, cache, backend)
 //	GET     /api/v1/inference/{id}         200      describe one deployment: declarative spec + observed status (incl. shard count, per-shard queue depths, cache counters)
 //	PUT     /api/v1/inference/{id}         200      reconcile the live deployment to a changed spec
 //	GET     /api/v1/inference/{id}/stats   200      serving metrics (batching, SLO, latency, replicas, drain rate, per-shard queue depths, per-model backlogs, cache counters)
@@ -48,6 +48,25 @@
 // "cache" object: hits, misses, hit_rate, entries, hot_keys, admissions,
 // singleflight_collapsed, stale_evictions, ttl_evictions,
 // capacity_evictions, invalidations, epoch.
+//
+// The optional "backend" spec block picks the execution tier that serves
+// dispatched batches (DESIGN.md §12): {"type":"sim"|"nn"|"http", "url":U,
+// "timeout_ms":T, "max_retries":R}. "sim" (the default when the block is
+// absent) paces profiled latencies and simulates predictions exactly as
+// before the backend layer existed; "nn" runs real in-process networks, one
+// per deployed model; "http" forwards each model pass to the remote endpoint
+// U — POST {"model","ids","payloads"} answered by {"predictions":[...]} class
+// indices — with a per-attempt timeout of T milliseconds (default 1000) and
+// up to R retries under capped exponential backoff (default 2; -1 disables).
+// The url/timeout/retry fields are valid only with "http". Every tier
+// executes on bounded per-model worker pools sized to the replica counts; a
+// saturated pool rejects the batch with the same 429 + Retry-After semantics
+// as a full request queue. A PUT with a different block swaps the tier live,
+// draining in-flight batches on the outgoing backend before it closes. The
+// describe endpoint reports the live tier as status "backend", and /stats
+// adds the executor gauges (exec_workers, exec_busy, exec_queue_depth,
+// exec_rejected), backend error/retry counters, and the observed-latency
+// EWMA the scheduler's planning tables are rescaled by.
 //
 // Queries are served through the deployment's batching runtime: concurrent
 // POST /query callers are grouped into shared batches by the serving policy
@@ -281,6 +300,12 @@ type InferenceRequest struct {
 	// can enable, retune (entries kept), or disable it live; policy swaps,
 	// replica scaling and fresh checkpoints invalidate cached results.
 	Cache *rafiki.CacheSpec `json:"cache,omitempty"`
+	// Backend selects the execution tier serving dispatched batches:
+	// {"type":"sim"|"nn"|"http","url":U,"timeout_ms":T,"max_retries":R}
+	// (url/timeout/retries for "http" only). Absent means "sim". A PUT with
+	// a different block swaps the tier on the live runtime, draining
+	// in-flight batches on the old backend before it closes.
+	Backend *rafiki.BackendSpec `json:"backend,omitempty"`
 }
 
 // ReplicaField carries replica bounds on the wire in either shape:
@@ -328,6 +353,7 @@ func (req InferenceRequest) spec(models []rafiki.ModelInstance) rafiki.Deploymen
 		Replicas:       req.Replicas.ReplicaBounds,
 		Autoscale:      req.Autoscale,
 		Cache:          req.Cache,
+		Backend:        req.Backend,
 	}
 }
 

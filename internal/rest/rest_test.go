@@ -892,3 +892,64 @@ func TestPprofGatedByOption(t *testing.T) {
 		t.Fatalf("pprof-enabled server status = %d, body %.60q", resp.StatusCode, body)
 	}
 }
+
+// TestBackendBlockOverREST round-trips the "backend" spec block: deploy an nn
+// tier over the wire, serve a query through the real networks, watch the
+// executor observability land on /stats, and PUT back to the sim default.
+func TestBackendBlockOverREST(t *testing.T) {
+	c, _ := newTestServer(t)
+	infID := trainAndDeploy(t, c, InferenceRequest{
+		Backend: &rafiki.BackendSpec{Type: rafiki.BackendNN},
+	})
+
+	desc, err := c.DescribeInference(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := desc.Spec.Backend; bs == nil || bs.Type != rafiki.BackendNN {
+		t.Fatalf("described spec lost the backend block: %+v", desc.Spec)
+	}
+	if desc.Status.Backend != "nn" {
+		t.Fatalf("status backend = %q, want nn", desc.Status.Backend)
+	}
+
+	res, err := c.Query(infID, "rest_backend_ramen.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label == "" || len(res.Votes) == 0 {
+		t.Fatalf("nn-served query = %+v", res)
+	}
+	st, err := c.InferenceStats(infID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "nn" {
+		t.Fatalf("stats backend = %q, want nn", st.Backend)
+	}
+	if len(st.ExecWorkers) == 0 || len(st.ModelLatencyEWMA) == 0 {
+		t.Fatalf("stats missing executor observability: workers=%v ewma=%v", st.ExecWorkers, st.ModelLatencyEWMA)
+	}
+
+	// A PUT without the block reverts to the sim tier.
+	put, err := c.Reconcile(infID, InferenceRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if put.Status.Backend != "sim" {
+		t.Fatalf("post-PUT backend = %q, want sim", put.Status.Backend)
+	}
+	if _, err := c.Query(infID, "rest_backend_ramen.jpg"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bad backend block is a 400 at validation, touching nothing.
+	if _, err := c.Reconcile(infID, InferenceRequest{
+		Backend: &rafiki.BackendSpec{Type: rafiki.BackendHTTP},
+	}); err == nil || !strings.Contains(err.Error(), "needs a url") {
+		t.Fatalf("bad backend block err = %v", err)
+	}
+	if d, err := c.DescribeInference(infID); err != nil || d.Status.Backend != "sim" {
+		t.Fatalf("failed PUT moved the backend: %v %+v", err, d.Status)
+	}
+}

@@ -22,6 +22,18 @@ type Timeline interface {
 	AfterFunc(d float64, fn func())
 }
 
+// ConcurrentTimeline marks Timeline implementations whose methods are safe
+// to call from any goroutine and whose callbacks may run concurrently with
+// each other. WallTimeline is one; the EventLoop is not (its heap is
+// unlocked and callbacks fire single-threaded from Step/RunUntil), so
+// consumers that would otherwise offload work to worker goroutines must
+// stay synchronous when this interface is absent.
+type ConcurrentTimeline interface {
+	Timeline
+	// ConcurrentScheduling is a marker; it does nothing.
+	ConcurrentScheduling()
+}
+
 // AfterFunc implements Timeline over the event loop's virtual clock.
 func (l *EventLoop) AfterFunc(d float64, fn func()) {
 	if d < 0 {
@@ -62,6 +74,10 @@ func (w *WallTimeline) Now() float64 {
 	w.init()
 	return time.Since(w.start).Seconds() * w.speedup()
 }
+
+// ConcurrentScheduling marks the WallTimeline as safe for concurrent use
+// (ConcurrentTimeline).
+func (w *WallTimeline) ConcurrentScheduling() {}
 
 // AfterFunc implements Timeline: fn runs on its own goroutine after d
 // timeline seconds (d/Speedup wall seconds).

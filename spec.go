@@ -90,6 +90,48 @@ type DeploymentSpec struct {
 	// the runtime, exactly as before the cache existed. Live-reconcilable:
 	// a PUT can enable, disable, or retune it without redeploying.
 	Cache *CacheSpec `json:"cache,omitempty"`
+	// Backend selects the execution tier that serves dispatched batches
+	// (REST "backend" block). Nil means BackendSim — the profiled-simulation
+	// path, bit-identical to a pre-backend deployment. Live-reconcilable:
+	// a PUT swaps the tier on the running job, draining in-flight batches on
+	// the old backend before it closes.
+	Backend *BackendSpec `json:"backend,omitempty"`
+}
+
+// Backend kinds a DeploymentSpec can name.
+const (
+	// BackendSim is the default: model passes pace out their profiled
+	// latency and predictions are simulated from trained accuracies
+	// (DESIGN.md §2) — the pre-backend serving path, bit for bit.
+	BackendSim = "sim"
+	// BackendNN serves real in-process inference: one internal/nn network
+	// per deployed model, predictions majority-voted per Section 5.2.
+	BackendNN = "nn"
+	// BackendHTTP forwards each model pass to a remote inference endpoint
+	// with per-call timeouts and capped-backoff retries.
+	BackendHTTP = "http"
+)
+
+// BackendSpec configures a deployment's execution tier: where a dispatched
+// batch's model passes actually run. Every tier executes on the runtime's
+// bounded per-model worker pools (one worker per replica), so saturating the
+// tier surfaces as ErrQueueFull-compatible backpressure, not goroutine
+// growth; observed batch latencies feed the engine's planning tables either
+// way (DESIGN.md §12).
+type BackendSpec struct {
+	// Type is the backend kind: BackendSim (the default when empty),
+	// BackendNN, or BackendHTTP.
+	Type string `json:"type"`
+	// URL is the remote endpoint (BackendHTTP only, required): each model
+	// pass POSTs {"model","ids","payloads"} and expects {"predictions":[...]}
+	// with one class index per request.
+	URL string `json:"url,omitempty"`
+	// TimeoutMS is the per-attempt call deadline in wall milliseconds
+	// (BackendHTTP only, default 1000).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxRetries caps the re-attempts after a failed call (BackendHTTP only,
+	// default 2). -1 means no retries (0 is "use the default").
+	MaxRetries int `json:"max_retries,omitempty"`
 }
 
 // CacheSpec configures a deployment's read-through prediction cache: results
@@ -162,8 +204,34 @@ func (spec DeploymentSpec) withDefaults(opts Options) DeploymentSpec {
 		}
 		spec.Cache = &c
 	}
+	if spec.Backend != nil {
+		// Same copy-before-defaulting discipline as the cache block.
+		b := *spec.Backend
+		if b.Type == "" {
+			b.Type = BackendSim
+		}
+		if b.Type == BackendHTTP {
+			if b.TimeoutMS == 0 {
+				b.TimeoutMS = defaultBackendTimeoutMS
+			}
+			if b.MaxRetries == 0 {
+				b.MaxRetries = defaultBackendMaxRetries
+			}
+		}
+		spec.Backend = &b
+	}
 	return spec
 }
+
+// HTTP-backend defaults and caps: a one-second per-attempt deadline, two
+// retries, and sanity ceilings so a spec cannot park pool workers behind a
+// minutes-long remote call budget.
+const (
+	defaultBackendTimeoutMS  = 1000
+	defaultBackendMaxRetries = 2
+	maxBackendTimeoutMS      = 60_000
+	maxBackendRetries        = 8
+)
 
 // Prediction-cache defaults: a modest entry bound, a one-minute TTL, and an
 // admission threshold/half-life pair under which a key must repeat within a
@@ -237,7 +305,39 @@ func (spec DeploymentSpec) validate() error {
 			return fmt.Errorf("rafiki: cache half-life must be positive, got %v", c.HalfLifeSeconds)
 		}
 	}
+	if b := spec.Backend; b != nil {
+		switch b.Type {
+		case BackendSim, BackendNN, BackendHTTP:
+		default:
+			return fmt.Errorf("rafiki: unknown backend type %q (want %q, %q or %q)", b.Type, BackendSim, BackendNN, BackendHTTP)
+		}
+		if b.Type == BackendHTTP {
+			if b.URL == "" {
+				return fmt.Errorf("rafiki: backend type %q needs a url", BackendHTTP)
+			}
+			if b.TimeoutMS < 1 || b.TimeoutMS > maxBackendTimeoutMS {
+				return fmt.Errorf("rafiki: backend timeout_ms must be in [1, %d], got %d", maxBackendTimeoutMS, b.TimeoutMS)
+			}
+			if b.MaxRetries < -1 || b.MaxRetries > maxBackendRetries {
+				return fmt.Errorf("rafiki: backend max_retries must be in [-1, %d], got %d", maxBackendRetries, b.MaxRetries)
+			}
+		} else if b.URL != "" || b.TimeoutMS != 0 || b.MaxRetries != 0 {
+			return fmt.Errorf("rafiki: backend type %q takes no url/timeout_ms/max_retries", b.Type)
+		}
+	}
 	return nil
+}
+
+// backendSpecEqual reports whether two defaulted backend blocks select the
+// same execution tier (nil means the sim default).
+func backendSpecEqual(a, b *BackendSpec) bool {
+	norm := func(s *BackendSpec) BackendSpec {
+		if s == nil {
+			return BackendSpec{Type: BackendSim}
+		}
+		return *s
+	}
+	return norm(a) == norm(b)
 }
 
 // buildPolicy constructs the spec's scheduler for a deployment. For PolicyRL
@@ -266,6 +366,20 @@ func (s *System) buildPolicy(spec DeploymentSpec, dep *infer.Deployment, jobID s
 type InferenceStatus struct {
 	// Policy is the scheduler currently installed on the runtime.
 	Policy string `json:"policy"`
+	// Backend is the execution tier currently serving batches ("sim", "nn",
+	// "http", ...), with the per-model executor-pool gauges (wall-clock
+	// runtimes only — virtual-time drivers execute inline), the
+	// saturation/error/retry counters, and the observed-latency EWMA +
+	// applied planning scale per model (DESIGN.md §12).
+	Backend           string    `json:"backend"`
+	ExecWorkers       []int     `json:"exec_workers,omitempty"`
+	ExecBusy          []int     `json:"exec_busy,omitempty"`
+	ExecQueueDepth    []int     `json:"exec_queue_depth,omitempty"`
+	ExecRejected      uint64    `json:"exec_rejected"`
+	BackendErrors     uint64    `json:"backend_errors"`
+	BackendRetries    uint64    `json:"backend_retries"`
+	ModelLatencyEWMA  []float64 `json:"model_latency_ewma,omitempty"`
+	ModelLatencyScale []float64 `json:"model_latency_scale,omitempty"`
 	// Replicas is the live per-model replica count.
 	Replicas map[string]int `json:"replicas"`
 	// QueueLen is the current request-queue depth (summed over shards);
@@ -407,6 +521,21 @@ func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceD
 			}
 		}
 	}
+	// Backend swap: build the new execution tier (with replica clamping, the
+	// only other step that can fail — a failure here leaves any clamping
+	// applied but the recorded spec untouched), install it on the runtime —
+	// which drains in-flight batches on the old backend before closing it —
+	// and bump the cache epoch: cached results came off the old tier.
+	if !backendSpecEqual(spec.Backend, job.spec.Backend) {
+		backend, combine, err := s.buildBackend(spec, job)
+		if err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+		if err := job.runtime.SetBackend(backend, combine); err != nil {
+			return nil, fmt.Errorf("rafiki: reconcile %s: %w", id, err)
+		}
+		job.invalidateCache()
+	}
 	// Policy swap: install the new scheduler, then flush the old agent.
 	// SetPolicy serializes under the runtime lock, so once it returns no
 	// Decide can still be running on the outgoing policy — only then is
@@ -487,20 +616,29 @@ func describeLocked(j *InferenceJob) InferenceDescription {
 		ID:   j.ID,
 		Spec: j.spec,
 		Status: InferenceStatus{
-			Policy:          j.runtime.PolicyName(),
-			Replicas:        make(map[string]int, len(j.Models)),
-			QueueLen:        st.QueueLen,
-			Shards:          st.Shards,
-			ShardQueueLens:  st.ShardQueueLens,
-			DispatchGroups:  st.DispatchGroups,
-			GroupDispatches: st.GroupDispatches,
-			BatchSizeMean:   st.BatchSizeMean,
-			BatchSizeHist:   st.BatchSizeHist,
-			Stolen:          st.Stolen,
-			Queries:         j.queries.Load(),
-			Served:          st.Served,
-			Dropped:         st.Dropped,
-			Autoscaling:     j.autoStop != nil,
+			Policy:            j.runtime.PolicyName(),
+			Backend:           st.Backend,
+			ExecWorkers:       st.ExecWorkers,
+			ExecBusy:          st.ExecBusy,
+			ExecQueueDepth:    st.ExecQueueDepth,
+			ExecRejected:      st.ExecRejected,
+			BackendErrors:     st.BackendErrors,
+			BackendRetries:    st.BackendRetries,
+			ModelLatencyEWMA:  st.ModelLatencyEWMA,
+			ModelLatencyScale: st.ModelLatencyScale,
+			Replicas:          make(map[string]int, len(j.Models)),
+			QueueLen:          st.QueueLen,
+			Shards:            st.Shards,
+			ShardQueueLens:    st.ShardQueueLens,
+			DispatchGroups:    st.DispatchGroups,
+			GroupDispatches:   st.GroupDispatches,
+			BatchSizeMean:     st.BatchSizeMean,
+			BatchSizeHist:     st.BatchSizeHist,
+			Stolen:            st.Stolen,
+			Queries:           j.queries.Load(),
+			Served:            st.Served,
+			Dropped:           st.Dropped,
+			Autoscaling:       j.autoStop != nil,
 		},
 	}
 	for i, m := range j.Models {
