@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke verify-journal scenarios
 
-check: fmt vet build race bench-smoke
+check: fmt vet build race bench-smoke verify-journal
 
 # -s also flags code a `gofmt -s` simplification would rewrite (vet's
 # missing sibling: composite-literal elision, redundant slice bounds, ...).
@@ -48,3 +48,18 @@ bench-smoke:
 	$(GO) test . -run none -bench BenchmarkParallelDispatch -benchtime 1x
 	$(GO) test . -run none -bench BenchmarkPredictionCache -benchtime 1x
 	$(GO) run ./cmd/rafiki-bench -serving BENCH_serving.json
+
+# Workload-scenario benchmark (diurnal / bursty / hotkey traffic shapes
+# through the serving runtime, prediction cache off vs on). Emits
+# BENCH_scenarios.json, archived by CI next to the serving snapshot.
+scenarios:
+	$(GO) run ./cmd/rafiki-bench -scenario all -scenario-out BENCH_scenarios.json
+
+# Durability gate: run the kill/restart round-trip test under -race with the
+# journal written to artifacts/journal, then audit the surviving ledger's
+# hash chain offline with rafiki-bench. The artifacts/ directory is
+# CI-archived so a broken chain can be inspected post-mortem.
+verify-journal:
+	rm -rf artifacts/journal
+	RAFIKI_JOURNAL_DIR=artifacts/journal $(GO) test . -run TestJournalKillRestartRoundTrip -race -count=1
+	$(GO) run ./cmd/rafiki-bench -verify-journal artifacts/journal

@@ -8,7 +8,10 @@
 //	rafiki-bench -exp fig8 -scale full
 //	rafiki-bench -exp fig14,fig15
 //	rafiki-bench -exp ablations
-//	rafiki-bench -serving BENCH_serving.json   # serving-plane perf snapshot
+//	rafiki-bench -serving BENCH_serving.json     # serving-plane perf snapshot
+//	rafiki-bench -scenario all                   # workload scenarios → BENCH_scenarios.json
+//	rafiki-bench -scenario diurnal,hotkey -scenario-out custom.json
+//	rafiki-bench -verify-journal artifacts/journal   # offline hash-chain audit
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"strings"
 
 	"rafiki/internal/exp"
+	"rafiki/internal/journal"
+	"rafiki/internal/scenarios"
 )
 
 func main() {
@@ -27,7 +32,26 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 0, "override random seed (0 keeps the default)")
 	servingFlag := flag.String("serving", "", "run the serving-plane benchmark (submitted/served QPS at 1/8 shards × 1/4 dispatch groups, batch-size mean) and write the machine-readable report to this path")
+	scenarioFlag := flag.String("scenario", "", "run the workload-scenario benchmark: comma-separated scenario names (diurnal,bursty,hotkey) or 'all'")
+	scenarioOut := flag.String("scenario-out", "BENCH_scenarios.json", "path the -scenario report is written to")
+	verifyJournal := flag.String("verify-journal", "", "verify the hash chain of the journal directory at this path and exit (non-zero on corruption)")
 	flag.Parse()
+
+	if *verifyJournal != "" {
+		res := journal.VerifyDir(*verifyJournal)
+		if !res.ChainOK {
+			log.Fatalf("rafiki-bench: journal %s: chain broken at seq %d: %s", *verifyJournal, res.BadSeq, res.Reason)
+		}
+		fmt.Printf("journal %s: chain ok, %d records, last seq %d\n", *verifyJournal, res.Records, res.LastSeq)
+		return
+	}
+
+	if *scenarioFlag != "" {
+		if err := writeScenarioBench(*scenarioFlag, *scenarioOut, *seed); err != nil {
+			log.Fatalf("rafiki-bench: %v", err)
+		}
+		return
+	}
 
 	if *servingFlag != "" {
 		if err := writeServingBench(*servingFlag); err != nil {
@@ -140,6 +164,44 @@ func writeServingBench(path string) error {
 	}
 	fmt.Printf("cache speedup %.1fx (zipf s=%.1f, %d keys, hot region %d)\n",
 		rep.Cache.SpeedupX, rep.Cache.ZipfS, rep.Cache.Keys, rep.Cache.HotKeys)
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GOMAXPROCS)
+	return nil
+}
+
+// writeScenarioBench replays the named workload scenarios (internal/scenarios
+// — 'all' runs the registry) through the serving runtime with the prediction
+// cache off and on, prints the per-scenario rows, and writes the
+// machine-readable report CI archives as BENCH_scenarios.json.
+func writeScenarioBench(names, path string, seed int64) error {
+	cfg := scenarios.Defaults()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	var selected []string
+	if strings.TrimSpace(strings.ToLower(names)) != "all" {
+		for _, name := range strings.Split(names, ",") {
+			selected = append(selected, strings.TrimSpace(strings.ToLower(name)))
+		}
+	}
+	// Same submitter count, hot-region bound, and speedup as the stationary
+	// cache bench, so the rows are comparable.
+	rep, err := exp.RunScenarioBench(cfg, selected, 8, 16, 1000)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, row := range rep.Scenarios {
+		fmt.Printf("scenario %-8s requests=%d unique-keys=%d off=%.0f qps on=%.0f qps hit-rate=%.2f speedup=%.1fx\n",
+			row.Scenario, row.Requests, row.UniqueKeys,
+			row.Rows[0].ServedQPS, row.Rows[1].ServedQPS, row.Rows[1].HitRate, row.SpeedupX)
+	}
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GOMAXPROCS)
 	return nil
 }

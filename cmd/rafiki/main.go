@@ -5,6 +5,13 @@
 // Usage:
 //
 //	rafiki -addr :8080 -nodes 3 -workers 3
+//	rafiki -journal /var/lib/rafiki/journal   # durable control plane (also RAFIKI_JOURNAL)
+//
+// With -journal set, every control-plane mutation is hash-chain journaled
+// before it takes effect and the process replays the journal on boot
+// (System.Recover), so datasets, training jobs, and deployments survive a
+// kill/restart; the ledger is inspectable at GET /api/v1/journal and audited
+// by GET /api/v1/journal/verify.
 //
 // Then, per the paper's Section 8 example:
 //
@@ -61,14 +68,31 @@ func main() {
 	speedup := flag.Float64("speedup", 1, "serving clock speedup (1 = profiled GPU latencies in real time)")
 	pprofOn := flag.Bool("pprof", os.Getenv("RAFIKI_PPROF") == "1",
 		"expose /debug/pprof/ profiling endpoints (also RAFIKI_PPROF=1)")
+	journalDir := flag.String("journal", os.Getenv("RAFIKI_JOURNAL"),
+		"directory for the durable control-plane journal (also RAFIKI_JOURNAL); empty disables durability")
 	flag.Parse()
 
+	var extras []rafiki.Option
+	if *journalDir != "" {
+		extras = append(extras, rafiki.WithJournal(*journalDir))
+	}
 	sys, err := rafiki.New(rafiki.Options{
 		Nodes: *nodes, Workers: *workers, Seed: *seed,
 		ServeSLO: *slo, ServeSpeedup: *speedup,
-	})
+	}, extras...)
 	if err != nil {
 		log.Fatalf("rafiki: %v", err)
+	}
+	if *journalDir != "" {
+		rec, err := sys.Recover()
+		if err != nil {
+			log.Fatalf("rafiki: journal recovery: %v", err)
+		}
+		log.Printf("rafiki journal at %s: %d records replayed (%d applied, %d audit-only, %d warnings)",
+			*journalDir, rec.Records, rec.Applied, rec.Audit, len(rec.Warnings))
+		for _, w := range rec.Warnings {
+			log.Printf("rafiki journal warning: %s", w)
+		}
 	}
 	var opts []rest.ServerOption
 	if *pprofOn {

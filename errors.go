@@ -1,0 +1,17 @@
+package rafiki
+
+import "errors"
+
+// Typed error classes every System mutation path reports consistently, so
+// callers — the REST layer mapping them to 404/409, and journal replay, which
+// needs deterministic error semantics — can classify failures with errors.Is
+// instead of string matching.
+var (
+	// ErrNotFound wraps lookups of unknown resources: datasets, training
+	// jobs, inference jobs, and models not deployed in a job.
+	ErrNotFound = errors.New("not found")
+	// ErrConflict wraps mutations rejected by the resource's current state:
+	// reading models off a still-running training job, or reconciling a
+	// deployment to a different model set.
+	ErrConflict = errors.New("conflict")
+)

@@ -1,7 +1,6 @@
 package rafiki
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -157,13 +156,22 @@ func (s *System) InferenceWithOpts(models []ModelInstance, opts InferenceOpts) (
 // runtime's backpressure signals, and ReconcileInference moves the live job
 // to a changed spec.
 func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
+	return s.deploy(spec, "", nil, true)
+}
+
+// deploy is Deploy with the journal switch: live calls mint an ID and append
+// a deploy record — carrying the defaulted spec and the resolved class
+// vocabulary, so replay re-executes it without re-deriving anything — before
+// any container launches; replay passes the recorded ID/classes and
+// record=false.
+func (s *System) deploy(spec DeploymentSpec, forceID string, forceClasses []string, record bool) (*InferenceJob, error) {
 	spec = spec.withDefaults(s.opts)
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	models := spec.Models
 	// Validate every checkpoint is fetchable from the parameter server.
-	var classes []string
+	classes := forceClasses
 	for _, m := range models {
 		if _, err := s.bestCheckpoint(m.Model); err != nil {
 			return nil, fmt.Errorf("rafiki: model %s not deployable: %w", m.Model, err)
@@ -172,6 +180,9 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 	// Recover the label vocabulary from the training job encoded in the
 	// checkpoint key ("<jobID>/<model>/<trial>").
 	for _, m := range models {
+		if classes != nil {
+			break
+		}
 		parts := strings.SplitN(m.CheckpointKey, "/", 2)
 		if len(parts) == 0 {
 			continue
@@ -197,8 +208,14 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 		// count, so an empty vocabulary must never reach a live job.
 		return nil, fmt.Errorf("rafiki: inference job needs a non-empty class vocabulary")
 	}
+	id := s.mintOrAdopt("infer", forceID)
+	if record {
+		if err := s.journalAppend(kindDeploy, deployRec{ID: id, Spec: spec, Classes: classes}); err != nil {
+			return nil, err
+		}
+	}
 	job := &InferenceJob{
-		ID:       s.nextID("infer"),
+		ID:       id,
 		Models:   append([]ModelInstance(nil), models...),
 		Classes:  append([]string(nil), classes...),
 		byName:   make(map[string]ModelInstance, len(models)),
@@ -293,12 +310,22 @@ func (s *System) Deploy(spec DeploymentSpec) (*InferenceJob, error) {
 // away or the runtime closed by the time the cluster reports on it.
 func (s *System) launchReplica(job *InferenceJob, mi, r int) error {
 	rt := job.runtime
+	model := job.Models[mi].Model
 	_, err := s.cluster.Launch(cluster.Spec{
-		Name:      job.replicaContainer(mi, r),
-		Kind:      cluster.KindWorker,
-		Job:       job.ID,
-		OnFail:    func() { _ = rt.SetReplicaDown(mi, r, true) },
-		OnRestart: func() { _ = rt.SetReplicaDown(mi, r, false) },
+		Name: job.replicaContainer(mi, r),
+		Kind: cluster.KindWorker,
+		Job:  job.ID,
+		// Failure and restart land on the audit ledger (best-effort, never
+		// replayed): recovery boots fresh containers, but the tamper-evident
+		// history of what failed when survives restarts.
+		OnFail: func() {
+			_ = rt.SetReplicaDown(mi, r, true)
+			s.journalAudit(kindReplicaDown, replicaEventRec{Job: job.ID, Model: model, Replica: r})
+		},
+		OnRestart: func() {
+			_ = rt.SetReplicaDown(mi, r, false)
+			s.journalAudit(kindReplicaRestart, replicaEventRec{Job: job.ID, Model: model, Replica: r})
+		},
 	}, 0)
 	if err != nil {
 		return fmt.Errorf("rafiki: launch replica %s: %w", job.replicaContainer(mi, r), err)
@@ -343,6 +370,13 @@ func (s *System) releaseContainers(job *InferenceJob) error {
 // with ReconcileInference first); it may go below Replicas.Min, since an
 // operator scaling down by hand outranks the declarative floor.
 func (s *System) ScaleInference(id, model string, replicas int) error {
+	return s.scaleInference(id, model, replicas, true)
+}
+
+// scaleInference is ScaleInference with the journal switch. The scale record
+// is appended under job.mu after every validation passes, so journal order
+// matches apply order and replay fails only where the original call failed.
+func (s *System) scaleInference(id, model string, replicas int, record bool) error {
 	job, err := s.InferenceJobByID(id)
 	if err != nil {
 		return err
@@ -372,9 +406,14 @@ func (s *System) ScaleInference(id, model string, replicas int) error {
 			}
 		}
 		if mi < 0 {
-			return fmt.Errorf("rafiki: scale %s: model %q not deployed", id, model)
+			return fmt.Errorf("rafiki: %w: scale %s: model %q not deployed", ErrNotFound, id, model)
 		}
 		targets = append(targets, mi)
+	}
+	if record {
+		if err := s.journalAppend(kindScale, scaleRec{ID: id, Model: model, Replicas: replicas}); err != nil {
+			return err
+		}
 	}
 	for _, mi := range targets {
 		if err := s.scaleModelLocked(job, mi, replicas); err != nil {
@@ -441,15 +480,35 @@ func (s *System) scaleModelLocked(job *InferenceJob, mi, target int) error {
 // runtime — queued futures fail with infer.ErrClosed, in-flight batches
 // complete, poll timers stop — and releases the job's cluster containers.
 func (s *System) StopInference(id string) error {
+	return s.stopInference(id, true)
+}
+
+// stopInference is StopInference with the journal switch. The record is
+// appended while s.mu is held, so the registry delete and the ledger land in
+// the same order every concurrent stop observes.
+func (s *System) stopInference(id string, record bool) error {
 	s.mu.Lock()
 	job, ok := s.inferJobs[id]
-	if ok {
-		delete(s.inferJobs, id)
-	}
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("rafiki: %w %q", ErrUnknownInferenceJob, id)
 	}
+	if record {
+		if err := s.journalAppend(kindStopInference, stopInferenceRec{ID: id}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	delete(s.inferJobs, id)
+	s.mu.Unlock()
+	return s.teardownJob(job)
+}
+
+// teardownJob stops a deployment's machinery — autoscale loop, runtime,
+// cluster containers — without touching the registry or the journal; both
+// StopInference (journaled operator intent) and System.Close (process
+// shutdown, deliberately unjournaled) funnel through it.
+func (s *System) teardownJob(job *InferenceJob) error {
 	job.mu.Lock()
 	job.stopped = true
 	if job.autoStop != nil {
@@ -471,8 +530,9 @@ func (s *System) StopInference(id string) error {
 var servingBatches = []int{1, 2, 4, 8, 16}
 
 // ErrUnknownInferenceJob reports a lookup of an undeployed inference job ID
-// (wrapped with the offending ID; match with errors.Is).
-var ErrUnknownInferenceJob = errors.New("unknown inference job")
+// (wrapped with the offending ID; match with errors.Is). It wraps ErrNotFound
+// so the REST layer's uniform 404 mapping catches it.
+var ErrUnknownInferenceJob = fmt.Errorf("%w: unknown inference job", ErrNotFound)
 
 // InferenceJobByID returns a deployed job.
 func (s *System) InferenceJobByID(id string) (*InferenceJob, error) {

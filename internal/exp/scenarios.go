@@ -1,0 +1,119 @@
+package exp
+
+// Scenario benchmark harness: replays each registered workload scenario
+// (internal/scenarios — diurnal, bursty, hotkey) through the wall-clock
+// serving runtime twice, cache off and cache on, exactly like the
+// prediction-cache benchmark, and reports per-scenario served QPS and hit
+// rates. cmd/rafiki-bench -scenario writes the rows to BENCH_scenarios.json
+// so the cache's behaviour under realistic traffic shapes — not just a
+// stationary Zipf — is archived per commit. The hotkey scenario is the
+// interesting adversary: its rotating hot region forces re-admission every
+// phase, so its speedup should trail diurnal/bursty.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+
+	"rafiki/internal/scenarios"
+)
+
+// ScenarioBenchRow is one scenario's replay: the trace shape plus the
+// cache-off/cache-on passes over the identical key sequence.
+type ScenarioBenchRow struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	// Requests is the trace length the scenario generated and UniqueKeys how
+	// many distinct keys it touched.
+	Requests   int `json:"requests"`
+	UniqueKeys int `json:"unique_keys"`
+	// SpeedupX is cache-on served QPS over cache-off for this trace.
+	SpeedupX float64         `json:"speedup_x"`
+	Rows     []CacheBenchRow `json:"rows"`
+}
+
+// ScenarioBenchReport is the machine-readable scenario-bench snapshot.
+type ScenarioBenchReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Keys       int     `json:"keys"`
+	ZipfS      float64 `json:"zipf_s"`
+	BaseRate   float64 `json:"base_rate"`
+	Duration   float64 `json:"duration_s"`
+	Seed       int64   `json:"seed"`
+	// HotKeys bounds the hot region the per-row HotHitRate is computed over
+	// (the top ranks of the underlying Zipf).
+	HotKeys   int                `json:"hot_keys"`
+	Scenarios []ScenarioBenchRow `json:"scenarios"`
+}
+
+// RunScenarioBench generates each named scenario's deterministic trace under
+// cfg and replays it through the runtime with `submitters` goroutines at
+// speedup× wall speed, cache off then on. An empty names slice runs the full
+// registry.
+func RunScenarioBench(cfg scenarios.Config, names []string, submitters, hotKeys int, speedup float64) (*ScenarioBenchReport, error) {
+	var selected []scenarios.Scenario
+	if len(names) == 0 {
+		selected = scenarios.Registry()
+	} else {
+		for _, name := range names {
+			sc, ok := scenarios.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown scenario %q", name)
+			}
+			selected = append(selected, sc)
+		}
+	}
+
+	rep := &ScenarioBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Keys:       cfg.Keys, ZipfS: cfg.ZipfS,
+		BaseRate: cfg.BaseRate, Duration: cfg.Duration, Seed: cfg.Seed,
+		HotKeys: hotKeys,
+	}
+
+	// One payload/digest table serves every scenario: keys index the same
+	// universe, only the draw sequence differs.
+	payloads := make([][]byte, cfg.Keys)
+	digests := make([]uint64, cfg.Keys)
+	for k := range payloads {
+		payloads[k] = []byte(fmt.Sprintf("scenario-bench-key-%05d", k))
+		h := fnv.New64a()
+		h.Write(payloads[k])
+		digests[k] = h.Sum64()
+	}
+
+	for _, sc := range selected {
+		gen, err := sc.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		draws := gen.Stream()
+		if len(draws) == 0 {
+			return nil, fmt.Errorf("exp: scenario %q generated an empty trace", sc.Name)
+		}
+		row := ScenarioBenchRow{
+			Scenario: sc.Name, Description: sc.Description,
+			Requests: len(draws), UniqueKeys: countUnique(draws),
+		}
+		for _, withCache := range []bool{false, true} {
+			r, err := runCacheBenchRow(draws, payloads, digests, submitters, hotKeys, speedup, withCache)
+			if err != nil {
+				return nil, fmt.Errorf("exp: scenario %q: %w", sc.Name, err)
+			}
+			row.Rows = append(row.Rows, r)
+		}
+		if off := row.Rows[0].ServedQPS; off > 0 {
+			row.SpeedupX = row.Rows[1].ServedQPS / off
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	return rep, nil
+}
+
+func countUnique(draws []int) int {
+	seen := make(map[int]struct{}, len(draws))
+	for _, k := range draws {
+		seen[k] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"testing"
+
+	"rafiki/internal/scenarios"
+)
+
+// quickScenarioConfig keeps the trace small enough for the unit-test tier:
+// ~2s of virtual time at 150 req/s per scenario.
+func quickScenarioConfig() scenarios.Config {
+	cfg := scenarios.Defaults()
+	cfg.Duration = 2
+	cfg.BaseRate = 150
+	return cfg
+}
+
+func TestRunScenarioBenchQuick(t *testing.T) {
+	rep, err := RunScenarioBench(quickScenarioConfig(), []string{"diurnal", "hotkey"}, 4, 16, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(rep.Scenarios))
+	}
+	for _, row := range rep.Scenarios {
+		if row.Requests == 0 || row.UniqueKeys == 0 {
+			t.Fatalf("%s: empty trace stats: %+v", row.Scenario, row)
+		}
+		if len(row.Rows) != 2 || row.Rows[0].Cache || !row.Rows[1].Cache {
+			t.Fatalf("%s: want [off, on] rows, got %+v", row.Scenario, row.Rows)
+		}
+		for _, r := range row.Rows {
+			if r.ServedQPS <= 0 {
+				t.Fatalf("%s: served qps = %v", row.Scenario, r.ServedQPS)
+			}
+		}
+		if on := row.Rows[1]; on.Hits+on.Misses == 0 {
+			t.Fatalf("%s: cache pass recorded no lookups", row.Scenario)
+		}
+	}
+}
+
+func TestRunScenarioBenchUnknownName(t *testing.T) {
+	if _, err := RunScenarioBench(quickScenarioConfig(), []string{"ghost"}, 2, 8, 2000); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+}

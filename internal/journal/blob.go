@@ -1,0 +1,65 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The blob sidecar: bulk payloads (model weights, dataset manifests) are kept
+// out of the hash chain — a record carries only the content digest, and the
+// bytes live in blobs/<sha256>. Blobs are content-addressed and re-hashed on
+// read, so tampering with a blob is caught at load time even though the chain
+// walk never touches it.
+
+// blobPath locates a digest's file.
+func (j *Journal) blobPath(digest string) string {
+	return filepath.Join(j.cfg.Dir, "blobs", digest)
+}
+
+// PutBlob stores data in the content-addressed sidecar and returns its hex
+// SHA-256 digest. The write is durable (temp file + fsync + rename) and
+// idempotent: an existing blob with the same digest is left in place.
+func (j *Journal) PutBlob(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	path := j.blobPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil // content-addressed: already durable
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".blob-*")
+	if err != nil {
+		return "", fmt.Errorf("journal: blob: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("journal: blob write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("journal: blob fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("journal: blob close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("journal: blob rename: %w", err)
+	}
+	return digest, nil
+}
+
+// GetBlob loads a blob by digest, verifying the content still matches it.
+func (j *Journal) GetBlob(digest string) ([]byte, error) {
+	data, err := os.ReadFile(j.blobPath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("journal: blob %s: %w", digest, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, fmt.Errorf("journal: blob %s fails its digest (tampered?)", digest)
+	}
+	return data, nil
+}

@@ -1,0 +1,513 @@
+// Package journal is Rafiki's durable control plane: an append-only,
+// hash-chained write-ahead journal of control-plane mutations (deployments,
+// reconciles, scales, train-job lifecycle, dataset imports), persisted as
+// newline-delimited JSON records across rolling segment files under one
+// directory.
+//
+// Every record carries a monotonic sequence number, the SHA-256 of its own
+// canonical encoding, and the previous record's hash, so the journal is a
+// tamper-evident chain in the style of an audit ledger: flipping a byte,
+// truncating the tail, or reordering a segment breaks the chain at a specific
+// sequence number, which Verify reports. Bulk payloads (model weights,
+// datasets) never ride the ledger — they live in a content-addressed blob
+// sidecar (PutBlob/GetBlob) with only their digests on-ledger, so the chain
+// walk stays cheap while weight tampering is still caught at load time.
+//
+// Appends are synchronous and durable: Append returns only after the record
+// has been written and fsynced. Durability is amortized by group commit — a
+// committer goroutine batches every append that arrives within a small window
+// into one write + one fsync, so N concurrent mutations pay ~1 fsync, not N.
+//
+// The intended wiring (see the rafiki package) journals each mutation
+// *before* its in-memory effect and replays the journal on boot, rebuilding
+// the control plane to its last-acknowledged state across process restarts.
+package journal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one journaled control-plane mutation.
+type Record struct {
+	// Seq is the record's 1-based position in the chain; records are strictly
+	// consecutive.
+	Seq uint64 `json:"seq"`
+	// Kind names the mutation (e.g. "deploy", "scale", "train_complete").
+	Kind string `json:"kind"`
+	// Payload is the mutation's own JSON body; its schema is the writer's.
+	Payload json.RawMessage `json:"payload"`
+	// Prev is the hex SHA-256 of the previous record (the genesis hash for
+	// seq 1); Hash is this record's own chain hash.
+	Prev string `json:"prev"`
+	Hash string `json:"hash"`
+}
+
+// genesisHash anchors the chain: record 1's Prev is the digest of a fixed
+// sentinel, so an empty journal has exactly one valid continuation.
+var genesisHash = func() string {
+	h := sha256.Sum256([]byte("rafiki-journal-genesis"))
+	return hex.EncodeToString(h[:])
+}()
+
+// chainHash computes a record's hash: SHA-256 over the previous hash, the
+// big-endian sequence number, the kind, and the raw payload bytes. The
+// encoding is canonical — no JSON re-serialization ambiguity — so a verifier
+// recomputes it bit-for-bit from the stored fields.
+func chainHash(prev string, seq uint64, kind string, payload []byte) string {
+	h := sha256.New()
+	h.Write([]byte(prev))
+	var seqBuf [8]byte
+	binary.BigEndian.PutUint64(seqBuf[:], seq)
+	h.Write(seqBuf[:])
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Config tunes a journal.
+type Config struct {
+	// Dir is the journal directory (created if absent). Segments are
+	// seg-<firstseq>.wal files inside it; blobs live under blobs/.
+	Dir string
+	// SegmentBytes rolls to a new segment file once the active one exceeds
+	// this size (default 1 MiB). Records never split across segments.
+	SegmentBytes int64
+	// GroupWindow is the group-commit window (default 2ms): the committer
+	// collects every append that arrives within it and retires them with a
+	// single write + fsync.
+	GroupWindow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.GroupWindow <= 0 {
+		c.GroupWindow = 2 * time.Millisecond
+	}
+	return c
+}
+
+// ErrClosed reports an append against a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// CorruptionError reports a broken chain: Seq is the first sequence number at
+// which the journal fails verification (for an unparsable or truncated
+// record, the sequence the chain expected there).
+type CorruptionError struct {
+	Seq    uint64
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("journal: chain broken at seq %d: %s", e.Seq, e.Reason)
+}
+
+// pendingRec is one append waiting on the next group commit.
+type pendingRec struct {
+	line []byte
+	done chan error
+}
+
+// Journal is an open write-ahead journal. All methods are safe for concurrent
+// use.
+type Journal struct {
+	cfg Config
+
+	mu       sync.Mutex // chain state + pending batch
+	lastSeq  uint64
+	lastHash string
+	pending  []pendingRec
+	closed   bool
+	kick     chan struct{} // wakes the committer; buffered(1)
+
+	ioMu     sync.Mutex // segment file + counters; committer vs readers
+	seg      *os.File
+	segSize  int64
+	segments int
+	bytes    int64 // total journaled bytes across segments
+	records  uint64
+
+	fsyncMu    sync.Mutex
+	fsyncs     uint64
+	fsyncRing  [fsyncRingSize]float64 // recent fsync durations, ms
+	fsyncCount int
+
+	wg sync.WaitGroup
+}
+
+const fsyncRingSize = 256
+
+// segName names the segment whose first record is seq.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%016d.wal", seq) }
+
+// segmentFiles lists the directory's segment files sorted by name (= by first
+// sequence, since the name zero-pads the seq).
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".wal") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Open opens (or creates) the journal in cfg.Dir. An existing journal is
+// fully verified while loading — a corrupted chain fails Open with a
+// *CorruptionError naming the offending sequence — and new appends continue
+// the chain from the last record.
+func Open(cfg Config) (*Journal, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("journal: needs a directory")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{cfg: cfg, lastHash: genesisHash, kick: make(chan struct{}, 1)}
+
+	names, err := segmentFiles(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, name := range names {
+		path := filepath.Join(cfg.Dir, name)
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		if err := j.walkSegment(path, func(Record) error { return nil }); err != nil {
+			return nil, err
+		}
+		j.bytes += info.Size()
+		j.segments++
+	}
+	// Append onto the newest segment (rolling happens on size at commit).
+	if len(names) > 0 {
+		last := filepath.Join(cfg.Dir, names[len(names)-1])
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		j.seg, j.segSize = f, info.Size()
+	}
+	j.wg.Add(1)
+	go j.commitLoop()
+	return j, nil
+}
+
+// walkSegment replays one segment file through fn, advancing and checking the
+// chain state (lastSeq/lastHash). It is the single verification primitive:
+// Open, Verify and Records all read through it.
+func (j *Journal) walkSegment(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return &CorruptionError{Seq: j.lastSeq + 1, Reason: fmt.Sprintf("unparsable record in %s: %v", filepath.Base(path), err)}
+		}
+		if rec.Seq != j.lastSeq+1 {
+			return &CorruptionError{Seq: rec.Seq, Reason: fmt.Sprintf("sequence gap: got %d after %d (segment %s out of order?)", rec.Seq, j.lastSeq, filepath.Base(path))}
+		}
+		if rec.Prev != j.lastHash {
+			return &CorruptionError{Seq: rec.Seq, Reason: "previous-hash mismatch"}
+		}
+		if want := chainHash(rec.Prev, rec.Seq, rec.Kind, rec.Payload); rec.Hash != want {
+			return &CorruptionError{Seq: rec.Seq, Reason: "content hash mismatch"}
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		j.lastSeq, j.lastHash = rec.Seq, rec.Hash
+		j.records++
+	}
+	if err := sc.Err(); err != nil {
+		return &CorruptionError{Seq: j.lastSeq + 1, Reason: fmt.Sprintf("read %s: %v", filepath.Base(path), err)}
+	}
+	return nil
+}
+
+// Append journals one mutation and blocks until it is durable (written and
+// fsynced, batched with concurrent appends through the group-commit window).
+// It returns the record's sequence number.
+func (j *Journal) Append(kind string, payload []byte) (uint64, error) {
+	if kind == "" {
+		return 0, fmt.Errorf("journal: append needs a kind")
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	seq := j.lastSeq + 1
+	rec := Record{
+		Seq:     seq,
+		Kind:    kind,
+		Payload: append(json.RawMessage(nil), payload...),
+		Prev:    j.lastHash,
+	}
+	rec.Hash = chainHash(rec.Prev, rec.Seq, rec.Kind, rec.Payload)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("journal: encode: %w", err)
+	}
+	line = append(line, '\n')
+	done := make(chan error, 1)
+	j.pending = append(j.pending, pendingRec{line: line, done: done})
+	j.lastSeq, j.lastHash = rec.Seq, rec.Hash
+	j.mu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// commitLoop is the group committer: each kick opens a GroupWindow during
+// which further appends pile onto the same batch, then the whole batch is
+// retired with one write and one fsync.
+func (j *Journal) commitLoop() {
+	defer j.wg.Done()
+	for range j.kick {
+		time.Sleep(j.cfg.GroupWindow)
+		j.mu.Lock()
+		batch := j.pending
+		j.pending = nil
+		closed := j.closed
+		j.mu.Unlock()
+		if len(batch) > 0 {
+			err := j.commit(batch)
+			for _, p := range batch {
+				p.done <- err
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// commit writes one batch to the active segment (rolling first if it is over
+// the size bound) and fsyncs once.
+func (j *Journal) commit(batch []pendingRec) error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	if j.seg != nil && j.segSize >= j.cfg.SegmentBytes {
+		if err := j.seg.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync segment: %w", err)
+		}
+		if err := j.seg.Close(); err != nil {
+			return fmt.Errorf("journal: close segment: %w", err)
+		}
+		j.seg = nil
+	}
+	if j.seg == nil {
+		firstSeq := j.records + 1
+		f, err := os.OpenFile(filepath.Join(j.cfg.Dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: new segment: %w", err)
+		}
+		j.seg, j.segSize = f, 0
+		j.segments++
+	}
+	var buf []byte
+	for _, p := range batch {
+		buf = append(buf, p.line...)
+	}
+	if _, err := j.seg.Write(buf); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	start := time.Now()
+	if err := j.seg.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.observeFsync(time.Since(start))
+	j.segSize += int64(len(buf))
+	j.bytes += int64(len(buf))
+	j.records += uint64(len(batch))
+	return nil
+}
+
+func (j *Journal) observeFsync(d time.Duration) {
+	j.fsyncMu.Lock()
+	j.fsyncRing[int(j.fsyncs)%fsyncRingSize] = float64(d.Microseconds()) / 1000
+	j.fsyncs++
+	if j.fsyncCount < fsyncRingSize {
+		j.fsyncCount++
+	}
+	j.fsyncMu.Unlock()
+}
+
+// Close flushes any pending batch, fsyncs, and stops the committer. Appends
+// after Close fail with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	// One final kick so the committer drains any pending batch and exits.
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	j.wg.Wait()
+	close(j.kick)
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	if j.seg != nil {
+		err := j.seg.Sync()
+		if cerr := j.seg.Close(); err == nil {
+			err = cerr
+		}
+		j.seg = nil
+		if err != nil {
+			return fmt.Errorf("journal: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// Records returns every record with Seq > since, in order, re-verifying the
+// chain as it reads (a corrupted journal fails with *CorruptionError rather
+// than returning unverifiable records).
+func (j *Journal) Records(since uint64) ([]Record, error) {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	names, err := segmentFiles(j.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	walker := &Journal{lastHash: genesisHash}
+	var out []Record
+	for _, name := range names {
+		if err := walker.walkSegment(filepath.Join(j.cfg.Dir, name), func(rec Record) error {
+			if rec.Seq > since {
+				out = append(out, rec)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// VerifyResult is the outcome of a chain walk.
+type VerifyResult struct {
+	// ChainOK reports an intact chain; when false, BadSeq is the first
+	// sequence number at which verification failed and Reason says how.
+	ChainOK bool   `json:"chain_ok"`
+	Records uint64 `json:"records"`
+	LastSeq uint64 `json:"last_seq"`
+	BadSeq  uint64 `json:"bad_seq,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Verify re-walks every segment on disk, recomputing the hash chain. Safe
+// against concurrent appends (it serializes with the committer), so a live
+// server can expose it.
+func (j *Journal) Verify() VerifyResult {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	return VerifyDir(j.cfg.Dir)
+}
+
+// VerifyDir walks a journal directory without opening it for appends — the
+// offline verifier behind `rafiki-bench -verify-journal` and `make
+// verify-journal`.
+func VerifyDir(dir string) VerifyResult {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return VerifyResult{Reason: err.Error()}
+	}
+	walker := &Journal{lastHash: genesisHash}
+	for _, name := range names {
+		if err := walker.walkSegment(filepath.Join(dir, name), func(Record) error { return nil }); err != nil {
+			res := VerifyResult{Records: walker.records, LastSeq: walker.lastSeq, Reason: err.Error()}
+			var c *CorruptionError
+			if errors.As(err, &c) {
+				res.BadSeq = c.Seq
+			}
+			return res
+		}
+	}
+	return VerifyResult{ChainOK: true, Records: walker.records, LastSeq: walker.lastSeq}
+}
+
+// Stats is a point-in-time snapshot of the journal's counters.
+type Stats struct {
+	Records  uint64 `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	Segments int    `json:"segments"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Fsyncs counts group commits (each is one fsync, amortizing every append
+	// in its window); FsyncP99Ms is the 99th-percentile fsync latency over
+	// the recent window.
+	Fsyncs     uint64  `json:"fsyncs"`
+	FsyncP99Ms float64 `json:"fsync_p99_ms"`
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	lastSeq := j.lastSeq
+	j.mu.Unlock()
+	j.ioMu.Lock()
+	st := Stats{Records: j.records, Bytes: j.bytes, Segments: j.segments, LastSeq: lastSeq}
+	j.ioMu.Unlock()
+	j.fsyncMu.Lock()
+	st.Fsyncs = j.fsyncs
+	if j.fsyncCount > 0 {
+		ds := append([]float64(nil), j.fsyncRing[:j.fsyncCount]...)
+		sort.Float64s(ds)
+		idx := (len(ds)*99 + 99) / 100 // ceil(0.99·n), 1-based rank
+		st.FsyncP99Ms = ds[idx-1]
+	}
+	j.fsyncMu.Unlock()
+	return st
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.cfg.Dir }

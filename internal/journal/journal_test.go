@@ -1,0 +1,333 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, cfg Config) *Journal {
+	t.Helper()
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		payload, _ := json.Marshal(map[string]int{"i": i})
+		if _, err := j.Append("test", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAppendVerifyRoundTrip pins the core contract: appended records come
+// back in order with an intact chain, across a reopen.
+func TestAppendVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir, GroupWindow: 100 * time.Microsecond})
+	appendN(t, j, 10)
+	res := j.Verify()
+	if !res.ChainOK || res.Records != 10 || res.LastSeq != 10 {
+		t.Fatalf("verify = %+v", res)
+	}
+	recs, err := j.Records(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 8 {
+		t.Fatalf("records since 7 = %+v", recs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen continues the chain.
+	j2 := openT(t, Config{Dir: dir, GroupWindow: 100 * time.Microsecond})
+	seq, err := j2.Append("test", []byte(`{"reopened":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("reopened append seq = %d, want 11", seq)
+	}
+	if res := j2.Verify(); !res.ChainOK || res.LastSeq != 11 {
+		t.Fatalf("verify after reopen = %+v", res)
+	}
+}
+
+// TestConcurrentAppendsGroupCommit drives parallel appenders through the
+// group-commit window: every append must land durably, in a consecutive
+// chain, with far fewer fsyncs than appends.
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	j := openT(t, Config{Dir: t.TempDir(), GroupWindow: 2 * time.Millisecond})
+	const appenders, per = 8, 25
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := j.Append("concurrent", []byte(fmt.Sprintf(`{"a":%d,"i":%d}`, a, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	res := j.Verify()
+	if !res.ChainOK || res.Records != appenders*per {
+		t.Fatalf("verify = %+v", res)
+	}
+	st := j.Stats()
+	if st.Fsyncs == 0 || st.Fsyncs >= appenders*per {
+		t.Fatalf("group commit did not amortize: %d fsyncs for %d appends", st.Fsyncs, appenders*per)
+	}
+	if st.Records != appenders*per || st.LastSeq != appenders*per || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSegmentRolling forces tiny segments and checks the chain spans files.
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir, SegmentBytes: 256, GroupWindow: 100 * time.Microsecond})
+	appendN(t, j, 20)
+	st := j.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want several at a 256-byte bound", st.Segments)
+	}
+	if res := j.Verify(); !res.ChainOK || res.Records != 20 {
+		t.Fatalf("verify = %+v", res)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res := VerifyDir(dir); !res.ChainOK || res.Records != 20 {
+		t.Fatalf("VerifyDir = %+v", res)
+	}
+}
+
+// corruptibleJournal writes a multi-segment journal and returns its dir and
+// segment file names.
+func corruptibleJournal(t *testing.T) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir, SegmentBytes: 512, GroupWindow: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 30)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("want ≥3 segments, got %v", names)
+	}
+	return dir, names
+}
+
+// TestVerifyFlippedByte: a single flipped payload byte mid-file must fail
+// Verify with that record's sequence number.
+func TestVerifyFlippedByte(t *testing.T) {
+	dir, names := corruptibleJournal(t)
+	// Find record seq 13's line and flip a byte inside its payload.
+	var target Record
+	recs := readAll(t, dir, names)
+	target = recs[12]
+	path, off, line := findLine(t, dir, names, target.Seq)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := off + len(line)/2
+	for buf[k] == '"' || buf[k] == '\\' || buf[k] == '\n' { // keep it parsable JSON
+		k++
+	}
+	if buf[k] == '0' {
+		buf[k] = '1'
+	} else {
+		buf[k] = '0'
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := VerifyDir(dir)
+	if res.ChainOK {
+		t.Fatal("verify passed on a flipped byte")
+	}
+	if res.BadSeq != target.Seq {
+		t.Fatalf("bad seq = %d (%s), want %d", res.BadSeq, res.Reason, target.Seq)
+	}
+}
+
+// TestVerifyTruncatedTail: a partially written final record must fail Verify
+// with the sequence the chain expected there.
+func TestVerifyTruncatedTail(t *testing.T) {
+	dir, names := corruptibleJournal(t)
+	recs := readAll(t, dir, names)
+	last := recs[len(recs)-1]
+	path, off, line := findLine(t, dir, names, last.Seq)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the record mid-line: a torn write at process kill.
+	if err := os.WriteFile(path, buf[:off+len(line)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := VerifyDir(dir)
+	if res.ChainOK {
+		t.Fatal("verify passed on a truncated tail")
+	}
+	if res.BadSeq != last.Seq {
+		t.Fatalf("bad seq = %d (%s), want %d", res.BadSeq, res.Reason, last.Seq)
+	}
+	// Open must refuse the torn journal too, naming the same sequence.
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a truncated journal")
+	} else {
+		var c *CorruptionError
+		if !errors.As(err, &c) || c.Seq != last.Seq {
+			t.Fatalf("Open error = %v, want CorruptionError at %d", err, last.Seq)
+		}
+	}
+}
+
+// TestVerifyReorderedSegment: swapping two segment files must fail Verify at
+// the first out-of-order sequence.
+func TestVerifyReorderedSegment(t *testing.T) {
+	dir, names := corruptibleJournal(t)
+	// Swap the contents of the first two segments (names keep their order, so
+	// the walk hits segment 2's records where segment 1's should be).
+	a, b := filepath.Join(dir, names[0]), filepath.Join(dir, names[1])
+	bufA, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a, bufB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, bufA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The first record of the misplaced segment is where the chain breaks.
+	var first Record
+	if err := json.Unmarshal(bufB[:indexByte(bufB, '\n')], &first); err != nil {
+		t.Fatal(err)
+	}
+	res := VerifyDir(dir)
+	if res.ChainOK {
+		t.Fatal("verify passed on reordered segments")
+	}
+	if res.BadSeq != first.Seq {
+		t.Fatalf("bad seq = %d (%s), want %d", res.BadSeq, res.Reason, first.Seq)
+	}
+}
+
+// TestBlobRoundTripAndTamper pins the sidecar: digests address content, and
+// a tampered blob is rejected at load.
+func TestBlobRoundTripAndTamper(t *testing.T) {
+	j := openT(t, Config{Dir: t.TempDir()})
+	digest, err := j.PutBlob([]byte("model weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-put.
+	if d2, err := j.PutBlob([]byte("model weights")); err != nil || d2 != digest {
+		t.Fatalf("re-put = %s, %v", d2, err)
+	}
+	got, err := j.GetBlob(digest)
+	if err != nil || string(got) != "model weights" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if err := os.WriteFile(j.blobPath(digest), []byte("model weighs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.GetBlob(digest); err == nil {
+		t.Fatal("tampered blob loaded")
+	}
+}
+
+// TestAppendAfterClose pins ErrClosed.
+func TestAppendAfterClose(t *testing.T) {
+	j := openT(t, Config{Dir: t.TempDir()})
+	appendN(t, j, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append("late", []byte(`{}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+}
+
+// --- helpers ---
+
+func readAll(t *testing.T, dir string, names []string) []Record {
+	t.Helper()
+	walker := &Journal{lastHash: genesisHash}
+	var out []Record
+	for _, name := range names {
+		if err := walker.walkSegment(filepath.Join(dir, name), func(r Record) error {
+			out = append(out, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// findLine locates the file, byte offset and raw line of a record by seq.
+func findLine(t *testing.T, dir string, names []string, seq uint64) (path string, off int, line []byte) {
+	t.Helper()
+	for _, name := range names {
+		p := filepath.Join(dir, name)
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := 0
+		for o < len(buf) {
+			end := o + indexByte(buf[o:], '\n')
+			var rec Record
+			if err := json.Unmarshal(buf[o:end], &rec); err != nil {
+				t.Fatal(err)
+			}
+			if rec.Seq == seq {
+				return p, o, buf[o:end]
+			}
+			o = end + 1
+		}
+	}
+	t.Fatalf("seq %d not found", seq)
+	return "", 0, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return len(b)
+}

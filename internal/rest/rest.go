@@ -21,6 +21,9 @@
 //	POST    /api/v1/inference/{id}/scale   200      manually resize the replica pools (inside the spec bounds)
 //	DELETE  /api/v1/inference/{id}         204      stop the deployment, release its containers
 //	POST    /api/v1/query/{id}             200      classify a payload
+//	GET     /api/v1/stats                  200      system-wide counts + journal stats (records, bytes, last_seq, chain_ok, fsync p99)
+//	GET     /api/v1/journal?since=N        200      journal records with seq > N (404 when the server runs without a journal)
+//	GET     /api/v1/journal/verify         200      re-walk the journal's hash chain: {chain_ok, records, last_seq, bad_seq?, reason?}
 //	GET     /debug/pprof/...               200      profiling (only when the server was built WithPprof; 404 otherwise)
 //
 // Deployments are declarative resources: POST /api/v1/inference takes a
@@ -30,11 +33,22 @@
 // PUT validates a changed spec in full before reconciling the live runtime —
 // a policy swap keeps queued requests, an SLO or queue-cap change retunes the
 // scheduler, a shard-count change re-hashes the queued backlog onto the new
-// queue layout, and replica-bound changes clamp the live pools. Errors: 400
-// for malformed bodies and spec validation, 404
-// for unknown ids and routes, 405 for wrong methods on known routes, and 409
-// when a deploy/reconcile references a train_job_id that is unknown or still
-// running (the same conflict GET /train/{id}/models reports).
+// queue layout, and replica-bound changes clamp the live pools. Error mapping
+// is uniform over the SDK's typed error classes: rafiki.ErrNotFound (unknown
+// dataset, train job, deployment, or model) answers 404, rafiki.ErrConflict
+// (reading models off a still-running training job, reconciling to a
+// different model set) answers 409, malformed bodies and spec validation
+// answer 400, and wrong methods on known routes answer 405.
+//
+// When the System was booted with rafiki.WithJournal, the journal endpoints
+// expose the durable control plane: GET /api/v1/journal streams the
+// hash-chained mutation records (optionally ?since=N for records with
+// sequence > N — an incremental audit tail), GET /api/v1/journal/verify
+// re-walks the whole chain and reports {"chain_ok":true,...} or the first
+// bad sequence, and GET /api/v1/stats carries a "journal" block with the
+// ledger's counters (records, bytes, segments, last_seq, fsyncs,
+// fsync_p99_ms) plus a live chain_ok. Without a journal, /stats omits the
+// block and the /journal endpoints answer 404.
 //
 // The optional "cache" spec block configures the read-through prediction
 // cache (DESIGN.md §11): {"enabled":true, "capacity":N, "ttl_seconds":S,
@@ -88,6 +102,7 @@ import (
 
 	"rafiki"
 	"rafiki/internal/infer"
+	"rafiki/internal/journal"
 )
 
 // Server is the HTTP facade over a System.
@@ -137,6 +152,9 @@ func NewServer(sys *rafiki.System, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /api/v1/inference/{id}/scale", s.handleInferenceScale)
 	s.mux.HandleFunc("DELETE /api/v1/inference/{id}", s.handleInferenceStop)
 	s.mux.HandleFunc("POST /api/v1/query/{id}", s.handleQuery)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/v1/journal", s.handleJournal)
+	s.mux.HandleFunc("GET /api/v1/journal/verify", s.handleJournalVerify)
 	return s
 }
 
@@ -156,6 +174,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps the SDK's typed error classes onto uniform HTTP statuses —
+// ErrNotFound → 404, ErrConflict → 409 — and anything unclassified onto the
+// handler's fallback.
+func statusFor(err error, fallback int) int {
+	switch {
+	case errors.Is(err, rafiki.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, rafiki.ErrConflict):
+		return http.StatusConflict
+	}
+	return fallback
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -189,7 +220,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.sys.ImportImages(req.Name, req.Folders)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, d)
@@ -227,7 +258,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		Models:      req.Models,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID})
@@ -258,7 +289,7 @@ func (s *Server) handleTrainModels(w http.ResponseWriter, r *http.Request) {
 	}
 	models, err := s.sys.GetModels(job.ID)
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusFor(err, http.StatusConflict), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, models)
@@ -365,7 +396,7 @@ func (s *Server) resolveModels(w http.ResponseWriter, req InferenceRequest) ([]r
 	}
 	models, err := s.sys.GetModels(req.TrainJobID)
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusFor(err, http.StatusConflict), err)
 		return nil, false
 	}
 	return models, true
@@ -383,7 +414,7 @@ func (s *Server) handleInference(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.sys.Deploy(req.spec(models))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, job.Describe())
@@ -421,11 +452,7 @@ func (s *Server) handleInferenceReconcile(w http.ResponseWriter, r *http.Request
 	}
 	desc, err := s.sys.ReconcileInference(id, req.spec(models))
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
+		writeErr(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, desc)
@@ -452,11 +479,7 @@ func (s *Server) handleInferenceScale(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.ScaleInference(id, req.Model, req.Replicas); err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
+		writeErr(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	job, err := s.sys.InferenceJobByID(id)
@@ -470,11 +493,7 @@ func (s *Server) handleInferenceScale(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInferenceStop(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.sys.StopInference(id); err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, rafiki.ErrUnknownInferenceJob) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
+		writeErr(w, statusFor(err, http.StatusInternalServerError), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -515,7 +534,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// genuine server fault.
 		status := http.StatusInternalServerError
 		switch {
-		case errors.Is(err, rafiki.ErrUnknownInferenceJob):
+		case errors.Is(err, rafiki.ErrNotFound):
 			status = http.StatusNotFound
 		case errors.Is(err, infer.ErrQueueFull):
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(id)))
@@ -527,6 +546,56 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleStats reports system-wide resource counts; with the durable control
+// plane enabled it includes the journal block (records, bytes, segments,
+// last_seq, fsyncs, fsync_p99_ms, chain_ok).
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Stats())
+}
+
+// handleJournal streams the journal's records, optionally from ?since=N
+// (records with sequence > N), re-verifying the chain as it reads.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: bad since %q: %w", q, err))
+			return
+		}
+		since = v
+	}
+	recs, err := s.sys.JournalRecords(since)
+	if err != nil {
+		writeErr(w, journalStatus(err), err)
+		return
+	}
+	if recs == nil {
+		recs = []journal.Record{} // an empty tail is [], not null
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleJournalVerify re-walks the whole hash chain and reports the result —
+// chain_ok with the record count, or the first bad sequence and why.
+func (s *Server) handleJournalVerify(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.sys.JournalVerify()
+	if err != nil {
+		writeErr(w, journalStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// journalStatus maps journal-endpoint errors: a server without a journal has
+// no such resource (404); a read failure mid-walk is a server fault.
+func journalStatus(err error) int {
+	if errors.Is(err, rafiki.ErrNoJournal) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
 }
 
 // retryAfter turns a rejected query's drain estimate into whole Retry-After

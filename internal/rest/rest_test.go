@@ -464,7 +464,7 @@ func TestRESTErrorPaths(t *testing.T) {
 		{"malformed import body", "POST", "/api/v1/datasets", "{", 400},
 		{"malformed query body", "POST", "/api/v1/query/" + infID, "{", 400},
 		{"malformed scale body", "POST", "/api/v1/inference/" + infID + "/scale", "{", 400},
-		{"invalid spec policy", "POST", "/api/v1/inference", `{"train_job_id":"x","policy":"warp"}`, 409},
+		{"unknown train job id", "POST", "/api/v1/inference", `{"train_job_id":"x","policy":"warp"}`, 404},
 		{"reconcile invalid policy", "PUT", "/api/v1/inference/" + infID, `{"policy":"warp"}`, 400},
 		{"reconcile inverted bounds", "PUT", "/api/v1/inference/" + infID, `{"replicas":{"min":5,"max":2}}`, 400},
 		{"reconcile ghost id bad train job", "PUT", "/api/v1/inference/ghost", `{"train_job_id":"also-ghost"}`, 404},
@@ -951,5 +951,114 @@ func TestBackendBlockOverREST(t *testing.T) {
 	}
 	if d, err := c.DescribeInference(infID); err != nil || d.Status.Backend != "sim" {
 		t.Fatalf("failed PUT moved the backend: %v %+v", err, d.Status)
+	}
+}
+
+// TestJournalEndpointsOverREST drives the durable-control-plane surface: a
+// journaled server exposes its mutation ledger over /api/v1/journal, verify
+// reports an intact chain, and /stats carries the journal block; a server
+// booted without a journal answers 404 on the journal routes and omits the
+// stats block.
+func TestJournalEndpointsOverREST(t *testing.T) {
+	sys, err := rafiki.New(
+		rafiki.Options{Seed: 7, Workers: 2, NodeCapacity: 16, ServeSpeedup: 50},
+		rafiki.WithJournal(t.TempDir()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	ts := httptest.NewServer(NewServer(sys))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	if _, err := c.ImportImages("food", map[string]int{"pizza": 30, "ramen": 30}); err != nil {
+		t.Fatal(err)
+	}
+
+	getJSON := func(path string, v any) int {
+		t.Helper()
+		resp, err := c.HTTP.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var recs []map[string]any
+	if code := getJSON("/api/v1/journal", &recs); code != 200 {
+		t.Fatalf("journal status = %d", code)
+	}
+	if len(recs) != 1 || recs[0]["kind"] != "dataset_import" {
+		t.Fatalf("journal records = %+v", recs)
+	}
+	var tail []map[string]any
+	if code := getJSON("/api/v1/journal?since=1", &tail); code != 200 || len(tail) != 0 {
+		t.Fatalf("journal since=1 = %d %+v", len(tail), tail)
+	}
+	if code := getJSON("/api/v1/journal?since=bogus", nil); code != 400 {
+		t.Fatalf("journal since=bogus status = %d, want 400", code)
+	}
+
+	var ver struct {
+		ChainOK bool   `json:"chain_ok"`
+		Records uint64 `json:"records"`
+	}
+	if code := getJSON("/api/v1/journal/verify", &ver); code != 200 || !ver.ChainOK || ver.Records != 1 {
+		t.Fatalf("verify = %+v", ver)
+	}
+
+	var stats struct {
+		Datasets int `json:"datasets"`
+		Journal  *struct {
+			Records    uint64  `json:"records"`
+			Bytes      int64   `json:"bytes"`
+			LastSeq    uint64  `json:"last_seq"`
+			ChainOK    bool    `json:"chain_ok"`
+			FsyncP99Ms float64 `json:"fsync_p99_ms"`
+		} `json:"journal"`
+	}
+	if code := getJSON("/api/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	if stats.Datasets != 1 || stats.Journal == nil {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !stats.Journal.ChainOK || stats.Journal.LastSeq != 1 || stats.Journal.Bytes == 0 {
+		t.Fatalf("stats journal block = %+v", stats.Journal)
+	}
+
+	// A server without a journal: the routes answer 404 and stats omits the
+	// block.
+	c2, ts2 := newTestServer(t)
+	for _, path := range []string{"/api/v1/journal", "/api/v1/journal/verify"} {
+		resp, err := c2.HTTP.Get(ts2.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s without a journal = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	var bare struct {
+		Journal *struct{} `json:"journal"`
+	}
+	resp, err := c2.HTTP.Get(ts2.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&bare); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || bare.Journal != nil {
+		t.Fatalf("journal-less stats = %d %+v", resp.StatusCode, bare.Journal)
 	}
 }

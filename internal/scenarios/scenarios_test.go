@@ -1,0 +1,144 @@
+package scenarios
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duration = 10
+	for _, sc := range Registry() {
+		a, err := sc.New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		b, err := sc.New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		sa, sb := a.Stream(), b.Stream()
+		if len(sa) == 0 {
+			t.Fatalf("%s: empty stream", sc.Name)
+		}
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: lengths differ: %d vs %d", sc.Name, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s: draw %d differs: %d vs %d", sc.Name, i, sa[i], sb[i])
+			}
+		}
+		for i, k := range sa {
+			if k < 0 || k >= cfg.Keys {
+				t.Fatalf("%s: draw %d out of range: %d", sc.Name, i, k)
+			}
+		}
+	}
+}
+
+func TestScenarioStreamsDiffer(t *testing.T) {
+	// The per-scenario RNG split must give each scenario its own stream even
+	// under an identical config.
+	cfg := Defaults()
+	cfg.Duration = 10
+	seen := map[string][]int{}
+	for _, sc := range Registry() {
+		g, err := sc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[sc.Name] = g.Stream()
+	}
+	same := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(seen["diurnal"], seen["bursty"]) || same(seen["diurnal"], seen["hotkey"]) {
+		t.Fatal("scenario streams should differ under the same config")
+	}
+}
+
+func TestDiurnalRateSwings(t *testing.T) {
+	cfg := Defaults()
+	g, err := newDiurnal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := g.Rate(cfg.Duration / 4)       // sin = 1
+	trough := g.Rate(3 * cfg.Duration / 4) // sin = -1
+	if math.Abs(peak-1.6*cfg.BaseRate) > 1e-6 {
+		t.Fatalf("peak = %v, want %v", peak, 1.6*cfg.BaseRate)
+	}
+	if math.Abs(trough-0.4*cfg.BaseRate) > 1e-6 {
+		t.Fatalf("trough = %v, want %v", trough, 0.4*cfg.BaseRate)
+	}
+}
+
+func TestBurstyHasBothRegimes(t *testing.T) {
+	cfg := Defaults()
+	g, err := newBursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, burst := 0, 0
+	for t0 := 0.0; t0 < cfg.Duration; t0 += cfg.Tick {
+		switch r := g.Rate(t0); r {
+		case cfg.BaseRate:
+			quiet++
+		case cfg.BaseRate * burstX:
+			burst++
+		default:
+			t.Fatalf("unexpected rate %v at t=%v", r, t0)
+		}
+	}
+	if quiet == 0 || burst == 0 {
+		t.Fatalf("want both regimes, got quiet=%d burst=%d", quiet, burst)
+	}
+	if burst >= quiet {
+		t.Fatalf("bursts should be the minority: quiet=%d burst=%d", quiet, burst)
+	}
+}
+
+func TestHotkeyRotatesHotRegion(t *testing.T) {
+	cfg := Defaults()
+	g, err := newHotkey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 (the hottest key) must land on different concrete keys in
+	// different phases, and the full key stays in range.
+	first := g.remap(0, 0)
+	second := g.remap(cfg.Duration/hotkeyPhases+0.01, 0)
+	if first == second {
+		t.Fatalf("hot key did not move across phases: %d", first)
+	}
+	for t0 := 0.0; t0 < cfg.Duration; t0 += cfg.Duration / 12 {
+		if k := g.remap(t0, cfg.Keys-1); k < 0 || k >= cfg.Keys {
+			t.Fatalf("remap out of range at t=%v: %d", t0, k)
+		}
+	}
+}
+
+func TestLookupAndValidation(t *testing.T) {
+	if _, ok := Lookup("diurnal"); !ok {
+		t.Fatal("diurnal should be registered")
+	}
+	if _, ok := Lookup("ghost"); ok {
+		t.Fatal("ghost should not resolve")
+	}
+	bad := Defaults()
+	bad.Keys = 0
+	for _, sc := range Registry() {
+		if _, err := sc.New(bad); err == nil {
+			t.Fatalf("%s: invalid config should error", sc.Name)
+		}
+	}
+}

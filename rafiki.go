@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"rafiki/internal/cluster"
+	"rafiki/internal/journal"
 	"rafiki/internal/ps"
 	"rafiki/internal/sim"
 	"rafiki/internal/store"
@@ -96,6 +97,8 @@ type System struct {
 	ps      *ps.Server
 	fs      *store.FS
 	rng     *sim.RNG
+	// jr is the write-ahead journal, nil unless booted WithJournal.
+	jr *journal.Journal
 
 	mu        sync.Mutex
 	seq       int
@@ -105,8 +108,10 @@ type System struct {
 }
 
 // New boots a System: it provisions the simulated cluster nodes, the block
-// store's datanodes and the parameter server shards.
-func New(opts Options) (*System, error) {
+// store's datanodes and the parameter server shards. Extras attach optional
+// subsystems — WithJournal enables the durable control plane (pair with
+// Recover to replay an existing journal).
+func New(opts Options, extras ...Option) (*System, error) {
 	opts = opts.withDefaults()
 	fs, err := store.NewFS(opts.Nodes, 1<<20, 2)
 	if err != nil {
@@ -118,7 +123,7 @@ func New(opts Options) (*System, error) {
 			return nil, fmt.Errorf("rafiki: cluster: %w", err)
 		}
 	}
-	return &System{
+	s := &System{
 		opts:      opts,
 		cluster:   mgr,
 		ps:        ps.New(16, fs),
@@ -127,7 +132,13 @@ func New(opts Options) (*System, error) {
 		trainJobs: map[string]*TrainJob{},
 		inferJobs: map[string]*InferenceJob{},
 		datasets:  map[string]*Dataset{},
-	}, nil
+	}
+	for _, opt := range extras {
+		if err := opt(s); err != nil {
+			return nil, fmt.Errorf("rafiki: %w", err)
+		}
+	}
+	return s, nil
 }
 
 // nextID mints a job/dataset identifier.
@@ -151,6 +162,17 @@ type Dataset struct {
 // folders maps each class subfolder to its image count; 20% of each class
 // is held out for validation.
 func (s *System) ImportImages(name string, folders map[string]int) (*Dataset, error) {
+	return s.importImages(name, folders, true)
+}
+
+// importImages is ImportImages with the journal switch: live calls append a
+// dataset_import record before the import runs; replay passes record=false.
+func (s *System) importImages(name string, folders map[string]int, record bool) (*Dataset, error) {
+	if record {
+		if err := s.journalAppend(kindDatasetImport, datasetImportRec{Name: name, Folders: folders}); err != nil {
+			return nil, err
+		}
+	}
 	d, err := store.ImportImages(s.fs, name, folders, 0.2)
 	if err != nil {
 		return nil, fmt.Errorf("rafiki: import: %w", err)
@@ -186,7 +208,7 @@ func (s *System) Dataset(name string) (*Dataset, error) {
 	defer s.mu.Unlock()
 	d, ok := s.datasets[name]
 	if !ok {
-		return nil, fmt.Errorf("rafiki: unknown dataset %q", name)
+		return nil, fmt.Errorf("rafiki: %w: unknown dataset %q", ErrNotFound, name)
 	}
 	return d, nil
 }

@@ -483,6 +483,15 @@ func (s *System) ListInference() []InferenceDescription {
 // steps cannot fail (the runtime cannot close mid-reconcile — teardown
 // serializes on the job lock).
 func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceDescription, error) {
+	return s.reconcileInference(id, spec, true)
+}
+
+// reconcileInference is ReconcileInference with the journal switch: the fully
+// resolved spec is appended under job.mu after validation and before the
+// first mutation, so journal order matches apply order (job.mu serializes
+// reconciles) and replay re-executes the exact spec the caller was
+// acknowledged for.
+func (s *System) reconcileInference(id string, spec DeploymentSpec, record bool) (*InferenceDescription, error) {
 	job, err := s.InferenceJobByID(id)
 	if err != nil {
 		return nil, err
@@ -500,7 +509,12 @@ func (s *System) ReconcileInference(id string, spec DeploymentSpec) (*InferenceD
 		return nil, err
 	}
 	if !sameModelSet(spec.Models, job.Models) {
-		return nil, fmt.Errorf("rafiki: reconcile %s: the model set is immutable (deploy a new job to change models)", id)
+		return nil, fmt.Errorf("rafiki: %w: reconcile %s: the model set is immutable (deploy a new job to change models)", ErrConflict, id)
+	}
+	if record {
+		if err := s.journalAppend(kindReconcile, reconcileRec{ID: id, Spec: spec}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Clamp the live replica pools into the new bounds first: it is the only

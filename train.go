@@ -78,9 +78,18 @@ type TrainJob struct {
 	masters map[string]*tune.Master
 	wg      sync.WaitGroup
 
+	// completeOnce guards the one-time completion step (journal the
+	// train_complete record, then flip done): Wait and the monitor goroutine
+	// race to it, and a recovered job arrives with it already burnt.
+	completeOnce sync.Once
+
 	mu   sync.Mutex
 	errs []error
 	done bool
+	// recovered marks a job rebuilt from the journal: its masters never ran
+	// in this process, so Status answers from the recorded final snapshot.
+	recovered bool
+	recStatus TrainStatus
 }
 
 // Train submits a training job (Figure 2's rafiki.Train(...).run()): Rafiki
@@ -90,10 +99,25 @@ type TrainJob struct {
 // it; checkpoints land in the shared parameter server, so the job's models
 // are instantly deployable afterwards.
 func (s *System) Train(cfg TrainConfig) (*TrainJob, error) {
+	return s.train(cfg, "", true)
+}
+
+// train is Train with the journal switch: live calls mint an ID and append a
+// train_submit record (carrying the defaulted config and resolved model set,
+// so replay is deterministic) before any side effect; replay passes the
+// recorded ID and record=false.
+func (s *System) train(cfg TrainConfig, forceID string, record bool) (*TrainJob, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("rafiki: training job needs a name")
 	}
 	cfg.Hyper = cfg.Hyper.withDefaults()
+	// Validate the advisor kind before any side effect (ID mint, journal
+	// append, container launches), so a bad config never half-applies.
+	switch cfg.Hyper.Advisor {
+	case "random", "bayes", "grid":
+	default:
+		return nil, fmt.Errorf("rafiki: unknown advisor %q", cfg.Hyper.Advisor)
+	}
 	ds, err := s.Dataset(cfg.Data)
 	if err != nil {
 		return nil, err
@@ -115,8 +139,14 @@ func (s *System) Train(cfg TrainConfig) (*TrainJob, error) {
 		}
 	}
 
+	id := s.mintOrAdopt("train", forceID)
+	if record {
+		if err := s.journalAppend(kindTrainSubmit, trainSubmitRec{ID: id, Conf: cfg, Models: models}); err != nil {
+			return nil, err
+		}
+	}
 	job := &TrainJob{
-		ID:      s.nextID("train"),
+		ID:      id,
 		Conf:    cfg,
 		sys:     s,
 		models:  models,
@@ -200,15 +230,29 @@ func (s *System) Train(cfg TrainConfig) (*TrainJob, error) {
 	}
 	go func() {
 		job.wg.Wait()
-		job.mu.Lock()
-		job.done = true
-		job.mu.Unlock()
+		job.finish()
+	}()
+	return job, nil
+}
+
+// finish is the one-time completion step, raced harmlessly by Wait and the
+// monitor goroutine. The train_complete record (final status + checkpoint
+// blobs) is journaled *before* done becomes observable: a caller that saw
+// done and deployed therefore always lands its deploy record after the
+// completion on the ledger, so replay restores checkpoints before any
+// deployment needs them. A journal closed mid-write (process shutdown) just
+// loses the completion record — the job replays as incomplete and re-trains.
+func (j *TrainJob) finish() {
+	j.completeOnce.Do(func() {
+		_ = j.sys.journalTrainComplete(j)
+		j.mu.Lock()
+		j.done = true
+		j.mu.Unlock()
 		// Checkpoint publication: the job's best checkpoints are now in the
 		// parameter server, so any deployment serving these architectures
 		// has prediction-cache entries describing superseded models.
-		s.invalidateCachesForModels(job.models)
-	}()
-	return job, nil
+		j.sys.invalidateCachesForModels(j.models)
+	})
 }
 
 // invalidateCachesForModels bumps the prediction-cache epoch of every live
@@ -259,20 +303,31 @@ func trainerFor(model string, classes int) surrogate.Config {
 // Wait blocks until the job finishes and returns its first error, if any.
 func (j *TrainJob) Wait() error {
 	j.wg.Wait()
+	j.finish() // workers are finished; don't race the monitor goroutine
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.done = true // workers are finished; don't race the monitor goroutine
 	if len(j.errs) > 0 {
 		return j.errs[0]
 	}
 	return nil
 }
 
-// Status reports progress (usable while the job runs).
+// Status reports progress (usable while the job runs). A journal-recovered
+// job answers from its recorded final snapshot: its masters never ran in
+// this process.
 func (j *TrainJob) Status() TrainStatus {
 	j.mu.Lock()
-	done := j.done
+	done, recovered := j.done, j.recovered
 	j.mu.Unlock()
+	if recovered {
+		st := j.recStatus
+		st.Models = append([]string(nil), j.recStatus.Models...)
+		st.BestAccuracy = make(map[string]float64, len(j.recStatus.BestAccuracy))
+		for k, v := range j.recStatus.BestAccuracy {
+			st.BestAccuracy[k] = v
+		}
+		return st
+	}
 	st := TrainStatus{
 		JobID:        j.ID,
 		Done:         done,
@@ -310,7 +365,7 @@ func (s *System) TrainJobByID(id string) (*TrainJob, error) {
 	defer s.mu.Unlock()
 	job, ok := s.trainJobs[id]
 	if !ok {
-		return nil, fmt.Errorf("rafiki: unknown training job %q", id)
+		return nil, fmt.Errorf("rafiki: %w: unknown training job %q", ErrNotFound, id)
 	}
 	return job, nil
 }
@@ -333,13 +388,13 @@ func (s *System) GetModels(trainJobID string) ([]ModelInstance, error) {
 	job, ok := s.trainJobs[trainJobID]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("rafiki: unknown training job %q", trainJobID)
+		return nil, fmt.Errorf("rafiki: %w: unknown training job %q", ErrNotFound, trainJobID)
 	}
 	job.mu.Lock()
 	done := job.done
 	job.mu.Unlock()
 	if !done {
-		return nil, fmt.Errorf("rafiki: training job %s still running", trainJobID)
+		return nil, fmt.Errorf("rafiki: %w: training job %s still running", ErrConflict, trainJobID)
 	}
 	var out []ModelInstance
 	for _, model := range job.models {
