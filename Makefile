@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke verify-journal scenarios
+.PHONY: check fmt vet build test race bench bench-smoke bench-gate profile verify-journal scenarios
 
-check: fmt vet build race bench-smoke verify-journal
+check: fmt vet build race bench-smoke bench-gate verify-journal
 
 # -s also flags code a `gofmt -s` simplification would rewrite (vet's
 # missing sibling: composite-literal elision, redundant slice bounds, ...).
@@ -37,17 +37,31 @@ bench:
 # that the dispatch hot path still scales with replicas, the submit path
 # with shards, the drain path with dispatch groups, and the read-through
 # cache still short-circuits a skewed stream. The fixed iteration counts
-# bound the standing backlog the submit benchmark accumulates. The serving
-# matrix and the cache rows are also emitted as machine-readable
-# BENCH_serving.json (submitted + served QPS at 1/8 shards × 1/4 groups,
-# batch-size mean, cache-off/on QPS + hit rates) so the serving perf
-# trajectory is tracked across PRs — CI archives it per commit.
+# bound the standing backlog the submit benchmark accumulates.
 bench-smoke:
 	$(GO) test ./internal/infer/ -run none -bench BenchmarkReplicaScaling -benchtime 1x
 	$(GO) test . -run none -bench BenchmarkShardedSubmit -benchtime 20000x
 	$(GO) test . -run none -bench BenchmarkParallelDispatch -benchtime 1x
 	$(GO) test . -run none -bench BenchmarkPredictionCache -benchtime 1x
-	$(GO) run ./cmd/rafiki-bench -serving BENCH_serving.json
+
+# Serving-perf regression gate: re-measure the full serving matrix and the
+# cache pass, emit the machine-readable BENCH_serving.json (submitted +
+# served QPS at 1/8 shards × 1/4 groups × gomaxprocs 1/4/8 + nn tier,
+# batch-size mean, peak goroutines, cache-off/on QPS + hit rates — CI
+# archives it per commit so the serving perf trajectory is tracked across
+# PRs), and fail if any served-QPS row regresses >15% against the committed
+# baseline snapshot. After a deliberate perf change, refresh the baseline:
+# cp BENCH_serving.json BENCH_baseline.json and commit it with the change.
+bench-gate:
+	$(GO) run ./cmd/rafiki-bench -serving BENCH_serving.json -gate BENCH_baseline.json
+
+# Contention evidence: the same serving matrix under CPU/mutex/block
+# profiling. Profiles and the run's report land in artifacts/profiles,
+# which CI archives, so any bench-gate regression comes with the pprof
+# data to diagnose it post-hoc.
+profile:
+	rm -rf artifacts/profiles
+	$(GO) run ./cmd/rafiki-bench -serving artifacts/profiles/BENCH_serving.json -profile artifacts/profiles
 
 # Workload-scenario benchmark (diurnal / bursty / hotkey traffic shapes
 # through the serving runtime, prediction cache off vs on). Emits

@@ -120,12 +120,13 @@ func BenchmarkParallelDispatch(b *testing.B) {
 				}
 			}
 			// Goroutine-bound gate: batch execution runs on the bounded
-			// per-model pools, so the process peak stays O(replicas + shards
-			// + planes + submitters) — tens, plus transient timer-callback
-			// goroutines when replica-free timers contend on the dispatch
-			// lock — while the row executes ~3000 dispatches. One goroutine
-			// per dispatch (or per request) would blow straight past this.
-			const maxGoroutineBound = 256
+			// per-model pools and each dispatch plane has one parked sweep
+			// worker, so the process peak stays O(replicas + planes +
+			// submitters) — wall-timer callbacks are now cheap flag-sets that
+			// never block on plane locks, so they no longer pile up. One
+			// goroutine per dispatch (or per request) would blow straight
+			// past this.
+			const maxGoroutineBound = 128
 			if row.MaxGoroutines > maxGoroutineBound {
 				b.Fatalf("goroutine peak %d exceeds the bounded-pool gate %d (dispatches=%d)",
 					row.MaxGoroutines, maxGoroutineBound, row.Dispatches)

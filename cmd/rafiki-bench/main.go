@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rafiki/internal/exp"
@@ -31,7 +34,9 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids: fig2,fig3,table1,fig6,fig8,fig9,fig10,fig11,fig13,fig14,fig15,fig16,ablations,all")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 0, "override random seed (0 keeps the default)")
-	servingFlag := flag.String("serving", "", "run the serving-plane benchmark (submitted/served QPS at 1/8 shards × 1/4 dispatch groups, batch-size mean) and write the machine-readable report to this path")
+	servingFlag := flag.String("serving", "", "run the serving-plane benchmark (submitted/served QPS at 1/8 shards × 1/4 dispatch groups × gomaxprocs 1/4/8, batch-size mean) and write the machine-readable report to this path")
+	gateFlag := flag.String("gate", "", "with -serving: compare the fresh report's served-QPS rows against the committed baseline report at this path and exit non-zero on a >15% regression")
+	profileFlag := flag.String("profile", "", "with -serving: write cpu.pprof, mutex.pprof and block.pprof for the bench run into this directory")
 	scenarioFlag := flag.String("scenario", "", "run the workload-scenario benchmark: comma-separated scenario names (diurnal,bursty,hotkey) or 'all'")
 	scenarioOut := flag.String("scenario-out", "BENCH_scenarios.json", "path the -scenario report is written to")
 	verifyJournal := flag.String("verify-journal", "", "verify the hash chain of the journal directory at this path and exit (non-zero on corruption)")
@@ -54,7 +59,7 @@ func main() {
 	}
 
 	if *servingFlag != "" {
-		if err := writeServingBench(*servingFlag); err != nil {
+		if err := writeServingBench(*servingFlag, *gateFlag, *profileFlag); err != nil {
 			log.Fatalf("rafiki-bench: %v", err)
 		}
 		return
@@ -127,16 +132,30 @@ func main() {
 // writeServingBench runs the serving-plane benchmark matrix (DESIGN.md §10)
 // and writes the machine-readable report: submitted and served QPS at
 // 1 and 8 queue shards crossed with 1 and 4 dispatch groups on the sim tier,
-// the largest configuration re-run on the real nn backend (DESIGN.md §12),
+// the largest configuration re-run at GOMAXPROCS 4 and 8 (the multi-core
+// scaling axis, DESIGN.md §14) and on the real nn backend (DESIGN.md §12),
 // the mean executed batch size and per-row peak goroutine count, plus the
 // prediction-cache pass over a Zipfian key stream (cache-off vs cache-on
 // served QPS and hit rates, DESIGN.md §11) — the numbers CI archives per
 // commit so the serving perf trajectory is tracked across PRs.
-func writeServingBench(path string) error {
+//
+// gatePath, when non-empty, names the committed baseline report: served-QPS
+// rows matching on (shards, groups, backend, gomaxprocs) must stay within
+// 15% of the baseline or the run fails. profileDir, when non-empty, captures
+// cpu/mutex/block pprof profiles of the bench run into that directory.
+func writeServingBench(path, gatePath, profileDir string) error {
+	if profileDir != "" {
+		stop, err := startProfiles(profileDir)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	// Speedup 1000 shrinks the profiled model latencies until the dispatch
 	// plane — not model capacity — is the served-QPS bottleneck, which is
 	// exactly what dispatch groups parallelize.
-	rep, err := exp.RunServingBench(16000, 8, []int{1, 8}, []int{1, 4}, 1000)
+	rep, err := exp.RunServingBench(servingBenchRequests, servingBenchSubmitters,
+		[]int{1, 8}, []int{1, 4}, []int{1, 4, 8}, servingBenchSpeedup)
 	if err != nil {
 		return err
 	}
@@ -155,8 +174,8 @@ func writeServingBench(path string) error {
 		return err
 	}
 	for _, row := range rep.Rows {
-		fmt.Printf("serving shards=%d groups=%d backend=%s submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d max-goroutines=%d\n",
-			row.Shards, row.Groups, row.Backend, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen, row.MaxGoroutines)
+		fmt.Printf("serving shards=%d groups=%d backend=%s gomaxprocs=%d submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d max-goroutines=%d\n",
+			row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen, row.MaxGoroutines)
 	}
 	for _, row := range rep.Cache.Rows {
 		fmt.Printf("cache on=%v served=%.0f qps hit-rate=%.2f hot-hit-rate=%.2f collapsed=%d\n",
@@ -165,7 +184,132 @@ func writeServingBench(path string) error {
 	fmt.Printf("cache speedup %.1fx (zipf s=%.1f, %d keys, hot region %d)\n",
 		rep.Cache.SpeedupX, rep.Cache.ZipfS, rep.Cache.Keys, rep.Cache.HotKeys)
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", path, rep.GOMAXPROCS)
+	if gatePath != "" {
+		if err := gateServingBench(rep, gatePath); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Serving-bench matrix parameters, shared by the initial sweep and the
+// gate's per-row re-measurements so a retried row reproduces its original
+// configuration exactly.
+const (
+	servingBenchRequests   = 16000
+	servingBenchSubmitters = 8
+	servingBenchSpeedup    = 1000
+)
+
+// benchGateTolerance is the allowed served-QPS regression against the
+// committed baseline before the gate fails the build. Wall-clock QPS on a
+// shared CI worker is noisy; 15% separates a real dispatch-path regression
+// from scheduler jitter.
+const benchGateTolerance = 0.15
+
+// benchGateRetries is how many times a row that lands under its baseline
+// floor is re-measured before the gate fails. Wall-clock noise is
+// one-sided — a noisy neighbour or GC pause only ever slows a run down —
+// so the best of a few attempts estimates what the code can actually
+// sustain, while a genuine dispatch-path regression fails every attempt.
+const benchGateRetries = 2
+
+// gateServingBench compares the fresh report's served-QPS rows against the
+// committed baseline at gatePath. Rows match on (shards, groups, backend,
+// gomaxprocs); rows without a baseline counterpart (a new matrix entry) are
+// skipped with a note, so widening the matrix never requires a lockstep
+// baseline bump.
+func gateServingBench(rep *exp.ServingBenchReport, gatePath string) error {
+	buf, err := os.ReadFile(gatePath)
+	if err != nil {
+		return fmt.Errorf("bench gate: read baseline: %w", err)
+	}
+	var base exp.ServingBenchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("bench gate: parse baseline %s: %w", gatePath, err)
+	}
+	type rowKey struct {
+		shards, groups, procs int
+		backend               string
+	}
+	baseline := make(map[rowKey]float64, len(base.Rows))
+	for _, row := range base.Rows {
+		baseline[rowKey{row.Shards, row.Groups, row.GOMAXPROCS, row.Backend}] = row.ServedQPS
+	}
+	failed := false
+	for _, row := range rep.Rows {
+		key := rowKey{row.Shards, row.Groups, row.GOMAXPROCS, row.Backend}
+		want, ok := baseline[key]
+		if !ok {
+			fmt.Printf("bench gate: no baseline row for shards=%d groups=%d backend=%s gomaxprocs=%d (skipped)\n",
+				row.Shards, row.Groups, row.Backend, row.GOMAXPROCS)
+			continue
+		}
+		floor := want * (1 - benchGateTolerance)
+		verdict := "ok"
+		served := row.ServedQPS
+		for attempt := 0; served < floor && attempt < benchGateRetries; attempt++ {
+			fmt.Printf("bench gate: shards=%d groups=%d backend=%s gomaxprocs=%d served=%.0f under floor=%.0f, re-measuring (%d/%d)\n",
+				row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, served, floor, attempt+1, benchGateRetries)
+			again, err := exp.RunServingBenchRowProcs(servingBenchRequests, servingBenchSubmitters,
+				row.Shards, row.Groups, row.GOMAXPROCS, servingBenchSpeedup, row.Backend)
+			if err != nil {
+				return fmt.Errorf("bench gate: re-measure: %w", err)
+			}
+			if again.ServedQPS > served {
+				served = again.ServedQPS
+			}
+		}
+		if served < floor {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("bench gate: shards=%d groups=%d backend=%s gomaxprocs=%d served=%.0f baseline=%.0f floor=%.0f %s\n",
+			row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, served, want, floor, verdict)
+	}
+	if failed {
+		return fmt.Errorf("bench gate: served QPS regressed >%.0f%% against %s", benchGateTolerance*100, gatePath)
+	}
+	fmt.Printf("bench gate: all rows within %.0f%% of %s\n", benchGateTolerance*100, gatePath)
+	return nil
+}
+
+// startProfiles begins CPU profiling and enables mutex/block sampling,
+// returning a stop function that writes cpu.pprof, mutex.pprof and
+// block.pprof into dir — the post-hoc contention evidence CI archives for
+// every bench run (DESIGN.md §14).
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(10_000) // sample blocking events ≥10µs-ish
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		runtime.SetMutexProfileFraction(0)
+		runtime.SetBlockProfileRate(0)
+		for _, name := range []string{"mutex", "block"} {
+			f, err := os.Create(filepath.Join(dir, name+".pprof"))
+			if err != nil {
+				log.Printf("rafiki-bench: profile %s: %v", name, err)
+				continue
+			}
+			if p := pprof.Lookup(name); p != nil {
+				_ = p.WriteTo(f, 0)
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote profiles to %s (cpu.pprof, mutex.pprof, block.pprof)\n", dir)
+	}, nil
 }
 
 // writeScenarioBench replays the named workload scenarios (internal/scenarios

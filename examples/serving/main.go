@@ -350,6 +350,7 @@ func wallClock(models []string, replicas int) float64 {
 			if _, err := f.Wait(); err != nil {
 				log.Printf("wait %d: %v", i, err)
 			}
+			f.Release()
 		}(i)
 	}
 	wg.Wait()

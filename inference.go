@@ -639,14 +639,16 @@ func (s *System) Query(jobID string, payload []byte) (*QueryResult, error) {
 }
 
 // submitAndWait is the uncached serving path: enqueue the payload into the
-// job's runtime and block on the batch future. The payload must be owned by
-// the callee (callers copy).
+// job's runtime, block on the batch future, and release its slot back to
+// the completion pool — the steady-state query path recycles rather than
+// allocates its per-request state.
 func (j *InferenceJob) submitAndWait(payload []byte) (*QueryResult, error) {
 	fut, err := j.runtime.Submit(payload)
 	if err != nil {
 		return nil, err
 	}
 	res, err := fut.Wait()
+	fut.Release()
 	if err != nil {
 		return nil, err
 	}

@@ -140,6 +140,7 @@ func runCacheBenchRow(draws []int, payloads [][]byte, digests []uint64, submitte
 				return predcache.ComputedCold, err
 			}
 			_, err = f.Wait()
+			f.Release()
 			return predcache.ComputedCold, err
 		}
 		_, out, err := cache.GetOrCompute(digests[k], payloads[k], func() (any, error) {
@@ -147,7 +148,9 @@ func runCacheBenchRow(draws []int, payloads [][]byte, digests []uint64, submitte
 			if err != nil {
 				return nil, err
 			}
-			return f.Wait()
+			v, err := f.Wait()
+			f.Release()
+			return v, err
 		})
 		return out, err
 	}

@@ -29,6 +29,11 @@ type ServingBenchRow struct {
 	// Backend is the execution tier the row ran on: "sim" (profiled pacing)
 	// or "nn" (real in-process forward passes on the executor pools).
 	Backend string `json:"backend"`
+	// GOMAXPROCS is the scheduler-thread count the row ran under — the
+	// multi-core axis of the matrix. Rows at 1 measure single-core drain;
+	// higher values measure how dispatch-plane parallelism converts cores
+	// into served QPS (bounded, of course, by the machine's actual cores).
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// SubmittedQPS is accepted submissions per wall second over the submit
 	// phase — the fan-in rate the sharded queue layer sustains.
 	SubmittedQPS float64 `json:"submitted_qps"`
@@ -67,9 +72,15 @@ type ServingBenchReport struct {
 const servingBenchReplicas = 4
 
 // RunServingBenchRow measures one (shards, groups) configuration on the
-// default sim tier. See RunServingBenchRowBackend.
+// default sim tier at the ambient GOMAXPROCS. See RunServingBenchRowProcs.
 func RunServingBenchRow(requests, submitters, shards, groups int, speedup float64) (ServingBenchRow, error) {
-	return RunServingBenchRowBackend(requests, submitters, shards, groups, speedup, "sim")
+	return RunServingBenchRowProcs(requests, submitters, shards, groups, 0, speedup, "sim")
+}
+
+// RunServingBenchRowBackend measures one (shards, groups, backend)
+// configuration at the ambient GOMAXPROCS. See RunServingBenchRowProcs.
+func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup float64, backendMode string) (ServingBenchRow, error) {
+	return RunServingBenchRowProcs(requests, submitters, shards, groups, 0, speedup, backendMode)
 }
 
 // benchModels is the bench deployment's ensemble.
@@ -90,15 +101,22 @@ func encodeBenchPayload(p any) ([]float64, error) {
 	return x, nil
 }
 
-// RunServingBenchRowBackend measures one (shards, groups, backend)
+// RunServingBenchRowProcs measures one (shards, groups, gomaxprocs, backend)
 // configuration: submitters goroutines push `requests` total payloads through
 // a three-ConvNet ensemble runtime (profiled latencies at speedup× wall
-// speed) and every future is awaited. backendMode "sim" paces profiled
-// latencies on the executor pools; "nn" runs real per-model forward passes
-// on them. The row's MaxGoroutines samples the process-wide peak, gating the
-// bounded-pool property.
-func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup float64, backendMode string) (ServingBenchRow, error) {
-	row := ServingBenchRow{Shards: shards, Groups: groups, Backend: backendMode}
+// speed) and every future is awaited then released back to the completion
+// pool. backendMode "sim" paces profiled latencies on the executor pools;
+// "nn" runs real per-model forward passes on them. procs > 0 pins
+// runtime.GOMAXPROCS for the row's duration (restored afterwards); 0 keeps
+// the ambient setting. The row's MaxGoroutines samples the process-wide
+// peak, gating the bounded-pool property.
+func RunServingBenchRowProcs(requests, submitters, shards, groups, procs int, speedup float64, backendMode string) (ServingBenchRow, error) {
+	if procs > 0 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	row := ServingBenchRow{Shards: shards, Groups: groups, Backend: backendMode,
+		GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	d, err := infer.NewDeployment(benchModels, []int{1, 2, 4, 8, 16}, 0.25, 1)
 	if err != nil {
 		return row, err
@@ -109,10 +127,13 @@ func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup
 		QueueCap:       1 << 30,
 		Shards:         shards,
 		DispatchGroups: groups,
-		// The rows measure drain throughput, not saturation: a roomy pool
-		// queue absorbs the scheduling hiccups a near-instant backend at
-		// high speedup can hit (the pools still bound the goroutine count).
-		ExecQueueFactor: 256,
+		// The rows measure drain throughput, not saturation: the engine
+		// frees replica leases at profiled (virtual) finish times while the
+		// sim tier paces passes in wall time, so at speedup 1000 the pool
+		// queue has to absorb that skew for a whole row — worst case one
+		// pass per request (4096 × 4 workers ≥ 16000). The pools still
+		// bound the goroutine count; only the queue is roomy.
+		ExecQueueFactor: 4096,
 	}
 	switch backendMode {
 	case "sim":
@@ -166,8 +187,11 @@ func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup
 		}
 	}()
 
-	payload := []byte("q")
-	futs := make([][]*infer.Future, submitters)
+	// Box the payload into an interface once: converting a []byte argument
+	// per Submit call would heap-allocate the slice header per request and
+	// swamp the pipeline's own allocation profile.
+	var payload any = []byte("q")
+	futs := make([][]infer.Future, submitters)
 	errs := make(chan error, submitters)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -179,7 +203,7 @@ func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup
 			if s < requests%submitters {
 				n++
 			}
-			futs[s] = make([]*infer.Future, 0, n)
+			futs[s] = make([]infer.Future, 0, n)
 			for i := 0; i < n; i++ {
 				f, err := rt.Submit(payload)
 				if err != nil {
@@ -202,6 +226,7 @@ func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup
 			if _, err := f.Wait(); err != nil {
 				return row, err
 			}
+			f.Release()
 		}
 	}
 	total := time.Since(start).Seconds()
@@ -223,15 +248,20 @@ func RunServingBenchRowBackend(requests, submitters, shards, groups int, speedup
 }
 
 // RunServingBench measures the full matrix — every shard count crossed with
-// every dispatch-group count on the sim tier — then re-runs the largest
-// configuration on the real nn tier, so one artifact tracks both the
-// dispatch-plane scaling and what real execution costs against paced
-// simulation.
-func RunServingBench(requests, submitters int, shards, groups []int, speedup float64) (*ServingBenchReport, error) {
+// every dispatch-group count on the sim tier at the first GOMAXPROCS value,
+// then re-runs the largest sim configuration at each remaining GOMAXPROCS
+// value (the multi-core scaling axis) and on the real nn tier, so one
+// artifact tracks dispatch-plane scaling, core scaling, and what real
+// execution costs against paced simulation. A nil/empty procs runs
+// everything at the ambient GOMAXPROCS.
+func RunServingBench(requests, submitters int, shards, groups, procs []int, speedup float64) (*ServingBenchReport, error) {
 	rep := &ServingBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Requests: requests}
+	if len(procs) == 0 {
+		procs = []int{0}
+	}
 	for _, sh := range shards {
 		for _, g := range groups {
-			row, err := RunServingBenchRow(requests, submitters, sh, g, speedup)
+			row, err := RunServingBenchRowProcs(requests, submitters, sh, g, procs[0], speedup, "sim")
 			if err != nil {
 				return nil, fmt.Errorf("exp: serving bench shards=%d groups=%d: %w", sh, g, err)
 			}
@@ -239,7 +269,14 @@ func RunServingBench(requests, submitters int, shards, groups []int, speedup flo
 		}
 	}
 	sh, g := shards[len(shards)-1], groups[len(groups)-1]
-	row, err := RunServingBenchRowBackend(requests, submitters, sh, g, speedup, "nn")
+	for _, p := range procs[1:] {
+		row, err := RunServingBenchRowProcs(requests, submitters, sh, g, p, speedup, "sim")
+		if err != nil {
+			return nil, fmt.Errorf("exp: serving bench gomaxprocs=%d: %w", p, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	row, err := RunServingBenchRowProcs(requests, submitters, sh, g, procs[0], speedup, "nn")
 	if err != nil {
 		return nil, fmt.Errorf("exp: serving bench backend=nn: %w", err)
 	}

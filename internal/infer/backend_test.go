@@ -98,7 +98,7 @@ func TestRuntimeBackendSaturation(t *testing.T) {
 
 	var saturated atomic.Int64
 	var wg sync.WaitGroup
-	futs := make(chan *Future, 4096)
+	futs := make(chan Future, 4096)
 	for s := 0; s < 4; s++ {
 		wg.Add(1)
 		go func() {
@@ -285,7 +285,7 @@ func TestRuntimeHTTPBackendEndToEnd(t *testing.T) {
 	})
 	defer rt.Close()
 
-	futs := make([]*Future, 0, 64)
+	futs := make([]Future, 0, 64)
 	for i := 0; i < 64; i++ {
 		f, err := rt.Submit([]byte(fmt.Sprintf("p%d", i)))
 		if err != nil {
@@ -345,7 +345,7 @@ func TestRuntimeBackendSwapUnderLoad(t *testing.T) {
 
 	const total = 4000
 	var wg sync.WaitGroup
-	futs := make([][]*Future, 4)
+	futs := make([][]Future, 4)
 	for s := 0; s < 4; s++ {
 		wg.Add(1)
 		go func(s int) {
@@ -416,7 +416,7 @@ func TestLatencyFeedbackRescalesPlanning(t *testing.T) {
 	// worker runs; a roomy queue keeps this test about feedback, not
 	// saturation.
 	rt := newWallRuntime(t, RuntimeConfig{Backend: &slowBackend{factor: 4}, ExecQueueFactor: 512})
-	futs := make([]*Future, 0, 256)
+	futs := make([]Future, 0, 256)
 	for i := 0; i < 256; i++ {
 		f, err := rt.Submit([]byte("q"))
 		if err != nil {
@@ -523,7 +523,7 @@ func TestNNBackendServesPredictions(t *testing.T) {
 	// forward pass), and classes must be in range.
 	results := map[string]int{}
 	for round := 0; round < 2; round++ {
-		futs := make([]*Future, 0, 32)
+		futs := make([]Future, 0, 32)
 		for i := 0; i < 32; i++ {
 			f, err := rt.Submit([]byte(fmt.Sprintf("payload-%d", i%8)))
 			if err != nil {
@@ -572,7 +572,7 @@ func TestRuntimeDeterministicBatchingWithBackend(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		futs := make([]*Future, 0, 24)
+		futs := make([]Future, 0, 24)
 		for i := 0; i < 24; i++ {
 			loop.Schedule(0.01+0.004*float64(i), func() {
 				f, err := rt.Submit(fmt.Sprintf("req-%d", len(futs)))

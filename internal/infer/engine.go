@@ -171,6 +171,11 @@ type Engine struct {
 	Policy     Policy
 	// AccTable provides the surrogate ensemble accuracy a(M[v]) for rewards.
 	AccTable *ensemble.AccuracyTable
+	// accByMask fronts AccTable on the dispatch hot path: model subsets with
+	// indices under 64 key a bitmask → accuracy cache, skipping the
+	// sort+join subset-key build and table lock per dispatch. Values are the
+	// table's own (deterministic) results, so the two caches never disagree.
+	accByMask sync.Map
 	// Predictor, when non-nil, simulates real per-request predictions for
 	// measured accuracy; nil skips accuracy measurement.
 	Predictor *zoo.Predictor
@@ -234,6 +239,13 @@ type Engine struct {
 	popped     uint64
 	met        *Metrics
 	maxAccT    float64
+
+	// decisions counts policy decision points. It is the hottest counter in
+	// the dispatch loop (one bump per Decide, dispatch or wait), so it lives
+	// outside metMu as an atomic and folds into met.Decisions at read time
+	// (Metrics / SnapshotMetrics) — concurrent planes then never serialize
+	// on the metric lock just to count a decision.
+	decisions atomic.Uint64
 }
 
 // NewEngine wires an engine with a single queue shard of the given global
@@ -636,6 +648,9 @@ func (e *Engine) commitLease(ls *leaseSet, models []int, finish []float64, batch
 // through fillStats instead).
 func (e *Engine) Metrics() *Metrics {
 	e.flushArrivals()
+	e.metMu.Lock()
+	e.met.Decisions = int(e.decisions.Load())
+	e.metMu.Unlock()
 	return e.met
 }
 
@@ -718,27 +733,41 @@ func (e *Engine) flushArrivals() {
 // deadlock behind a waiting writer.
 func (e *Engine) flushArrivalsLocked() {
 	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		events := sh.events
-		sh.events = nil
-		sh.mu.Unlock()
-		if len(events) == 0 {
+		e.flushShardLocked(&e.shards[i])
+	}
+}
+
+// flushShardsLocked folds the buffered arrival events of just the given
+// shard indices (a dispatch group's own shards). Decision loops use this so
+// a group's step touches its own shard locks instead of sweeping every
+// shard in the engine; the counters are commutative, so per-group partial
+// flushes and the global flush at metric reads land identically.
+func (e *Engine) flushShardsLocked(idx []int) {
+	for _, si := range idx {
+		e.flushShardLocked(&e.shards[si])
+	}
+}
+
+func (e *Engine) flushShardLocked(sh *engineShard) {
+	sh.mu.Lock()
+	events := sh.events
+	sh.events = nil
+	sh.mu.Unlock()
+	if len(events) == 0 {
+		return
+	}
+	e.metMu.Lock()
+	for _, ev := range events {
+		if ev.now < e.MeasureFrom {
 			continue
 		}
-		e.metMu.Lock()
-		for _, ev := range events {
-			if ev.now < e.MeasureFrom {
-				continue
-			}
-			if ev.dropped {
-				e.met.Dropped++
-			} else {
-				e.met.ArrivalRate.Add(ev.at, 1)
-			}
+		if ev.dropped {
+			e.met.Dropped++
+		} else {
+			e.met.ArrivalRate.Add(ev.at, 1)
 		}
-		e.metMu.Unlock()
 	}
+	e.metMu.Unlock()
 }
 
 // nextShard returns the group's next non-empty shard at or after its
@@ -816,11 +845,15 @@ func (e *Engine) StepGroup(now float64, g int) ([]DispatchOutcome, error) {
 // model is free. Reward accounting and occupancy stay global — grouping
 // partitions the drain loop, not the model pool.
 func (e *Engine) stepGroupLocked(now float64, g int) ([]DispatchOutcome, error) {
-	e.flushArrivalsLocked()
 	gr := &e.groups[g]
 	if len(gr.shards) == 0 {
 		return nil, nil
 	}
+	// Fold only this group's shard buffers: arrival counters are
+	// commutative, sibling groups flush their own shards, and every metric
+	// read still flushes globally — so the fold stays exact while a step no
+	// longer takes every shard lock in the engine.
+	e.flushShardsLocked(gr.shards)
 	var outs []DispatchOutcome
 	// waits counts consecutive policy waits; waitTarget is the non-empty
 	// shard count snapshotted at the first wait of each run (a dispatch
@@ -847,9 +880,7 @@ func (e *Engine) stepGroupLocked(now float64, g int) ([]DispatchOutcome, error) 
 		if gr.shared {
 			e.polMu.Lock()
 		}
-		e.metMu.Lock()
-		e.met.Decisions++
-		e.metMu.Unlock()
+		e.decisions.Add(1)
 		act := gr.pol.Decide(st)
 		if act.Wait {
 			e.releaseLease(ls)
@@ -1045,8 +1076,14 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 	if !validBatch {
 		return DispatchOutcome{}, fmt.Errorf("infer: batch %d not a candidate of %v", act.Batch, d.Batches)
 	}
-	names := make([]string, len(act.Models))
-	replicas := make([]int, len(act.Models))
+	// Models and Replicas share one allocation: both escape into the outcome
+	// the driver holds until the batch completes.
+	nm := len(act.Models)
+	mr := make([]int, 2*nm)
+	models := mr[:nm:nm]
+	replicas := mr[nm:]
+	copy(models, act.Models)
+	names := make([]string, nm)
 	for i, mi := range act.Models {
 		if mi < 0 || mi >= len(d.Profiles) {
 			return DispatchOutcome{}, fmt.Errorf("infer: model index %d out of range", mi)
@@ -1060,6 +1097,33 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 		names[i] = d.ModelNames[mi]
 		replicas[i] = ls.rep[mi]
 	}
+	// Equation 7's accuracy term comes from the surrogate table (internally
+	// locked), resolved before the batch pops — an accuracy error then
+	// leaves the queue intact — and outside metMu, so sibling planes'
+	// metric folds never serialize behind a table lookup. The bitmask cache
+	// short-circuits the steady state: after the first dispatch of a subset,
+	// siblings hit a lock-free map keyed by the model index set.
+	var mask uint64
+	maskable := len(d.Profiles) <= 64
+	if maskable {
+		for _, mi := range act.Models {
+			mask |= 1 << uint(mi)
+		}
+	}
+	var acc float64
+	if v, ok := e.accByMask.Load(mask); maskable && ok {
+		acc = v.(float64)
+	} else {
+		var err error
+		acc, err = e.AccTable.Accuracy(names)
+		if err != nil {
+			return DispatchOutcome{}, err
+		}
+		if maskable {
+			e.accByMask.Store(mask, acc)
+		}
+	}
+
 	batch, stolen := e.popBatch(gr, si, act.Batch)
 	n := len(batch)
 	if n == 0 {
@@ -1072,7 +1136,7 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 	times := make([]float64, 2*len(act.Models))
 	out := DispatchOutcome{
 		Requests:     batch,
-		Models:       append([]int(nil), act.Models...),
+		Models:       models,
 		ModelNames:   names,
 		Replicas:     replicas,
 		Batch:        act.Batch,
@@ -1097,6 +1161,16 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 	e.commitLease(ls, act.Models, out.ModelFinish, n)
 
 	measured := now >= e.MeasureFrom
+	// The reward needs no metric state: compute it before taking metMu.
+	rewardAcc := acc
+	if d.AccuracyEmphasis > 1 {
+		pivot := 0.0
+		for _, p := range d.Profiles {
+			pivot += p.Top1Accuracy
+		}
+		pivot /= float64(len(d.Profiles))
+		rewardAcc = pivot + d.AccuracyEmphasis*(acc-pivot)
+	}
 	e.metMu.Lock()
 	e.popped += uint64(n)
 	for _, mi := range act.Models {
@@ -1129,20 +1203,6 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 		}
 	}
 
-	acc, err := e.AccTable.Accuracy(names)
-	if err != nil {
-		e.metMu.Unlock()
-		return DispatchOutcome{}, err
-	}
-	rewardAcc := acc
-	if d.AccuracyEmphasis > 1 {
-		pivot := 0.0
-		for _, p := range d.Profiles {
-			pivot += p.Top1Accuracy
-		}
-		pivot /= float64(len(d.Profiles))
-		rewardAcc = pivot + d.AccuracyEmphasis*(acc-pivot)
-	}
 	out.Reward = rewardAcc * (float64(n) - d.Beta*float64(out.Overdue)) / float64(d.MaxBatch())
 	if measured {
 		e.met.Reward += out.Reward
@@ -1222,7 +1282,7 @@ func (e *Engine) SnapshotMetrics(now, window float64) MetricSnapshot {
 		Served:          m.Served,
 		Overdue:         m.Overdue,
 		Dropped:         m.Dropped,
-		Decisions:       m.Decisions,
+		Decisions:       int(e.decisions.Load()),
 		Dispatches:      m.Dispatches,
 		Stolen:          m.Stolen,
 		Reward:          m.Reward,

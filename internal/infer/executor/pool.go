@@ -23,6 +23,24 @@ var (
 // Task is one unit of work; it runs on exactly one pool worker.
 type Task func()
 
+// call is one queued invocation. Plain tasks set fn; the closure-free
+// SubmitFunc path sets argFn/arg/i, which ride the queue by value so the
+// dispatch hot path enqueues without allocating a per-task closure.
+type call struct {
+	fn    Task
+	argFn func(arg any, i int)
+	arg   any
+	i     int
+}
+
+func (c *call) run() {
+	if c.fn != nil {
+		c.fn()
+		return
+	}
+	c.argFn(c.arg, c.i)
+}
+
 // Stats is a point-in-time snapshot of a pool's gauges and counters.
 type Stats struct {
 	// Workers is the target worker count; Busy how many are running a task
@@ -45,9 +63,9 @@ type Pool struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	// queue is a FIFO of pending tasks; head indexes its first element (the
+	// queue is a FIFO of pending calls; head indexes its first element (the
 	// tail is append-only and the slice compacts when head grows large).
-	queue    []Task
+	queue    []call
 	head     int
 	queueCap int
 
@@ -84,6 +102,18 @@ func NewPool(workers, queueCap int) *Pool {
 // Submit enqueues a task for the next free worker. It never blocks: a full
 // queue returns ErrSaturated, a closed pool ErrClosed.
 func (p *Pool) Submit(t Task) error {
+	return p.submit(call{fn: t})
+}
+
+// SubmitFunc enqueues fn(arg, i) for the next free worker without a per-task
+// closure: fn is typically a package-level func value and arg the batch it
+// operates on, so the call enqueues allocation-free. Same non-blocking
+// contract as Submit.
+func (p *Pool) SubmitFunc(fn func(arg any, i int), arg any, i int) error {
+	return p.submit(call{argFn: fn, arg: arg, i: i})
+}
+
+func (p *Pool) submit(c call) error {
 	p.mu.Lock()
 	if p.closed {
 		p.rejected++
@@ -95,7 +125,7 @@ func (p *Pool) Submit(t Task) error {
 		p.mu.Unlock()
 		return ErrSaturated
 	}
-	p.queue = append(p.queue, t)
+	p.queue = append(p.queue, c)
 	p.submitted++
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -119,8 +149,8 @@ func (p *Pool) work() {
 			p.cond.Signal()
 			return
 		}
-		t := p.queue[p.head]
-		p.queue[p.head] = nil
+		c := p.queue[p.head]
+		p.queue[p.head] = call{}
 		p.head++
 		if p.head > 64 && p.head*2 >= len(p.queue) {
 			p.queue = append(p.queue[:0], p.queue[p.head:]...)
@@ -128,7 +158,7 @@ func (p *Pool) work() {
 		}
 		p.busy++
 		p.mu.Unlock()
-		t()
+		c.run()
 		p.mu.Lock()
 		p.busy--
 		p.completed++

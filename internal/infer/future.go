@@ -1,0 +1,272 @@
+package infer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Completion pipeline (DESIGN.md §14): a Future handed out by Submit is a
+// small value handle onto a pooled futureSlot. Slots are recycled through a
+// sync.Pool once the caller Releases them, so the steady-state serve path
+// allocates nothing per request; a generation stamp on the slot makes any
+// read through a released handle fail loudly instead of silently observing
+// another request's result (the classic pooled-object ABA hazard).
+//
+// Completion is batched: a dispatched batch resolves all of its futures and
+// then closes ONE per-batch broadcast channel, so a 64-wide batch performs a
+// single wakeup instead of 64 per-request channel closes. Waiters that
+// arrive before dispatch park on the slot's one-token wake channel and are
+// unparked when the request joins a batch (or fails).
+
+// futureSlot states. A slot moves pending → dispatched → resolved on the
+// serve path, or pending → resolved when failAll resolves it directly.
+const (
+	futPending uint32 = iota
+	futDispatched
+	futResolved
+)
+
+// futureSlot is the pooled per-request completion record.
+type futureSlot struct {
+	// gen is the slot's generation, bumped on Release. A Future handle
+	// carries the generation it was issued under; any mismatch means the
+	// handle outlived its request and every access panics loudly.
+	gen atomic.Uint64
+	// state is the completion state machine. Writers publish their side
+	// effects before the state store: br before futDispatched, the result
+	// fields before futResolved, so a reader observing the state also
+	// observes the data behind it.
+	state atomic.Uint32
+	// waiting marks a waiter parked on wake; wakers (launch, failAll) check
+	// it after their state store and hand the parked waiter a token.
+	waiting atomic.Bool
+	// wake is the one-token park channel, reused across generations (stale
+	// tokens are drained at acquire). A woken waiter reposts the token so
+	// concurrent waiters on one future daisy-chain instead of deadlocking.
+	wake chan struct{}
+
+	// br is the batch the request was dispatched into; its done channel is
+	// the batch-wide completion broadcast. Written before state flips to
+	// futDispatched.
+	br *batchRun
+
+	// payload is the submitted input, dropped at completion so input bytes
+	// never outlive the request.
+	payload any
+
+	// Result fields: written before state flips to futResolved (and before
+	// the batch broadcast closes), immutable until Release.
+	result  any
+	err     error
+	models  []string
+	latency float64
+
+	// doneCh materializes Done() lazily — select-style consumers are rare
+	// (tests, cancellation paths), so the common path never allocates a
+	// channel. doneClosed makes the racing close idempotent.
+	doneCh     atomic.Pointer[chan struct{}]
+	doneClosed atomic.Bool
+}
+
+// futurePool recycles completion slots across requests.
+var futurePool = sync.Pool{New: func() any {
+	return &futureSlot{wake: make(chan struct{}, 1)}
+}}
+
+// acquireSlot takes a slot from the pool and primes it for one request.
+func acquireSlot(payload any) (Future, *futureSlot) {
+	s := futurePool.Get().(*futureSlot)
+	select { // drop a stale daisy-chain token from the previous generation
+	case <-s.wake:
+	default:
+	}
+	s.waiting.Store(false)
+	s.payload = payload
+	s.state.Store(futPending)
+	return Future{s: s, gen: s.gen.Load()}, s
+}
+
+// recycle returns a slot that was never exposed beyond Submit (admission
+// failed) straight to the pool.
+func (s *futureSlot) recycle() {
+	s.gen.Add(1)
+	s.payload = nil
+	futurePool.Put(s)
+}
+
+// wakeWaiter hands a parked waiter the slot's token. Called after a state
+// store; the seq-cst ordering of the state store and the waiting check
+// against the waiter's waiting store and state re-check guarantees at least
+// one side observes the other, so no wakeup is lost.
+func (s *futureSlot) wakeWaiter() {
+	if s.waiting.Load() {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// resolveLocal publishes a result directly on the slot (the failAll path —
+// no batch broadcast exists yet) and wakes everything attached to it.
+func (s *futureSlot) resolveLocal(err error) {
+	s.err = err
+	s.payload = nil
+	s.state.Store(futResolved)
+	s.closeDone()
+	s.wakeWaiter()
+}
+
+// closeDone closes the lazily materialized Done channel, if any, exactly
+// once.
+func (s *futureSlot) closeDone() {
+	if chp := s.doneCh.Load(); chp != nil && s.doneClosed.CompareAndSwap(false, true) {
+		close(*chp)
+	}
+}
+
+// closedChan is the shared already-closed channel Done returns for resolved
+// futures that never materialized their own.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Future is a pending wall-clock request: it resolves when the batch the
+// scheduler placed the request in completes. It is a value handle onto a
+// pooled slot — copy it freely, but once Release is called every surviving
+// copy is dead: further use panics (generation-stamp check) instead of
+// silently reading a recycled request's state.
+type Future struct {
+	s   *futureSlot
+	gen uint64
+}
+
+// Valid reports whether the handle refers to a submitted request (the zero
+// Future does not).
+func (f Future) Valid() bool { return f.s != nil }
+
+// slot validates the handle and returns its slot.
+func (f Future) slot() *futureSlot {
+	if f.s == nil {
+		panic("infer: use of zero Future")
+	}
+	if f.gen != f.s.gen.Load() {
+		panic("infer: use of released Future (stale generation handle)")
+	}
+	return f.s
+}
+
+// checkLive re-validates the handle after reading slot state, so a Release
+// racing a read panics instead of returning a recycled slot's data.
+func (f Future) checkLive() {
+	if f.gen != f.s.gen.Load() {
+		panic("infer: use of released Future (stale generation handle)")
+	}
+}
+
+// Wait blocks until the batch completes and returns the request's result.
+func (f Future) Wait() (any, error) {
+	s := f.slot()
+	for {
+		switch s.state.Load() {
+		case futResolved:
+			res, err := s.result, s.err
+			f.checkLive()
+			return res, err
+		case futDispatched:
+			// One receive on the batch's broadcast channel covers every
+			// request in the batch.
+			br := s.br
+			f.checkLive()
+			<-br.done
+		default:
+			// Not dispatched yet: park until the request joins a batch (or
+			// fails). Re-check the state after declaring ourselves parked —
+			// the waker stores state first and checks waiting second, so
+			// one of us always sees the other.
+			s.waiting.Store(true)
+			if s.state.Load() != futPending {
+				continue
+			}
+			<-s.wake
+			// Repost the token for concurrent waiters on the same future.
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Done returns a channel closed when the result is ready, for callers that
+// want select semantics. The channel is materialized on first call; Wait
+// never pays for it.
+func (f Future) Done() <-chan struct{} {
+	s := f.slot()
+	if chp := s.doneCh.Load(); chp != nil {
+		return *chp
+	}
+	if s.state.Load() == futResolved {
+		return closedChan
+	}
+	ch := make(chan struct{})
+	if s.doneCh.CompareAndSwap(nil, &ch) {
+		if s.state.Load() == futResolved {
+			// The resolver may have checked doneCh before our store.
+			s.closeDone()
+		}
+		return ch
+	}
+	return *s.doneCh.Load()
+}
+
+// Models returns the model subset that served the request (after Wait). The
+// slice is the caller's own copy, built on call: batch siblings share the
+// underlying outcome, and mutating a returned copy cannot corrupt theirs.
+func (f Future) Models() []string {
+	s := f.slot()
+	m := s.models
+	cp := append([]string(nil), m...)
+	f.checkLive()
+	return cp
+}
+
+// Latency returns the request's queue+service latency in timeline seconds
+// (after Wait).
+func (f Future) Latency() float64 {
+	s := f.slot()
+	l := s.latency
+	f.checkLive()
+	return l
+}
+
+// Release returns the future's slot to the pool for reuse. Callers on the
+// serving hot path release after Wait so the completion pipeline recycles
+// slots instead of allocating one per request; callers that drop the handle
+// instead simply leave the slot to the garbage collector. Release requires a
+// resolved future (Wait returned) and must be called at most once — every
+// surviving handle copy is invalidated, and any later use panics via the
+// generation stamp.
+func (f Future) Release() {
+	s := f.slot()
+	if s.state.Load() != futResolved {
+		panic("infer: Release of unresolved Future")
+	}
+	// The CAS both invalidates outstanding handles and makes a double
+	// Release fail loudly instead of double-pooling the slot.
+	if !s.gen.CompareAndSwap(f.gen, f.gen+1) {
+		panic("infer: Future released twice")
+	}
+	s.payload = nil
+	s.result = nil
+	s.err = nil
+	s.models = nil
+	s.latency = 0
+	s.br = nil
+	s.doneCh.Store(nil)
+	s.doneClosed.Store(false)
+	s.waiting.Store(false)
+	futurePool.Put(s)
+}

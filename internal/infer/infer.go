@@ -143,6 +143,9 @@ type Action struct {
 	Batch int
 	// Models are indices into the deployment's model list; every selected
 	// model must currently be free. Must be non-empty for a dispatch.
+	// The slice may alias the policy's reusable scratch: it is only valid
+	// until the next Decide on the same policy instance, and the engine
+	// copies it into the dispatch outcome rather than retaining it.
 	Models []int
 }
 

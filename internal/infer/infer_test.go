@@ -187,10 +187,13 @@ func TestAsyncEachRoundRobin(t *testing.T) {
 	if a1.Wait || len(a1.Models) != 1 {
 		t.Fatalf("async dispatch = %+v", a1)
 	}
-	s.FreeModels[a1.Models[0]] = false
+	// Action.Models aliases the policy's scratch, valid only until the next
+	// Decide — snapshot the chosen model before deciding again.
+	m1 := a1.Models[0]
+	s.FreeModels[m1] = false
 	a2 := p.Decide(s)
-	if a2.Wait || a2.Models[0] == a1.Models[0] {
-		t.Fatalf("round robin broken: %+v then %+v", a1, a2)
+	if a2.Wait || a2.Models[0] == m1 {
+		t.Fatalf("round robin broken: model %d then %+v", m1, a2)
 	}
 	// All busy: wait.
 	s.FreeModels = []bool{false, false, false}

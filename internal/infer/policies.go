@@ -11,6 +11,10 @@ type GreedySingle struct {
 	D *Deployment
 	// Model is the index of the deployed model (0 in single-model runs).
 	Model int
+	// one is the reusable Models scratch: Decide runs serialized per clone
+	// (under its group's plane lock) and the engine copies Action.Models
+	// into the outcome, so the same backing array serves every decision.
+	one [1]int
 }
 
 // Name implements Policy.
@@ -28,9 +32,10 @@ func (g *GreedySingle) Decide(s *State) Action {
 	if !s.FreeModels[g.Model] {
 		return Action{Wait: true}
 	}
+	g.one[0] = g.Model
 	maxB := s.Batches[len(s.Batches)-1]
 	if s.QueueLen >= maxB {
-		return Action{Batch: maxB, Models: []int{g.Model}}
+		return Action{Batch: maxB, Models: g.one[:]}
 	}
 	// b = max{b in B, b <= len(q)}
 	b := -1
@@ -49,7 +54,7 @@ func (g *GreedySingle) Decide(s *State) Action {
 	}
 	delta := 0.1 * s.Tau
 	if s.LatencyTable[g.Model][bi]+wait+delta >= s.Tau {
-		return Action{Batch: b, Models: []int{g.Model}}
+		return Action{Batch: b, Models: g.one[:]}
 	}
 	return Action{Wait: true}
 }
@@ -59,6 +64,10 @@ func (g *GreedySingle) Decide(s *State) Action {
 // with the ensemble's cost, i.e. the slowest model's latency.
 type SyncAll struct {
 	D *Deployment
+	// all is the reusable identity Models scratch (see GreedySingle.one):
+	// Decide runs serialized per clone and the engine copies Action.Models,
+	// so the full-ensemble subset is built once and reused per decision.
+	all []int
 }
 
 // Name implements Policy.
@@ -72,13 +81,18 @@ func (p *SyncAll) CloneForGroup(int) Policy { return &SyncAll{D: p.D} }
 
 // Decide implements Policy.
 func (p *SyncAll) Decide(s *State) Action {
-	all := make([]int, len(s.FreeModels))
-	for i, free := range s.FreeModels {
+	for _, free := range s.FreeModels {
 		if !free {
 			return Action{Wait: true} // barrier: wait for the full ensemble
 		}
-		all[i] = i
 	}
+	if len(p.all) != len(s.FreeModels) {
+		p.all = make([]int, len(s.FreeModels))
+		for i := range p.all {
+			p.all[i] = i
+		}
+	}
+	all := p.all
 	maxB := s.Batches[len(s.Batches)-1]
 	if s.QueueLen >= maxB {
 		return Action{Batch: maxB, Models: all}
@@ -115,6 +129,8 @@ type AsyncEach struct {
 	D *Deployment
 	// next rotates which free model grabs the batch so the load spreads.
 	next int
+	// one is the reusable Models scratch (see GreedySingle.one).
+	one [1]int
 }
 
 // Name implements Policy.
@@ -143,10 +159,11 @@ func (p *AsyncEach) Decide(s *State) Action {
 	if model < 0 {
 		return Action{Wait: true}
 	}
+	p.one[0] = model
 	maxB := s.Batches[len(s.Batches)-1]
 	if s.QueueLen >= maxB {
 		p.next = (model + 1) % n
-		return Action{Batch: maxB, Models: []int{model}}
+		return Action{Batch: maxB, Models: p.one[:]}
 	}
 	b, bi := -1, -1
 	for i, cand := range s.Batches {
@@ -163,7 +180,7 @@ func (p *AsyncEach) Decide(s *State) Action {
 	}
 	if s.LatencyTable[model][bi]+wait+0.1*s.Tau >= s.Tau {
 		p.next = (model + 1) % n
-		return Action{Batch: b, Models: []int{model}}
+		return Action{Batch: b, Models: p.one[:]}
 	}
 	return Action{Wait: true}
 }

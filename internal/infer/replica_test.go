@@ -122,7 +122,7 @@ func replicaQPS(tb testing.TB, replicas int) float64 {
 		tb.Fatal(err)
 	}
 	arrivals := make([]float64, 0, n)
-	futs := make([]*Future, 0, n)
+	futs := make([]Future, 0, n)
 	for i := 0; i < n; i++ {
 		at := 0.0005 * float64(i) // 200 clients over 0.1s, the example's burst
 		loop.Schedule(at, func() {

@@ -29,41 +29,6 @@ var (
 // the finish event under a virtual-time driver).
 type Executor func(ids []uint64, payloads []any, models []string) ([]any, error)
 
-// Future is a pending wall-clock request: it resolves when the batch the
-// scheduler placed the request in completes.
-type Future struct {
-	done    chan struct{}
-	payload any
-	// dispatched flips when the request leaves the queue for a batch;
-	// guarded by the dispatching group's plane lock.
-	dispatched bool
-
-	// set before done is closed, immutable afterwards.
-	result  any
-	err     error
-	models  []string
-	latency float64
-}
-
-// Wait blocks until the batch completes and returns the request's result.
-func (f *Future) Wait() (any, error) {
-	<-f.done
-	return f.result, f.err
-}
-
-// Done returns a channel closed when the result is ready, for callers that
-// want select semantics.
-func (f *Future) Done() <-chan struct{} { return f.done }
-
-// Models returns the model subset that served the request (after Wait). The
-// slice is the caller's own copy: mutating it cannot corrupt sibling results
-// from the same batch.
-func (f *Future) Models() []string { return f.models }
-
-// Latency returns the request's queue+service latency in timeline seconds
-// (after Wait).
-func (f *Future) Latency() float64 { return f.latency }
-
 // Stats is a point-in-time snapshot of a runtime's serving metrics, safe to
 // read while the runtime keeps serving.
 type Stats struct {
@@ -193,7 +158,7 @@ const runtimeStripes = 16
 // stripe is one lock-striped slice of the pending-future table.
 type stripe struct {
 	mu      sync.Mutex
-	pending map[uint64]*Future
+	pending map[uint64]*futureSlot
 }
 
 // plane is one dispatch group's runtime-side state: the lock serializing
@@ -206,12 +171,23 @@ type plane struct {
 	// control lock held shared; the control lock held exclusively implies
 	// no plane lock is held by anyone.
 	mu sync.Mutex
-	// pollSet marks a pending wait-poll tick for this group; guarded by mu
-	// (or the exclusive control lock).
-	pollSet bool
+	// pollSet marks a pending wait-poll tick for this group. Atomic so the
+	// poll timer callback can clear it and re-route through the plane
+	// worker without taking the plane lock (timer callbacks must stay
+	// cheap: on a wall timeline each fires on its own goroutine, and a
+	// callback blocked on a busy plane is a goroutine pinned for the whole
+	// wait — the 734-goroutine pileup of the pre-worker bench rows).
+	pollSet atomic.Bool
 	// sweepSet coalesces the group's decision points: only the submitter
 	// that flips it schedules a sweep; everyone else piggybacks.
 	sweepSet atomic.Bool
+	// wake is the plane worker's one-token run signal; started latches the
+	// lazy worker spawn (concurrent timelines only).
+	wake    chan struct{}
+	started atomic.Bool
+	// pollFn is the cached poll-timer callback, so arming a poll does not
+	// allocate a fresh closure per tick.
+	pollFn func()
 }
 
 // Runtime is the wall-clock driver of the dispatch Engine: goroutine-safe,
@@ -288,6 +264,15 @@ type Runtime struct {
 
 	stripes  [runtimeStripes]stripe
 	inflight sync.WaitGroup
+
+	// onFreeFn is the cached onModelFree method value, so arming a finish
+	// timer per dispatched model does not allocate a closure each time.
+	onFreeFn func()
+	// stopCh stops the plane workers; stopOnce latches its close; workerWG
+	// tracks the workers so Close reaps them.
+	stopCh   chan struct{}
+	stopOnce atomic.Bool
+	workerWG sync.WaitGroup
 }
 
 // NewRuntime wires a wall-clock serving runtime for a deployment, policy and
@@ -368,7 +353,14 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 		}
 	}
 	for i := range r.stripes {
-		r.stripes[i].pending = map[uint64]*Future{}
+		r.stripes[i].pending = map[uint64]*futureSlot{}
+	}
+	r.onFreeFn = r.onModelFree
+	r.stopCh = make(chan struct{})
+	for g := range r.planes {
+		g := g
+		r.planes[g].wake = make(chan struct{}, 1)
+		r.planes[g].pollFn = func() { r.pollTick(g) }
 	}
 	return r, nil
 }
@@ -414,26 +406,30 @@ func (r *Runtime) closedErr() error {
 }
 
 // Submit enqueues a payload and returns a future for its batched result.
-func (r *Runtime) Submit(payload any) (*Future, error) {
+// The future's slot comes from the completion pool; callers that Release
+// after Wait make the steady-state path allocation-free.
+func (r *Runtime) Submit(payload any) (Future, error) {
 	if r.closed.Load() {
-		return nil, r.closedErr()
+		return Future{}, r.closedErr()
 	}
 	id := r.nextID.Add(1) - 1
 	st := &r.stripes[id%runtimeStripes]
-	f := &Future{done: make(chan struct{}), payload: payload}
+	f, s := acquireSlot(payload)
 	now := r.tl.Now()
 	st.mu.Lock()
 	if r.closed.Load() {
 		// Close's sweep may already have passed this stripe; registering now
 		// would strand the future forever.
 		st.mu.Unlock()
-		return nil, r.closedErr()
+		s.recycle()
+		return Future{}, r.closedErr()
 	}
 	if !r.eng.Enqueue(now, Request{ID: id, Arrival: now}) {
 		st.mu.Unlock()
-		return nil, ErrQueueFull
+		s.recycle()
+		return Future{}, ErrQueueFull
 	}
-	st.pending[id] = f
+	st.pending[id] = s
 	st.mu.Unlock()
 
 	if r.eng.ShardCount() > 1 {
@@ -450,17 +446,21 @@ func (r *Runtime) Submit(payload any) (*Future, error) {
 	r.ctl.RLock()
 	r.planes[0].mu.Lock()
 	err := r.stepGroup(r.tl.Now(), 0)
-	dispatched := f.dispatched
+	// Only launch sets br (on this goroutine, inside the stepGroup call
+	// above) — a failAll on the poison path resolves the slot without one,
+	// so this distinguishes "joined a batch" from "failed while queued".
+	dispatched := s.br != nil
 	r.planes[0].mu.Unlock()
 	r.ctl.RUnlock()
 	if err != nil {
 		// The engine failed at this decision point. If this request made it
 		// into a batch before the error, that batch still completes — hand
-		// the caller its future; the error reaches everyone else.
+		// the caller its future; the error reaches everyone else (failAll
+		// already resolved this slot with the poisoning error).
 		if dispatched {
 			return f, nil
 		}
-		return nil, err
+		return Future{}, err
 	}
 	return f, nil
 }
@@ -469,12 +469,70 @@ func (r *Runtime) Submit(payload any) (*Future, error) {
 // one is already pending. The flag clears under the plane lock before the
 // sweep reads the queues, so a submission that finds it set is always
 // observed either by the pending sweep or by a successor scheduled after it.
+//
+// On a concurrent timeline the sweep runs on the plane's dedicated worker
+// goroutine (one per live plane, lazily spawned, reaped by Close) — waking
+// it is a non-blocking token send, so submitters and timer callbacks never
+// block on a busy plane and the runtime's goroutine count stays
+// O(dispatch groups), not O(armed timers). Under a virtual-time loop the
+// sweep stays a zero-delay event, preserving the loop's deterministic
+// single-threaded ordering.
 func (r *Runtime) scheduleSweep(g int) {
 	if g < 0 || g >= len(r.planes) {
 		g = 0
 	}
-	if r.planes[g].sweepSet.CompareAndSwap(false, true) {
+	p := &r.planes[g]
+	if !p.sweepSet.CompareAndSwap(false, true) {
+		return
+	}
+	if r.syncExec {
 		r.tl.AfterFunc(0, func() { r.sweep(g) })
+		return
+	}
+	// Fast path: if the plane is free right now, run the sweep on this
+	// goroutine instead of paying a park/unpark round trip through the
+	// worker — on a single core that scheduling hop is pure added latency
+	// on the drain path. TryLock keeps every caller (submitters, timer
+	// dispatcher callbacks) non-blocking; contention falls back to the
+	// worker token below. No caller holds any runtime lock here, so the
+	// ctl → plane order is respected.
+	if r.ctl.TryRLock() {
+		if p.mu.TryLock() {
+			p.sweepSet.Store(false)
+			if !r.closed.Load() {
+				_ = r.stepGroup(r.tl.Now(), g)
+			}
+			p.mu.Unlock()
+			r.ctl.RUnlock()
+			return
+		}
+		r.ctl.RUnlock()
+	}
+	if p.started.CompareAndSwap(false, true) {
+		r.workerWG.Add(1)
+		go r.planeWorker(g)
+	}
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// planeWorker is a dispatch plane's dedicated sweep goroutine: it parks on
+// the plane's wake token and runs one coalesced sweep per token. At most one
+// token is ever outstanding (a new one is only sent after the running sweep
+// cleared sweepSet under the plane lock), so the non-blocking send in
+// scheduleSweep can never drop a required wakeup.
+func (r *Runtime) planeWorker(g int) {
+	defer r.workerWG.Done()
+	p := &r.planes[g]
+	for {
+		select {
+		case <-p.wake:
+			r.sweep(g)
+		case <-r.stopCh:
+			return
+		}
 	}
 }
 
@@ -514,9 +572,8 @@ func (r *Runtime) stepGroup(now float64, g int) error {
 		r.failAll(err)
 		return err
 	}
-	if r.eng.GroupQueueLen(g) > 0 && !r.planes[g].pollSet {
-		r.planes[g].pollSet = true
-		r.tl.AfterFunc(r.poll, func() { r.pollTick(g) })
+	if r.eng.GroupQueueLen(g) > 0 && r.planes[g].pollSet.CompareAndSwap(false, true) {
+		r.tl.AfterFunc(r.poll, r.planes[g].pollFn)
 	}
 	return nil
 }
@@ -533,14 +590,26 @@ func (r *Runtime) stepAll(now float64) error {
 }
 
 // pollTick is a plane's recurring decision point while its shards hold
-// waiting requests.
+// waiting requests. On a wall timeline the timer callback only clears the
+// poll flag and wakes the plane worker — it must not block on the plane
+// lock, because every fired wall-timer callback is its own goroutine and a
+// busy plane would pin them all. The virtual-time loop steps inline, as
+// before, keeping its event ordering.
 func (r *Runtime) pollTick(g int) {
+	p := &r.planes[g]
+	if !r.syncExec {
+		p.pollSet.Store(false)
+		if r.closed.Load() {
+			return
+		}
+		r.scheduleSweep(g)
+		return
+	}
 	r.ctl.RLock()
 	defer r.ctl.RUnlock()
-	p := &r.planes[g]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.pollSet = false
+	p.pollSet.Store(false)
 	if r.closed.Load() {
 		return
 	}
@@ -557,14 +626,69 @@ type backendHandle struct {
 	wg      sync.WaitGroup
 }
 
+// batchBufs is the recyclable slice set a batchRun works out of: claimed
+// futures, request IDs, payloads handed to the backend and per-model
+// prediction buffers. Only the launch → model-pass → finalize pipeline ever
+// touches these (waiters touch just the slot and the done channel), so once
+// finalize has resolved every slot the set goes back to the pool — the
+// dispatch hot path then runs batch after batch without growing the heap.
+// Backends and combiners must not retain the ID/payload slices beyond the
+// call, which the ExecTask contract already requires.
+type batchBufs struct {
+	futs     []*futureSlot
+	ids      []uint64
+	payloads []any
+	preds    [][]any
+}
+
+var batchBufsPool = sync.Pool{New: func() any { return new(batchBufs) }}
+
+// grab sizes the buffer set for a batch of n requests across m models,
+// reusing prior capacity.
+func (bb *batchBufs) grab(n, m int) {
+	if cap(bb.futs) < n {
+		bb.futs = make([]*futureSlot, n)
+		bb.ids = make([]uint64, n)
+		bb.payloads = make([]any, n)
+	} else {
+		bb.futs = bb.futs[:n]
+		bb.ids = bb.ids[:n]
+		bb.payloads = bb.payloads[:n]
+	}
+	if cap(bb.preds) < m {
+		bb.preds = make([][]any, m)
+	} else {
+		bb.preds = bb.preds[:m]
+	}
+}
+
+// release clears every reference the buffers hold and returns the set to the
+// pool. Called at the end of finalize, after the last read of any buffer.
+func (bb *batchBufs) release() {
+	for i := range bb.futs {
+		bb.futs[i] = nil
+		bb.payloads[i] = nil
+	}
+	for i := range bb.preds {
+		bb.preds[i] = nil
+	}
+	batchBufsPool.Put(bb)
+}
+
 // batchRun is one dispatched batch's execution state: the per-model backend
 // passes fill preds, the last one to finish finalizes the futures.
 type batchRun struct {
+	rt       *Runtime
 	out      DispatchOutcome
-	futs     []*Future
+	bufs     *batchBufs
+	futs     []*futureSlot
 	ids      []uint64
 	payloads []any
 	h        *backendHandle
+	// done is the batch-wide completion broadcast: finalize closes it once,
+	// after resolving every slot, so a 64-wide batch wakes all its waiters
+	// with a single channel close.
+	done chan struct{}
 	// preds[k] is model k's predictions; remaining counts unfinished model
 	// passes.
 	preds     [][]any
@@ -602,27 +726,58 @@ func (br *batchRun) task(i int) ExecTask {
 // with ctl held (shared plus the dispatching plane's lock, or exclusively
 // on the control path).
 func (r *Runtime) launch(now float64, out DispatchOutcome) {
-	futs := make([]*Future, len(out.Requests))
-	ids := make([]uint64, len(out.Requests))
-	payloads := make([]any, len(out.Requests))
-	for i, req := range out.Requests {
-		st := &r.stripes[req.ID%runtimeStripes]
-		st.mu.Lock()
-		futs[i] = st.pending[req.ID]
-		delete(st.pending, req.ID)
-		st.mu.Unlock()
-		if futs[i] != nil {
-			futs[i].dispatched = true
-			payloads[i] = futs[i].payload
-		}
-		ids[i] = req.ID
-	}
+	bufs := batchBufsPool.Get().(*batchBufs)
+	bufs.grab(len(out.Requests), len(out.Models))
+	futs, ids, payloads := bufs.futs, bufs.ids, bufs.payloads
 	h := r.backend.Load()
 	h.wg.Add(1)
 	r.inflight.Add(1)
-	br := &batchRun{out: out, futs: futs, ids: ids, payloads: payloads, h: h,
-		preds: make([][]any, len(out.Models))}
+	// The batchRun itself is NOT pooled: a waiter that loaded s.br may still
+	// be about to read br.done after finalize broadcasts, so the struct must
+	// stay immutable until the GC proves it unreachable. Its slices live in
+	// the pooled bufs, which only the launch→pass→finalize pipeline touches.
+	br := &batchRun{rt: r, out: out, bufs: bufs, futs: futs, ids: ids,
+		payloads: payloads, h: h, done: make(chan struct{}), preds: bufs.preds}
 	br.remaining.Store(int32(len(out.Models)))
+	// Claim the batch's futures stripe-cohort-wise: group the request IDs by
+	// pending-table stripe and take each touched stripe's lock once for its
+	// whole cohort, so stripe lock traffic is O(stripes touched), not
+	// O(batch size).
+	var touched [runtimeStripes]bool
+	for i, req := range out.Requests {
+		ids[i] = req.ID
+		touched[req.ID%runtimeStripes] = true
+	}
+	for si := range r.stripes {
+		if !touched[si] {
+			continue
+		}
+		st := &r.stripes[si]
+		st.mu.Lock()
+		for i, id := range ids {
+			if id%runtimeStripes != uint64(si) {
+				continue
+			}
+			s := st.pending[id]
+			if s == nil {
+				continue
+			}
+			delete(st.pending, id)
+			futs[i] = s
+			payloads[i] = s.payload
+			s.br = br
+			s.state.Store(futDispatched)
+		}
+		st.mu.Unlock()
+	}
+	// Unpark any waiters that arrived before dispatch; they move onto the
+	// batch's broadcast channel. Outside the stripe locks — the send is
+	// non-blocking, but there is no reason to hold a stripe across it.
+	for _, s := range futs {
+		if s != nil {
+			s.wakeWaiter()
+		}
+	}
 	if r.syncExec {
 		r.tl.AfterFunc(out.Finish-now, func() {
 			for i := range br.out.Models {
@@ -631,8 +786,9 @@ func (r *Runtime) launch(now float64, out DispatchOutcome) {
 		})
 	} else {
 		for i := range out.Models {
-			i := i
-			if err := r.pools[out.Models[i]].Submit(func() { r.runModelPass(br, i) }); err != nil {
+			// SubmitFunc + the package-level trampoline keep the hot path
+			// free of per-pass closure allocations.
+			if err := r.pools[out.Models[i]].SubmitFunc(runPassFn, br, i); err != nil {
 				r.execRejected.Add(1)
 				if errors.Is(err, executor.ErrSaturated) {
 					err = ErrBackendSaturated
@@ -645,8 +801,16 @@ func (r *Runtime) launch(now float64, out DispatchOutcome) {
 		}
 	}
 	for _, f := range out.ModelFinish {
-		r.tl.AfterFunc(f-now, r.onModelFree)
+		r.tl.AfterFunc(f-now, r.onFreeFn)
 	}
+}
+
+// runPassFn is the allocation-free executor trampoline for model passes:
+// the batch rides the pool queue as the untyped arg, so no per-pass closure
+// is built on the dispatch hot path.
+var runPassFn = func(arg any, i int) {
+	br := arg.(*batchRun)
+	br.rt.runModelPass(br, i)
 }
 
 // runModelPass executes one model's backend pass and feeds the observed
@@ -671,14 +835,24 @@ func (r *Runtime) passDone(br *batchRun) {
 }
 
 // onModelFree is the decision point at a dispatched model's finish time: the
-// freed replica is new capacity for any plane, so in sharded mode every
-// plane with backlog gets a coalesced sweep; the single-shard runtime steps
-// synchronously like the pre-shard engine.
+// freed replica is new capacity for any plane, so every plane with backlog
+// gets a coalesced sweep. On a wall timeline this runs as a fired-timer
+// callback on its own goroutine and must not block on plane locks (each
+// blocked callback is a pinned goroutine — the source of the old bench
+// rows' 700+ goroutine peaks), so even the single-shard layout routes
+// through the plane worker; the virtual-time loop keeps the synchronous
+// single-shard step that its golden determinism is pinned to.
 func (r *Runtime) onModelFree() {
 	if r.closed.Load() {
 		return
 	}
 	if r.eng.ShardCount() == 1 {
+		if !r.syncExec {
+			if r.eng.QueueLen() > 0 {
+				r.scheduleSweep(0)
+			}
+			return
+		}
 		r.ctl.RLock()
 		r.planes[0].mu.Lock()
 		if !r.closed.Load() {
@@ -718,22 +892,30 @@ func (r *Runtime) finalize(br *batchRun) {
 		// surface the teardown error the rest of the API reports.
 		err = r.closedErr()
 	}
-	for i, f := range br.futs {
-		if f == nil {
+	for i, s := range br.futs {
+		if s == nil {
 			continue
 		}
-		// Each future gets its own copy of the serving subset: batch
-		// siblings share the outcome, and a caller mutating one result's
-		// Models() must not corrupt the others.
-		f.models = append([]string(nil), br.out.ModelNames...)
-		f.latency = br.out.Finish - br.out.Requests[i].Arrival
+		// Slots share the outcome's model-name slice; Future.Models copies
+		// on read, so batch siblings stay isolated without a per-request
+		// allocation here.
+		s.models = br.out.ModelNames
+		s.latency = br.out.Finish - br.out.Requests[i].Arrival
 		if err != nil {
-			f.err = err
+			s.err = err
 		} else {
-			f.result = results[i]
+			s.result = results[i]
 		}
-		close(f.done)
+		// Drop the input bytes: payloads must not outlive the request.
+		s.payload = nil
+		br.payloads[i] = nil
+		s.state.Store(futResolved)
+		s.closeDone()
 	}
+	// One broadcast resolves every waiter in the batch; the buffers go back
+	// to the pool after their last read above (waiters never touch them).
+	close(br.done)
+	br.bufs.release()
 }
 
 // failAll resolves every pending (undispatched) future with err. Futures
@@ -743,9 +925,8 @@ func (r *Runtime) failAll(err error) {
 	for i := range r.stripes {
 		st := &r.stripes[i]
 		st.mu.Lock()
-		for id, f := range st.pending {
-			f.err = err
-			close(f.done)
+		for id, s := range st.pending {
+			s.resolveLocal(err)
 			delete(st.pending, id)
 		}
 		st.mu.Unlock()
@@ -794,7 +975,11 @@ func (r *Runtime) SetBackend(b Backend, combine CombineFunc) error {
 	}
 	old := r.backend.Swap(&backendHandle{b: b, combine: combine, exec: r.exec})
 	if old != nil && old.b != b {
+		// The drain rides the runtime's in-flight WaitGroup so Close cannot
+		// return before the old backend is drained and closed.
+		r.inflight.Add(1)
 		go func() {
+			defer r.inflight.Done()
 			old.wg.Wait()
 			_ = old.b.Close()
 		}()
@@ -1039,4 +1224,8 @@ func (r *Runtime) Close() {
 		h.wg.Wait()
 		_ = h.b.Close()
 	}
+	if r.stopOnce.CompareAndSwap(false, true) {
+		close(r.stopCh)
+	}
+	r.workerWG.Wait()
 }

@@ -43,7 +43,7 @@ func TestRuntimeDeterministicBatching(t *testing.T) {
 	}
 
 	const n = 40
-	futs := make([]*Future, 0, n)
+	futs := make([]Future, 0, n)
 	// 16 requests land together at t=0.01, the rest trickle in.
 	loop.Schedule(0.01, func() {
 		for i := 0; i < 16; i++ {
@@ -182,14 +182,14 @@ func TestRuntimePoisonsOnPolicyError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var fut *Future
+	var fut Future
 	var subErr error
 	loop.Schedule(0, func() { fut, subErr = rt.Submit("doomed") })
 	loop.RunUntil(5)
 	if subErr == nil {
 		t.Fatal("invalid action should surface from Submit")
 	}
-	if fut != nil {
+	if fut.Valid() {
 		t.Fatal("no future should be handed out for a poisoned submission")
 	}
 	if _, err := rt.Submit("after"); err == nil || err == ErrClosed {
@@ -243,7 +243,7 @@ func TestRuntimeLiveReconfiguration(t *testing.T) {
 		t.Fatalf("policy = %q", got)
 	}
 
-	var futs []*Future
+	var futs []Future
 	loop.Schedule(0.01, func() {
 		// 3 queued requests: below the deadline-pressure threshold, so the
 		// sync policy waits.

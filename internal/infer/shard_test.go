@@ -242,7 +242,7 @@ func TestShardedRuntimeDeterministicEventLoop(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var futs []*Future
+		var futs []Future
 		loop.Schedule(0.01, func() {
 			for i := 0; i < 32; i++ {
 				f, err := rt.Submit(i)
@@ -291,7 +291,7 @@ func TestShardedRuntimeQueueFullAndReshard(t *testing.T) {
 		t.Fatalf("shards = %d, want 4", got)
 	}
 	full := 0
-	var futs []*Future
+	var futs []Future
 	loop.Schedule(0, func() {
 		for i := 0; i < 10; i++ {
 			f, err := rt.Submit(i)
@@ -339,7 +339,7 @@ func TestFutureModelsPerFutureCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var a, b *Future
+	var a, b Future
 	loop.Schedule(0.01, func() {
 		a, _ = rt.Submit("a")
 		b, _ = rt.Submit("b")

@@ -51,11 +51,35 @@ func (l *EventLoop) AfterFunc(d float64, fn func()) {
 // codebase are simulated from profiled GPU costs, so a test or demo can run
 // a "wall-clock" deployment hundreds of times faster than real time while
 // every duration, SLO and latency metric stays in profiled seconds.
+//
+// Scheduled callbacks fire serially from one dispatcher goroutine over a
+// deadline min-heap, not from a time.AfterFunc goroutine per firing: under a
+// dispatch storm tens of thousands of timers fire per second, and one
+// runnable goroutine per firing both blows the process goroutine peak and
+// allocates a runtime timer per callback. Callbacks must therefore be short
+// and non-blocking — every serving-plane wall callback is a flag-set or a
+// channel close. The dispatcher parks in no pool: it exits whenever the
+// heap drains and is respawned by the next AfterFunc, so an idle timeline
+// holds zero goroutines and needs no Close.
 type WallTimeline struct {
 	Speedup float64
 
 	once  sync.Once
 	start time.Time
+
+	mu      sync.Mutex
+	events  []wallEvent
+	running bool
+	// next is the deadline the dispatcher is currently sleeping toward;
+	// wake (cap 1) interrupts that sleep when an earlier event arrives.
+	next time.Time
+	wake chan struct{}
+}
+
+// wallEvent is one scheduled callback; events ride the heap by value.
+type wallEvent struct {
+	when time.Time
+	fn   func()
 }
 
 func (w *WallTimeline) speedup() float64 {
@@ -79,12 +103,113 @@ func (w *WallTimeline) Now() float64 {
 // (ConcurrentTimeline).
 func (w *WallTimeline) ConcurrentScheduling() {}
 
-// AfterFunc implements Timeline: fn runs on its own goroutine after d
-// timeline seconds (d/Speedup wall seconds).
+// AfterFunc implements Timeline: fn runs on the timeline's dispatcher
+// goroutine after d timeline seconds (d/Speedup wall seconds). fn must not
+// block — it delays every later callback on the same timeline.
 func (w *WallTimeline) AfterFunc(d float64, fn func()) {
 	w.init()
 	if d < 0 {
 		d = 0
 	}
-	time.AfterFunc(time.Duration(d/w.speedup()*float64(time.Second)), fn)
+	when := time.Now().Add(time.Duration(d / w.speedup() * float64(time.Second)))
+	w.mu.Lock()
+	if w.wake == nil {
+		w.wake = make(chan struct{}, 1)
+	}
+	w.push(wallEvent{when: when, fn: fn})
+	if !w.running {
+		w.running = true
+		w.mu.Unlock()
+		go w.dispatch()
+		return
+	}
+	// A sleeping dispatcher aims at w.next; an earlier arrival has to
+	// interrupt the sleep or it would fire late. The token send is
+	// non-blocking: one pending token already guarantees a re-evaluation.
+	interrupt := when.Before(w.next)
+	w.mu.Unlock()
+	if interrupt {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatch drains the deadline heap: run everything due, sleep until the
+// earliest remaining deadline (or an earlier arrival's wake token), exit
+// when the heap is empty.
+func (w *WallTimeline) dispatch() {
+	var timer *time.Timer
+	for {
+		w.mu.Lock()
+		if len(w.events) == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		if !w.events[0].when.After(now) {
+			ev := w.pop()
+			w.mu.Unlock()
+			// Outside the lock: callbacks may re-enter AfterFunc.
+			ev.fn()
+			continue
+		}
+		w.next = w.events[0].when
+		d := w.events[0].when.Sub(now)
+		w.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
+		select {
+		case <-timer.C:
+		case <-w.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		}
+	}
+}
+
+// push and pop maintain the wallEvent min-heap by value — container/heap
+// would box every event into an interface on the submit hot path.
+func (w *WallTimeline) push(ev wallEvent) {
+	w.events = append(w.events, ev)
+	i := len(w.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.events[i].when.Before(w.events[parent].when) {
+			break
+		}
+		w.events[i], w.events[parent] = w.events[parent], w.events[i]
+		i = parent
+	}
+}
+
+func (w *WallTimeline) pop() wallEvent {
+	ev := w.events[0]
+	last := len(w.events) - 1
+	w.events[0] = w.events[last]
+	w.events[last] = wallEvent{}
+	w.events = w.events[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(w.events) && w.events[l].when.Before(w.events[min].when) {
+			min = l
+		}
+		if r < len(w.events) && w.events[r].when.Before(w.events[min].when) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		w.events[i], w.events[min] = w.events[min], w.events[i]
+		i = min
+	}
+	return ev
 }
