@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-gate profile verify-journal scenarios
+.PHONY: check fmt vet build test race bench bench-smoke bench-gate profile contention verify-journal scenarios
 
 check: fmt vet build race bench-smoke bench-gate verify-journal
 
@@ -62,6 +62,18 @@ bench-gate:
 profile:
 	rm -rf artifacts/profiles
 	$(GO) run ./cmd/rafiki-bench -serving artifacts/profiles/BENCH_serving.json -profile artifacts/profiles
+
+# Top contended locks from the archived serving-bench profiles (run `make
+# profile` first): the mutex profile ranks lock-hold contention, the block
+# profile ranks channel/cond waits. This is the at-a-glance view of where
+# the dispatch planes serialize — CI renders it into
+# artifacts/profiles/contention.txt next to the raw pprof data.
+contention:
+	@test -f artifacts/profiles/mutex.pprof || { echo "contention: run 'make profile' first (no artifacts/profiles/mutex.pprof)"; exit 1; }
+	@echo "== top 10 contended mutexes (lock-hold delay) =="
+	$(GO) tool pprof -top -nodecount=10 artifacts/profiles/mutex.pprof
+	@echo "== top 10 blocking sites (channel/cond waits) =="
+	$(GO) tool pprof -top -nodecount=10 artifacts/profiles/block.pprof
 
 # Workload-scenario benchmark (diurnal / bursty / hotkey traffic shapes
 # through the serving runtime, prediction cache off vs on). Emits

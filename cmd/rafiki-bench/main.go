@@ -177,6 +177,9 @@ func writeServingBench(path, gatePath, profileDir string) error {
 		fmt.Printf("serving shards=%d groups=%d backend=%s gomaxprocs=%d submitted=%.0f qps served=%.0f qps batch-mean=%.1f stolen=%d max-goroutines=%d\n",
 			row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, row.SubmittedQPS, row.ServedQPS, row.BatchSizeMean, row.Stolen, row.MaxGoroutines)
 	}
+	if rep.CoreScaling > 0 {
+		fmt.Printf("serving core_scaling=%.3f (largest sim config, max/min gomaxprocs served-QPS ratio)\n", rep.CoreScaling)
+	}
 	for _, row := range rep.Cache.Rows {
 		fmt.Printf("cache on=%v served=%.0f qps hit-rate=%.2f hot-hit-rate=%.2f collapsed=%d\n",
 			row.Cache, row.ServedQPS, row.HitRate, row.HotHitRate, row.Collapsed)
@@ -216,9 +219,14 @@ const benchGateRetries = 2
 
 // gateServingBench compares the fresh report's served-QPS rows against the
 // committed baseline at gatePath. Rows match on (shards, groups, backend,
-// gomaxprocs); rows without a baseline counterpart (a new matrix entry) are
-// skipped with a note, so widening the matrix never requires a lockstep
-// baseline bump.
+// gomaxprocs); fresh rows without a baseline counterpart (a new matrix
+// entry) are skipped with a note, so widening the matrix never requires a
+// lockstep baseline bump — but a *baseline* row with no fresh counterpart
+// fails the gate: a silently vanished matrix row (say, a dropped gomaxprocs
+// axis value) would otherwise un-gate exactly the configurations most likely
+// to have broken. The derived core_scaling ratio is gated the same way as a
+// row, so a multi-core regression fails even when each absolute row stays
+// inside its own tolerance.
 func gateServingBench(rep *exp.ServingBenchReport, gatePath string) error {
 	buf, err := os.ReadFile(gatePath)
 	if err != nil {
@@ -232,25 +240,29 @@ func gateServingBench(rep *exp.ServingBenchReport, gatePath string) error {
 		shards, groups, procs int
 		backend               string
 	}
+	keyString := func(k rowKey) string {
+		return fmt.Sprintf("shards=%d groups=%d backend=%s gomaxprocs=%d", k.shards, k.groups, k.backend, k.procs)
+	}
 	baseline := make(map[rowKey]float64, len(base.Rows))
 	for _, row := range base.Rows {
 		baseline[rowKey{row.Shards, row.Groups, row.GOMAXPROCS, row.Backend}] = row.ServedQPS
 	}
+	covered := make(map[rowKey]bool, len(rep.Rows))
 	failed := false
 	for _, row := range rep.Rows {
 		key := rowKey{row.Shards, row.Groups, row.GOMAXPROCS, row.Backend}
+		covered[key] = true
 		want, ok := baseline[key]
 		if !ok {
-			fmt.Printf("bench gate: no baseline row for shards=%d groups=%d backend=%s gomaxprocs=%d (skipped)\n",
-				row.Shards, row.Groups, row.Backend, row.GOMAXPROCS)
+			fmt.Printf("bench gate: no baseline row for %s (skipped)\n", keyString(key))
 			continue
 		}
 		floor := want * (1 - benchGateTolerance)
 		verdict := "ok"
 		served := row.ServedQPS
 		for attempt := 0; served < floor && attempt < benchGateRetries; attempt++ {
-			fmt.Printf("bench gate: shards=%d groups=%d backend=%s gomaxprocs=%d served=%.0f under floor=%.0f, re-measuring (%d/%d)\n",
-				row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, served, floor, attempt+1, benchGateRetries)
+			fmt.Printf("bench gate: %s served=%.0f under floor=%.0f, re-measuring (%d/%d)\n",
+				keyString(key), served, floor, attempt+1, benchGateRetries)
 			again, err := exp.RunServingBenchRowProcs(servingBenchRequests, servingBenchSubmitters,
 				row.Shards, row.Groups, row.GOMAXPROCS, servingBenchSpeedup, row.Backend)
 			if err != nil {
@@ -264,10 +276,69 @@ func gateServingBench(rep *exp.ServingBenchReport, gatePath string) error {
 			verdict = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("bench gate: shards=%d groups=%d backend=%s gomaxprocs=%d served=%.0f baseline=%.0f floor=%.0f %s\n",
-			row.Shards, row.Groups, row.Backend, row.GOMAXPROCS, served, want, floor, verdict)
+		fmt.Printf("bench gate: %s served=%.0f baseline=%.0f floor=%.0f %s\n",
+			keyString(key), served, want, floor, verdict)
+	}
+	// Every baseline row must still exist in the fresh matrix: a vanished row
+	// is an un-gated configuration, not a passing one.
+	missing := 0
+	for key := range baseline {
+		if !covered[key] {
+			fmt.Printf("bench gate: baseline row %s MISSING from the fresh run\n", keyString(key))
+			missing++
+			failed = true
+		}
+	}
+	if base.CoreScaling > 0 {
+		if rep.CoreScaling == 0 {
+			fmt.Printf("bench gate: baseline core_scaling=%.3f but the fresh run derived none (MISSING)\n", base.CoreScaling)
+			failed = true
+		} else {
+			// The ratio divides two noisy wall-clock measurements, so it is
+			// noisier than either row; re-measure both endpoints of the
+			// scaling axis (best-of, like the row retries) before failing.
+			scaling := rep.CoreScaling
+			floor := base.CoreScaling * (1 - benchGateTolerance)
+			sh, g := 0, 0
+			for _, row := range rep.Rows {
+				if row.Backend == "sim" && (row.Shards > sh || (row.Shards == sh && row.Groups > g)) {
+					sh, g = row.Shards, row.Groups
+				}
+			}
+			lo, hi := exp.CoreScalingAxis(rep.Rows, sh, g)
+			for attempt := 0; scaling < floor && lo > 0 && attempt < benchGateRetries; attempt++ {
+				fmt.Printf("bench gate: core_scaling=%.3f under floor=%.3f, re-measuring gomaxprocs %d and %d (%d/%d)\n",
+					scaling, floor, lo, hi, attempt+1, benchGateRetries)
+				loRow, err := exp.RunServingBenchRowProcs(servingBenchRequests, servingBenchSubmitters,
+					sh, g, lo, servingBenchSpeedup, "sim")
+				if err != nil {
+					return fmt.Errorf("bench gate: re-measure core_scaling: %w", err)
+				}
+				hiRow, err := exp.RunServingBenchRowProcs(servingBenchRequests, servingBenchSubmitters,
+					sh, g, hi, servingBenchSpeedup, "sim")
+				if err != nil {
+					return fmt.Errorf("bench gate: re-measure core_scaling: %w", err)
+				}
+				if loRow.ServedQPS > 0 {
+					if again := hiRow.ServedQPS / loRow.ServedQPS; again > scaling {
+						scaling = again
+					}
+				}
+			}
+			verdict := "ok"
+			if scaling < floor {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("bench gate: core_scaling=%.3f baseline=%.3f floor=%.3f %s\n",
+				scaling, base.CoreScaling, floor, verdict)
+		}
 	}
 	if failed {
+		if missing > 0 {
+			return fmt.Errorf("bench gate: %d baseline row(s) missing from the fresh run (or served QPS regressed >%.0f%%) against %s",
+				missing, benchGateTolerance*100, gatePath)
+		}
 		return fmt.Errorf("bench gate: served QPS regressed >%.0f%% against %s", benchGateTolerance*100, gatePath)
 	}
 	fmt.Printf("bench gate: all rows within %.0f%% of %s\n", benchGateTolerance*100, gatePath)

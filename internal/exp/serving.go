@@ -60,6 +60,13 @@ type ServingBenchReport struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Requests   int               `json:"requests"`
 	Rows       []ServingBenchRow `json:"rows"`
+	// CoreScaling is the derived multi-core ratio: served QPS of the largest
+	// sim configuration at the highest GOMAXPROCS value divided by the same
+	// configuration at the lowest — >1 means adding scheduler threads adds
+	// drain throughput; <1 means cross-core serialization eats the cores
+	// (the regression the sharded metric plane and per-model pool locks
+	// remove). 0 when the matrix ran at a single GOMAXPROCS value.
+	CoreScaling float64 `json:"core_scaling,omitempty"`
 	// Cache, when present, is the prediction-cache pass over the Zipfian
 	// stream (RunCacheBench): cmd/rafiki-bench attaches it so one artifact
 	// tracks the dispatch matrix and the cache speedup together.
@@ -276,10 +283,57 @@ func RunServingBench(requests, submitters int, shards, groups, procs []int, spee
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+	rep.CoreScaling = CoreScalingOf(rep.Rows, sh, g)
 	row, err := RunServingBenchRowProcs(requests, submitters, sh, g, procs[0], speedup, "nn")
 	if err != nil {
 		return nil, fmt.Errorf("exp: serving bench backend=nn: %w", err)
 	}
 	rep.Rows = append(rep.Rows, row)
 	return rep, nil
+}
+
+// CoreScalingOf derives the multi-core scaling ratio from a row set: served
+// QPS of the (shards, groups) sim configuration at its highest measured
+// GOMAXPROCS divided by the same configuration at its lowest. 0 when the
+// rows cover fewer than two GOMAXPROCS values for that configuration.
+func CoreScalingOf(rows []ServingBenchRow, shards, groups int) float64 {
+	loProcs, hiProcs := 0, 0
+	var loQPS, hiQPS float64
+	for _, row := range rows {
+		if row.Shards != shards || row.Groups != groups || row.Backend != "sim" {
+			continue
+		}
+		if loProcs == 0 || row.GOMAXPROCS < loProcs {
+			loProcs, loQPS = row.GOMAXPROCS, row.ServedQPS
+		}
+		if row.GOMAXPROCS > hiProcs {
+			hiProcs, hiQPS = row.GOMAXPROCS, row.ServedQPS
+		}
+	}
+	if loProcs == 0 || hiProcs <= loProcs || loQPS <= 0 {
+		return 0
+	}
+	return hiQPS / loQPS
+}
+
+// CoreScalingAxis reports the GOMAXPROCS endpoints the scaling ratio of a
+// (shards, groups) sim configuration spans — the values a gate must re-run
+// to re-derive the ratio. Both are 0 when the rows cover fewer than two
+// GOMAXPROCS values for that configuration.
+func CoreScalingAxis(rows []ServingBenchRow, shards, groups int) (loProcs, hiProcs int) {
+	for _, row := range rows {
+		if row.Shards != shards || row.Groups != groups || row.Backend != "sim" {
+			continue
+		}
+		if loProcs == 0 || row.GOMAXPROCS < loProcs {
+			loProcs = row.GOMAXPROCS
+		}
+		if row.GOMAXPROCS > hiProcs {
+			hiProcs = row.GOMAXPROCS
+		}
+	}
+	if hiProcs <= loProcs {
+		return 0, 0
+	}
+	return loProcs, hiProcs
 }

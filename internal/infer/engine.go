@@ -6,11 +6,19 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/metrics"
 	"rafiki/internal/zoo"
 )
+
+// falseSharePad is the alignment quantum of the concurrently-written
+// per-group and per-model structs: two 64-byte cache lines, so the adjacent
+// cache-line prefetcher cannot couple neighbouring slots either. Each padded
+// struct rounds its size up to a multiple of this, which keeps hot
+// slot-local writes from invalidating a sibling plane's line.
+const falseSharePad = 128
 
 // DispatchOutcome records one executed dispatch decision: which requests
 // went to which models and when the work completes. The driver owning the
@@ -94,6 +102,92 @@ type engineGroup struct {
 	st    State
 }
 
+// metricSlotState is one dispatch group's private accumulator of the
+// reward/metric plane (DESIGN.md §15): every counter, rate window, latency
+// sample, batch histogram and dispatch-share counter the group's decision
+// loop produces lands here, under the slot's own lock — which only the
+// owning loop and metric readers ever touch, so sibling planes never
+// serialize (or ping-pong cache lines) on a shared metric mutex. Reads fold
+// the slots into one consistent global view (foldMetrics): all counters are
+// commutative sums, so the fold is exact, and with a single group the fold
+// reproduces the classic shared-plane numbers bit-for-bit.
+type metricSlotState struct {
+	mu sync.Mutex
+	// served/overdue/dropped/dispatches/stolen mirror Metrics' counters for
+	// this group's dispatches; reward is the group's Eq. 7 partial sum.
+	served, overdue, dropped int
+	dispatches, stolen       int
+	reward                   float64
+	// batchSizes histograms this group's executed dispatch sizes.
+	batchSizes map[int]int
+	// latencies is the group's per-request latency window (ring once
+	// latencyCap samples are held, like Metrics.Latencies).
+	latencies  []float64
+	latHead    int
+	latencyCap int
+	// servedRate/overdueRate/arrivalRate are the group's rate windows;
+	// arrival events land in the slot of the group owning the shard.
+	servedRate  *metrics.WindowCounter
+	overdueRate *metrics.WindowCounter
+	arrivalRate *metrics.WindowCounter
+	// accuracy buffers the group's measured-accuracy samples, clamped
+	// monotone by the slot's own maxAccT; the fold merge-sorts slots.
+	accuracy *metrics.TimeSeries
+	maxAccT  float64
+	// dispatched[m]/popped are the group's dispatch-share counters feeding
+	// Backlogs (decayed per slot at the shared half-life).
+	dispatched []uint64
+	popped     uint64
+}
+
+// metricSlot pads the slot state so adjacent groups' slots never share a
+// cache line (the whole point of sharding the metric plane).
+type metricSlot struct {
+	metricSlotState
+	_ [(falseSharePad - unsafe.Sizeof(metricSlotState{})%falseSharePad) % falseSharePad]byte
+}
+
+// replicaPoolState is one model's replica pool: the busy-until, down, leased
+// and in-flight-batch state of every replica, guarded by a per-model lock so
+// dispatch planes leasing different models never contend (leases already
+// claim and commit per model). hint is the pool's earliest-free signal — the
+// minimum busy-until over live replicas, as float64 bits (+Inf = no live
+// replica) — refreshed under the lock at every busy/topology mutation, so
+// claim can skip both the lock and the O(replicas) scan whenever the model
+// cannot possibly have a free replica.
+type replicaPoolState struct {
+	mu       sync.Mutex
+	busy     []float64
+	down     []bool
+	leased   []bool
+	repBatch []int
+	hint     atomic.Uint64
+}
+
+// refreshHint recomputes the earliest-free hint. Callers hold the pool lock.
+func (p *replicaPoolState) refreshHint() {
+	min, live := 0.0, false
+	for r, u := range p.busy {
+		if p.down[r] {
+			continue
+		}
+		if !live || u < min {
+			min, live = u, true
+		}
+	}
+	if !live {
+		min = math.Inf(1)
+	}
+	p.hint.Store(math.Float64bits(min))
+}
+
+// replicaPool pads the pool state onto its own cache lines: per-model leases
+// from different planes must not false-share.
+type replicaPool struct {
+	replicaPoolState
+	_ [(falseSharePad - unsafe.Sizeof(replicaPoolState{})%falseSharePad) % falseSharePad]byte
+}
+
 // ModelBacklog is one model's demand signal, derived from the sharded queue
 // layer's counters: how much queued work the model is expected to absorb and
 // how much it already has in flight. The autoscaler sizes its step from these
@@ -110,9 +204,9 @@ type ModelBacklog struct {
 }
 
 // leaseSet is one dispatch group's claim on the shared replica pools: the
-// short poolMu critical section marks the earliest-free free replica of each
-// model as leased, and the group plans (policy decision) and launches its
-// batch outside the lock. Leases are either committed at dispatch (the
+// short per-model critical sections mark the earliest-free free replica of
+// each model as leased, and the group plans (policy decision) and launches
+// its batch outside the locks. Leases are either committed at dispatch (the
 // replica's busy-until advances to the batch finish — it returns to the pool
 // when that time passes) or released untouched on a wait.
 type leaseSet struct {
@@ -159,9 +253,11 @@ func (ls *leaseSet) reset(nm int) {
 //
 // Concurrency contract: Enqueue is safe for concurrent use (requests hash to
 // one queue shard and take only that shard's lock). StepGroup may run
-// concurrently for *different* groups — shared state splits into the replica
-// pool (poolMu, the lease critical section), the metric/reward plane (metMu)
-// and the policy (per-group instances, or polMu when shared) — but callers
+// concurrently for *different* groups — shared state splits into per-model
+// replica pools (each under its own lock, with an atomic earliest-free hint
+// on the claim fast path), per-group metric slots (each plane accumulates
+// into its own cache-line-padded slot; reads fold them) and the policy
+// (per-group instances, or polMu when shared) — but callers
 // must serialize decision points within one group. Every other mutator
 // (SetShards, SetGroups, SetReplicas, SetPolicy, ...) requires the caller to
 // exclude all decision loops first: the Runtime holds its control lock
@@ -195,21 +291,15 @@ type Engine struct {
 	queued   atomic.Int64
 	queueCap atomic.Int64
 
-	// poolMu guards the replica pools — the lease critical section. Claims
-	// and commits are O(models × replicas) scans; everything slow (policy,
-	// queue pops, reward accounting, launching) happens outside it.
-	//
-	// busy[m][r] is the busy-until time of replica r of model m; down[m][r]
-	// marks a replica whose container is dead (excluded from dispatch until
-	// the cluster manager restarts it); leased[m][r] marks a replica claimed
-	// by a dispatch group that has not committed or released it yet.
-	poolMu sync.Mutex
-	busy   [][]float64
-	down   [][]bool
-	leased [][]bool
-	// repBatch[m][r] is the size of the batch in flight on replica r of model
-	// m (stale once busy[m][r] passes; Backlogs filters by busy-until).
-	repBatch [][]int
+	// pools[m] is model m's replica pool, each under its own per-model lock
+	// (the lease critical sections — claim, commit, release — already touch
+	// one model at a time, so planes leasing different models never contend,
+	// and the atomic earliest-free hint lets claim skip a model that cannot
+	// have a free replica without taking its lock at all). The slice itself
+	// is fixed at construction (the deployment's model set never changes);
+	// per-pool replica slices resize under the pool lock with decision loops
+	// excluded.
+	pools []replicaPool
 
 	// polMu serializes Decide→Feedback spans when the policy cannot fan out
 	// per group (it does not implement GroupedPolicy): reward pairing must
@@ -217,28 +307,41 @@ type Engine struct {
 	// deciding while their launch planes still overlap.
 	polMu sync.Mutex
 
-	// latMu guards the latency-feedback plane's mutable state (the EWMAs);
-	// the applied per-model scales and the rescaled planning table publish
-	// through atomic pointers so the dispatch hot path reads them lock-free.
-	// Nil pointers mean "no feedback yet": every estimate is the profiled
-	// table value, bit-for-bit. See latency.go.
+	// The latency-feedback plane publishes every piece through atomic
+	// snapshot pointers — the EWMA state (latFb), the applied per-model
+	// scales and the rescaled planning table — so both the dispatch hot path
+	// and the feedback ingest read lock-free; latMu only serializes the rare
+	// copy-on-write update (a quantized scale actually moving). Nil pointers
+	// mean "no feedback yet": every estimate is the profiled table value,
+	// bit-for-bit. See latency.go.
 	latMu      sync.Mutex
-	latObs     []float64
-	latRaw     []float64
+	latFb      atomic.Pointer[latFeedback]
 	latScalePt atomic.Pointer[[]float64]
 	latTablePt atomic.Pointer[[][]float64]
 
-	// metMu guards the reward/metric plane: met, the accuracy series clock,
-	// the dispatch-share counters, and the ensemble accuracy table — all
-	// globally consistent across dispatch groups.
-	metMu sync.Mutex
-	// dispatched[m] counts requests dispatched to model m; popped counts all
-	// dispatched requests. Their ratio is the model's recent share of the
-	// stream, which Backlogs uses to split the queued backlog per model.
-	dispatched []uint64
-	popped     uint64
-	met        *Metrics
-	maxAccT    float64
+	// metMu guards the retired metric base: met accumulates the slots of
+	// dispatch-group layouts that no longer exist (a live re-group folds the
+	// old slots in before replacing them), plus its own dispatch-share
+	// remainder (baseDispatched/basePopped) and accuracy-series clock
+	// (baseMaxAccT). The dispatch hot path never takes it — per-group
+	// dispatches write only their own metricSlot; every read folds
+	// base + slots into one consistent view (foldMetrics). Lock order:
+	// metMu before any slot lock, slot locks in index order.
+	metMu          sync.Mutex
+	baseDispatched []uint64
+	basePopped     uint64
+	met            *Metrics
+	baseMaxAccT    float64
+	// metSlots[g] is dispatch group g's private metric accumulator; rebuilt
+	// (with the old slots retired into the base) only when the group count
+	// changes, with all decision loops excluded.
+	metSlots []metricSlot
+	// latencyCap/rateKeep are the configured metric bounds applied to every
+	// slot (and the base): Latencies ring size and arrival/overdue window
+	// retention. 0 = unbounded (the simulator's default; figures read full
+	// histories).
+	latencyCap int
+	rateKeep   int
 
 	// decisions counts policy decision points. It is the hottest counter in
 	// the dispatch loop (one bump per Decide, dispatch or wait), so it lives
@@ -254,37 +357,82 @@ type Engine struct {
 // splits dispatch across planes.
 func NewEngine(d *Deployment, p Policy, acc *ensemble.AccuracyTable, queueCap int) *Engine {
 	e := &Engine{
-		Deployment: d,
-		Policy:     p,
-		AccTable:   acc,
-		shards:     []engineShard{{q: NewQueue(0)}},
-		busy:       make([][]float64, len(d.Profiles)),
-		down:       make([][]bool, len(d.Profiles)),
-		leased:     make([][]bool, len(d.Profiles)),
-		repBatch:   make([][]int, len(d.Profiles)),
-		dispatched: make([]uint64, len(d.Profiles)),
+		Deployment:     d,
+		Policy:         p,
+		AccTable:       acc,
+		shards:         []engineShard{{q: NewQueue(0)}},
+		pools:          make([]replicaPool, len(d.Profiles)),
+		baseDispatched: make([]uint64, len(d.Profiles)),
 		met: &Metrics{
 			OverdueRate: metrics.NewWindowCounter(1),
 			ArrivalRate: metrics.NewWindowCounter(1),
 			// Only the recent tail feeds drain-rate estimates, so bound
 			// retention: a long-lived runtime must not grow one map entry
 			// per second of serving forever.
-			ServedRate:      boundedWindowCounter(1, 64),
-			Accuracy:        metrics.NewTimeSeries("accuracy"),
-			GroupDispatches: make([]int, 1),
+			ServedRate: boundedWindowCounter(1, servedRateKeep),
+			Accuracy:   metrics.NewTimeSeries("accuracy"),
 		},
 	}
 	e.nshards.Store(1)
 	e.ngroups.Store(1)
 	e.queueCap.Store(int64(queueCap))
-	for m := range e.busy {
-		e.busy[m] = make([]float64, d.ReplicaCount(m))
-		e.down[m] = make([]bool, d.ReplicaCount(m))
-		e.leased[m] = make([]bool, d.ReplicaCount(m))
-		e.repBatch[m] = make([]int, d.ReplicaCount(m))
+	for m := range e.pools {
+		p := &e.pools[m]
+		p.busy = make([]float64, d.ReplicaCount(m))
+		p.down = make([]bool, d.ReplicaCount(m))
+		p.leased = make([]bool, d.ReplicaCount(m))
+		p.repBatch = make([]int, d.ReplicaCount(m))
+		p.refreshHint()
 	}
 	e.rebuildGroups(1)
 	return e
+}
+
+// servedRateKeep bounds every served-rate window to its recent tail; only
+// drain-rate estimates read it.
+const servedRateKeep = 64
+
+// newMetricSlot builds one group's metric accumulator under the engine's
+// configured bounds.
+func (e *Engine) newMetricSlot() metricSlotState {
+	arr := metrics.NewWindowCounter(1)
+	arr.Keep = e.rateKeep
+	od := metrics.NewWindowCounter(1)
+	od.Keep = e.rateKeep
+	return metricSlotState{
+		batchSizes:  map[int]int{},
+		latencyCap:  e.latencyCap,
+		servedRate:  boundedWindowCounter(1, servedRateKeep),
+		overdueRate: od,
+		arrivalRate: arr,
+		accuracy:    metrics.NewTimeSeries("accuracy"),
+		maxAccT:     e.baseMaxAccT,
+		dispatched:  make([]uint64, len(e.Deployment.Profiles)),
+	}
+}
+
+// SetMetricBounds bounds the metric plane for a long-lived runtime: every
+// latency window (base and per-group slots) becomes a ring of latencyCap
+// recent samples, and the arrival/overdue rate windows retain only the most
+// recent rateKeep seconds. 0 keeps a bound unset (full history — the
+// simulator's default, whose figures read complete series). Callers exclude
+// decision loops (the Runtime configures this before serving).
+func (e *Engine) SetMetricBounds(latencyCap, rateKeep int) {
+	e.metMu.Lock()
+	defer e.metMu.Unlock()
+	e.latencyCap = latencyCap
+	e.rateKeep = rateKeep
+	e.met.LatencyCap = latencyCap
+	e.met.ArrivalRate.Keep = rateKeep
+	e.met.OverdueRate.Keep = rateKeep
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		sl.latencyCap = latencyCap
+		sl.arrivalRate.Keep = rateKeep
+		sl.overdueRate.Keep = rateKeep
+		sl.mu.Unlock()
+	}
 }
 
 // maxEngineShards bounds SetShards against runaway configurations: shards
@@ -338,13 +486,98 @@ func (e *Engine) rebuildGroups(n int) {
 	e.ngroups.Store(int32(n))
 	e.rebindPolicies()
 	e.metMu.Lock()
-	// Only a real re-group resets the per-plane counters: a re-shard with
-	// an unchanged group count keeps every shard on its old plane index, so
-	// the history still describes the live planes.
-	if len(e.met.GroupDispatches) != n {
-		e.met.GroupDispatches = make([]int, n)
+	// Only a real re-group replaces the per-plane metric slots (retiring the
+	// old ones into the base): a re-shard with an unchanged group count keeps
+	// every shard on its old plane index, so the per-slot history still
+	// describes the live planes.
+	if len(e.metSlots) != n {
+		e.retireSlotsLocked()
+		e.metSlots = make([]metricSlot, n)
+		for g := range e.metSlots {
+			e.metSlots[g].metricSlotState = e.newMetricSlot()
+		}
 	}
 	e.metMu.Unlock()
+}
+
+// retireSlotsLocked folds every live metric slot into the retired base (met,
+// baseDispatched/basePopped, baseMaxAccT) before the slot set is replaced.
+// Callers hold metMu and exclude all decision loops. Per-group dispatch
+// counts are intentionally dropped (GroupDispatches describes the *live*
+// plane layout, matching the classic reset-on-regroup semantics); every
+// global counter survives.
+func (e *Engine) retireSlotsLocked() {
+	if len(e.metSlots) == 0 {
+		return
+	}
+	pts := e.met.Accuracy.Points()
+	merged := len(pts) > 0
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		e.met.Served += sl.served
+		e.met.Overdue += sl.overdue
+		e.met.Dropped += sl.dropped
+		e.met.Dispatches += sl.dispatches
+		e.met.Stolen += sl.stolen
+		e.met.Reward += sl.reward
+		if len(sl.batchSizes) > 0 && e.met.BatchSizes == nil {
+			e.met.BatchSizes = make(map[int]int)
+		}
+		for b, c := range sl.batchSizes {
+			e.met.BatchSizes[b] += c
+		}
+		for _, lat := range sl.latenciesInOrder() {
+			e.met.addLatency(lat)
+		}
+		e.met.ServedRate.Merge(sl.servedRate)
+		e.met.OverdueRate.Merge(sl.overdueRate)
+		e.met.ArrivalRate.Merge(sl.arrivalRate)
+		if sl.accuracy.Len() > 0 {
+			pts = append(pts, sl.accuracy.Points()...)
+			merged = true
+		}
+		if sl.maxAccT > e.baseMaxAccT {
+			e.baseMaxAccT = sl.maxAccT
+		}
+		for m := range e.baseDispatched {
+			e.baseDispatched[m] += sl.dispatched[m]
+		}
+		e.basePopped += sl.popped
+		sl.mu.Unlock()
+	}
+	if merged {
+		// Slot series are individually time ordered but interleave across
+		// groups; a stable merge keeps same-timestamp samples in slot order.
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		acc := metrics.NewTimeSeries("accuracy")
+		for _, p := range pts {
+			_ = acc.Append(p.T, p.V)
+		}
+		e.met.Accuracy = acc
+	}
+}
+
+// latenciesInOrder returns the slot's latency window in insertion order
+// (unrolling the ring when the cap has wrapped).
+func (sl *metricSlotState) latenciesInOrder() []float64 {
+	if sl.latencyCap > 0 && len(sl.latencies) >= sl.latencyCap && sl.latHead > 0 {
+		out := make([]float64, 0, len(sl.latencies))
+		out = append(out, sl.latencies[sl.latHead:]...)
+		return append(out, sl.latencies[:sl.latHead]...)
+	}
+	return sl.latencies
+}
+
+// latenciesInOrder is the Metrics-side twin of the slot helper, used when
+// folding the retired base into a read.
+func (m *Metrics) latenciesInOrder() []float64 {
+	if m.LatencyCap > 0 && len(m.Latencies) >= m.LatencyCap && m.latHead > 0 {
+		out := make([]float64, 0, len(m.Latencies))
+		out = append(out, m.Latencies[m.latHead:]...)
+		return append(out, m.Latencies[:m.latHead]...)
+	}
+	return m.Latencies
 }
 
 // rebindPolicies installs each group's policy instance: with one group the
@@ -449,9 +682,18 @@ func (e *Engine) SetPolicy(p Policy) error {
 	e.Policy = p
 	e.rebindPolicies()
 	e.metMu.Lock()
-	e.popped = 0
-	for m := range e.dispatched {
-		e.dispatched[m] = 0
+	e.basePopped = 0
+	for m := range e.baseDispatched {
+		e.baseDispatched[m] = 0
+	}
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		sl.popped = 0
+		for m := range sl.dispatched {
+			sl.dispatched[m] = 0
+		}
+		sl.mu.Unlock()
 	}
 	e.metMu.Unlock()
 	return nil
@@ -484,11 +726,12 @@ func (e *Engine) SetQueueCap(n int) error {
 
 // ReplicaCounts returns the current per-model replica counts.
 func (e *Engine) ReplicaCounts() []int {
-	e.poolMu.Lock()
-	defer e.poolMu.Unlock()
-	out := make([]int, len(e.busy))
-	for m, reps := range e.busy {
-		out[m] = len(reps)
+	out := make([]int, len(e.pools))
+	for m := range e.pools {
+		p := &e.pools[m].replicaPoolState
+		p.mu.Lock()
+		out[m] = len(p.busy)
+		p.mu.Unlock()
 	}
 	return out
 }
@@ -499,24 +742,26 @@ func (e *Engine) ReplicaCounts() []int {
 // the slots just stop taking new work). Callers exclude decision loops, so
 // no lease is outstanding on a dropped slot.
 func (e *Engine) SetReplicas(m, n int) error {
-	if m < 0 || m >= len(e.busy) {
+	if m < 0 || m >= len(e.pools) {
 		return fmt.Errorf("infer: model index %d out of range", m)
 	}
 	if n < 1 {
 		return fmt.Errorf("infer: model %s needs at least one replica, got %d", e.Deployment.ModelNames[m], n)
 	}
-	e.poolMu.Lock()
-	defer e.poolMu.Unlock()
-	for len(e.busy[m]) < n {
-		e.busy[m] = append(e.busy[m], 0)
-		e.down[m] = append(e.down[m], false)
-		e.leased[m] = append(e.leased[m], false)
-		e.repBatch[m] = append(e.repBatch[m], 0)
+	p := &e.pools[m].replicaPoolState
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.busy) < n {
+		p.busy = append(p.busy, 0)
+		p.down = append(p.down, false)
+		p.leased = append(p.leased, false)
+		p.repBatch = append(p.repBatch, 0)
 	}
-	e.busy[m] = e.busy[m][:n]
-	e.down[m] = e.down[m][:n]
-	e.leased[m] = e.leased[m][:n]
-	e.repBatch[m] = e.repBatch[m][:n]
+	p.busy = p.busy[:n]
+	p.down = p.down[:n]
+	p.leased = p.leased[:n]
+	p.repBatch = p.repBatch[:n]
+	p.refreshHint()
 	return nil
 }
 
@@ -525,84 +770,100 @@ func (e *Engine) SetReplicas(m, n int) error {
 // container first and then mark the slot up (SetReplicaDown false), so a
 // container that dies during launch always addresses a live slot index.
 func (e *Engine) AddReplica(m int) (int, error) {
-	if m < 0 || m >= len(e.busy) {
+	if m < 0 || m >= len(e.pools) {
 		return 0, fmt.Errorf("infer: model index %d out of range", m)
 	}
-	e.poolMu.Lock()
-	defer e.poolMu.Unlock()
-	e.busy[m] = append(e.busy[m], 0)
-	e.down[m] = append(e.down[m], true)
-	e.leased[m] = append(e.leased[m], false)
-	e.repBatch[m] = append(e.repBatch[m], 0)
-	return len(e.busy[m]) - 1, nil
+	p := &e.pools[m].replicaPoolState
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.busy = append(p.busy, 0)
+	p.down = append(p.down, true)
+	p.leased = append(p.leased, false)
+	p.repBatch = append(p.repBatch, 0)
+	p.refreshHint()
+	return len(p.busy) - 1, nil
 }
 
 // SetReplicaDown marks replica r of model m dead (down=true: dispatch skips
 // it) or recovered (down=false). The cluster manager's failure-detection and
 // restart hooks drive this.
 func (e *Engine) SetReplicaDown(m, r int, down bool) error {
-	if m < 0 || m >= len(e.busy) {
+	if m < 0 || m >= len(e.pools) {
 		return fmt.Errorf("infer: model index %d out of range", m)
 	}
-	e.poolMu.Lock()
-	defer e.poolMu.Unlock()
-	if r < 0 || r >= len(e.busy[m]) {
+	p := &e.pools[m].replicaPoolState
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r < 0 || r >= len(p.busy) {
 		return fmt.Errorf("infer: model %s has no replica %d", e.Deployment.ModelNames[m], r)
 	}
-	e.down[m][r] = down
+	p.down[r] = down
 	if !down {
 		// A restarted container comes back idle regardless of what its
 		// predecessor was doing.
-		e.busy[m][r] = 0
+		p.busy[r] = 0
 	}
+	p.refreshHint()
 	return nil
 }
 
-// claim is the lease critical section: under poolMu it marks the
-// earliest-free free replica of every model as leased by the calling group
-// and snapshots the busy-left view of the rest into ls (reset first, so a
-// group's scratch lease set is reusable across iterations). The caller plans
-// its batch outside the lock and either commits the leases it uses
-// (commitLease) or returns them untouched (releaseLease).
+// claim is the lease critical section: it marks the earliest-free free
+// replica of every model as leased by the calling group and snapshots the
+// busy-left view of the rest into ls (reset first, so a group's scratch lease
+// set is reusable across iterations). Each model's pool is visited under its
+// own lock, and the atomic earliest-free hint short-circuits models that
+// cannot possibly have a free replica: leased replicas always carry
+// busy ≤ now (leases are only taken on free replicas and commit advances
+// busy while clearing the lease), so a hint strictly in the future proves
+// every live replica is unleased and busy — the hint *is* the old locked
+// scan's earliest busy-until, bit for bit — and +Inf proves no live replica
+// at all. The caller plans its batch outside the locks and either commits the
+// leases it uses (commitLease) or returns them untouched (releaseLease).
 func (e *Engine) claim(now float64, ls *leaseSet) {
-	ls.reset(len(e.busy))
-	e.poolMu.Lock()
-	for m := range e.busy {
+	ls.reset(len(e.pools))
+	for m := range e.pools {
+		p := &e.pools[m].replicaPoolState
+		if h := math.Float64frombits(p.hint.Load()); h > now+1e-12 {
+			if math.IsInf(h, 1) {
+				ls.allDown[m] = true
+			} else {
+				ls.until[m] = h
+			}
+			continue
+		}
+		p.mu.Lock()
 		idx, until := -1, 0.0
 		live := false
-		for r, u := range e.busy[m] {
-			if e.down[m][r] {
+		for r, u := range p.busy {
+			if p.down[r] {
 				continue
 			}
 			live = true
-			if e.leased[m][r] {
+			if p.leased[r] {
 				continue
 			}
 			if idx < 0 || u < until {
 				idx, until = r, u
 			}
 		}
-		if !live {
+		switch {
+		case !live:
 			ls.allDown[m] = true
-			continue
-		}
-		if idx < 0 {
+		case idx < 0:
 			// Every live replica is leased by a sibling group. The soonest
 			// one could possibly free is a smallest-batch service away —
 			// an optimistic busy-left floor for the policy's features.
 			ls.until[m] = now + e.modelLatency(m, e.Deployment.Batches[0])
-			continue
-		}
-		if until <= now+1e-12 {
-			e.leased[m][idx] = true
+		case until <= now+1e-12:
+			p.leased[idx] = true
 			ls.rep[m] = idx
 			ls.free[m] = true
 			ls.n++
-		} else {
+		default:
 			ls.until[m] = until
 		}
+		p.mu.Unlock()
 	}
-	e.poolMu.Unlock()
 }
 
 // releaseLease returns every uncommitted lease to the pool (a wait decision,
@@ -611,47 +872,125 @@ func (e *Engine) releaseLease(ls *leaseSet) {
 	if ls.n == 0 {
 		return
 	}
-	e.poolMu.Lock()
 	for m, r := range ls.rep {
-		if r >= 0 {
-			e.leased[m][r] = false
+		if r < 0 {
+			continue
 		}
+		p := &e.pools[m].replicaPoolState
+		p.mu.Lock()
+		p.leased[r] = false
+		p.mu.Unlock()
 	}
-	e.poolMu.Unlock()
 	ls.n = 0
 }
 
 // commitLease occupies the chosen models' leased replicas until their batch
-// finish times and returns every other lease to the pool. finish is parallel
-// to models.
+// finish times (refreshing each pool's earliest-free hint) and returns every
+// other lease to the pool. finish is parallel to models.
 func (e *Engine) commitLease(ls *leaseSet, models []int, finish []float64, batch int) {
-	e.poolMu.Lock()
 	for i, m := range models {
 		r := ls.rep[m]
-		e.busy[m][r] = finish[i]
-		e.repBatch[m][r] = batch
-		e.leased[m][r] = false
+		p := &e.pools[m].replicaPoolState
+		p.mu.Lock()
+		p.busy[r] = finish[i]
+		p.repBatch[r] = batch
+		p.leased[r] = false
+		p.refreshHint()
+		p.mu.Unlock()
 		ls.rep[m] = -1
 	}
 	for m, r := range ls.rep {
-		if r >= 0 {
-			e.leased[m][r] = false
+		if r < 0 {
+			continue
 		}
+		p := &e.pools[m].replicaPoolState
+		p.mu.Lock()
+		p.leased[r] = false
+		p.mu.Unlock()
 	}
-	e.poolMu.Unlock()
 	ls.n = 0
 }
 
-// Metrics returns the engine's live metrics after folding in any buffered
-// arrival events. Callers must not mutate them and must exclude concurrent
-// decision loops (the Simulator is single-threaded; the Runtime reads
-// through fillStats instead).
+// Metrics returns a consistent fold of the engine's metric plane (the
+// retired base plus every live per-group slot) after folding in any buffered
+// arrival events. The fold is non-destructive — repeated calls observe the
+// cumulative run — and with a single dispatch group it reproduces the classic
+// shared-plane numbers bit-for-bit (every base field starts at zero, and
+// 0 + x is exact). Callers own the returned value; the engine never mutates
+// it after return. Safe to call concurrently with decision loops.
 func (e *Engine) Metrics() *Metrics {
 	e.flushArrivals()
+	return e.foldMetrics()
+}
+
+// foldMetrics folds base + slots into one freshly allocated Metrics. Lock
+// order: metMu, then slot locks in index order.
+func (e *Engine) foldMetrics() *Metrics {
 	e.metMu.Lock()
-	e.met.Decisions = int(e.decisions.Load())
-	e.metMu.Unlock()
-	return e.met
+	defer e.metMu.Unlock()
+	b := e.met
+	out := &Metrics{
+		Served:          b.Served,
+		Overdue:         b.Overdue,
+		Dropped:         b.Dropped,
+		Reward:          b.Reward,
+		Decisions:       int(e.decisions.Load()),
+		Dispatches:      b.Dispatches,
+		Stolen:          b.Stolen,
+		LatencyCap:      e.latencyCap,
+		ServedRate:      boundedWindowCounter(1, servedRateKeep),
+		OverdueRate:     boundedWindowCounter(1, e.rateKeep),
+		ArrivalRate:     boundedWindowCounter(1, e.rateKeep),
+		Accuracy:        metrics.NewTimeSeries("accuracy"),
+		GroupDispatches: make([]int, len(e.metSlots)),
+	}
+	out.ServedRate.Merge(b.ServedRate)
+	out.OverdueRate.Merge(b.OverdueRate)
+	out.ArrivalRate.Merge(b.ArrivalRate)
+	out.Latencies = append(out.Latencies, b.latenciesInOrder()...)
+	if len(b.BatchSizes) > 0 {
+		out.BatchSizes = make(map[int]int, len(b.BatchSizes))
+		for sz, c := range b.BatchSizes {
+			out.BatchSizes[sz] = c
+		}
+	}
+	pts := b.Accuracy.Points()
+	sorted := true
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		out.Served += sl.served
+		out.Overdue += sl.overdue
+		out.Dropped += sl.dropped
+		out.Dispatches += sl.dispatches
+		out.Stolen += sl.stolen
+		out.Reward += sl.reward
+		out.GroupDispatches[g] = sl.dispatches
+		if len(sl.batchSizes) > 0 && out.BatchSizes == nil {
+			out.BatchSizes = make(map[int]int, len(sl.batchSizes))
+		}
+		for sz, c := range sl.batchSizes {
+			out.BatchSizes[sz] += c
+		}
+		out.Latencies = append(out.Latencies, sl.latenciesInOrder()...)
+		out.ServedRate.Merge(sl.servedRate)
+		out.OverdueRate.Merge(sl.overdueRate)
+		out.ArrivalRate.Merge(sl.arrivalRate)
+		if sl.accuracy.Len() > 0 {
+			if len(pts) > 0 {
+				sorted = false
+			}
+			pts = append(pts, sl.accuracy.Points()...)
+		}
+		sl.mu.Unlock()
+	}
+	if !sorted {
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	}
+	for _, p := range pts {
+		_ = out.Accuracy.Append(p.T, p.V)
+	}
+	return out
 }
 
 // QueueLen returns the number of queued (not yet dispatched) requests across
@@ -733,7 +1072,7 @@ func (e *Engine) flushArrivals() {
 // deadlock behind a waiting writer.
 func (e *Engine) flushArrivalsLocked() {
 	for i := range e.shards {
-		e.flushShardLocked(&e.shards[i])
+		e.flushShardLocked(i)
 	}
 }
 
@@ -744,11 +1083,15 @@ func (e *Engine) flushArrivalsLocked() {
 // flushes and the global flush at metric reads land identically.
 func (e *Engine) flushShardsLocked(idx []int) {
 	for _, si := range idx {
-		e.flushShardLocked(&e.shards[si])
+		e.flushShardLocked(si)
 	}
 }
 
-func (e *Engine) flushShardLocked(sh *engineShard) {
+// flushShardLocked drains shard si's buffered arrival events into the metric
+// slot of the group that owns the shard (shard s → group s mod ngroups), so
+// a plane flushing its own shards touches only its own slot lock.
+func (e *Engine) flushShardLocked(si int) {
+	sh := &e.shards[si]
 	sh.mu.Lock()
 	events := sh.events
 	sh.events = nil
@@ -756,18 +1099,19 @@ func (e *Engine) flushShardLocked(sh *engineShard) {
 	if len(events) == 0 {
 		return
 	}
-	e.metMu.Lock()
+	sl := &e.metSlots[si%len(e.metSlots)].metricSlotState
+	sl.mu.Lock()
 	for _, ev := range events {
 		if ev.now < e.MeasureFrom {
 			continue
 		}
 		if ev.dropped {
-			e.met.Dropped++
+			sl.dropped++
 		} else {
-			e.met.ArrivalRate.Add(ev.at, 1)
+			sl.arrivalRate.Add(ev.at, 1)
 		}
 	}
-	e.metMu.Unlock()
+	sl.mu.Unlock()
 }
 
 // nextShard returns the group's next non-empty shard at or after its
@@ -1171,50 +1515,48 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 		pivot /= float64(len(d.Profiles))
 		rewardAcc = pivot + d.AccuracyEmphasis*(acc-pivot)
 	}
-	e.metMu.Lock()
-	e.popped += uint64(n)
+	// The metric fold lands entirely in this group's own slot: the hot path
+	// never takes metMu, so sibling planes' dispatches proceed without
+	// serializing on (or cache-ping-ponging over) a shared metric lock.
+	sl := &e.metSlots[g].metricSlotState
+	sl.mu.Lock()
+	sl.popped += uint64(n)
 	for _, mi := range act.Models {
-		e.dispatched[mi] += uint64(n)
+		sl.dispatched[mi] += uint64(n)
 	}
 	// Exponentially decay the share counters so Backlogs tracks the recent
 	// stream, not lifetime history: halving preserves the ratios while a
 	// workload shift washes out within a few half-lives.
-	if e.popped >= shareHalfLife {
-		e.popped >>= 1
-		for m := range e.dispatched {
-			e.dispatched[m] >>= 1
+	if sl.popped >= shareHalfLife {
+		sl.popped >>= 1
+		for m := range sl.dispatched {
+			sl.dispatched[m] >>= 1
 		}
 	}
 	if measured {
-		e.met.ServedRate.Add(out.Finish, float64(n))
+		sl.servedRate.Add(out.Finish, float64(n))
 	}
 	for _, r := range batch {
 		lat := out.Finish - r.Arrival
 		if measured {
-			e.met.addLatency(lat)
-			e.met.Served++
+			sl.addLatency(lat)
+			sl.served++
 		}
 		if lat > d.Tau {
 			out.Overdue++
 			if measured {
-				e.met.Overdue++
-				e.met.OverdueRate.Add(out.Finish, 1)
+				sl.overdue++
+				sl.overdueRate.Add(out.Finish, 1)
 			}
 		}
 	}
 
 	out.Reward = rewardAcc * (float64(n) - d.Beta*float64(out.Overdue)) / float64(d.MaxBatch())
 	if measured {
-		e.met.Reward += out.Reward
-		e.met.Dispatches++
-		e.met.Stolen += stolen
-		if g < len(e.met.GroupDispatches) {
-			e.met.GroupDispatches[g]++
-		}
-		if e.met.BatchSizes == nil {
-			e.met.BatchSizes = make(map[int]int)
-		}
-		e.met.BatchSizes[n]++
+		sl.reward += out.Reward
+		sl.dispatches++
+		sl.stolen += stolen
+		sl.batchSizes[n]++
 	}
 
 	// Measured accuracy via simulated predictions.
@@ -1223,32 +1565,44 @@ func (e *Engine) dispatch(now float64, gr *engineGroup, g, si int, act Action, l
 		for _, r := range batch {
 			preds, truth, err := e.Predictor.PredictAll(r.ID, names)
 			if err != nil {
-				e.metMu.Unlock()
+				sl.mu.Unlock()
 				return DispatchOutcome{}, err
 			}
 			vote, err := ensemble.VoteModels(names, preds)
 			if err != nil {
-				e.metMu.Unlock()
+				sl.mu.Unlock()
 				return DispatchOutcome{}, err
 			}
 			if vote == truth {
 				correct++
 			}
 		}
-		// Finish times are not globally monotone across models; clamp to the
-		// newest accuracy sample time so the series stays time ordered.
+		// Finish times are not globally monotone across a group's models;
+		// clamp to the slot's newest accuracy sample time so the per-slot
+		// series stays time ordered (the fold merge-sorts across slots).
 		at := out.Finish
-		if at < e.maxAccT {
-			at = e.maxAccT
+		if at < sl.maxAccT {
+			at = sl.maxAccT
 		}
-		e.maxAccT = at
-		if err := e.met.Accuracy.Append(at, float64(correct)/float64(n)); err != nil {
-			e.metMu.Unlock()
+		sl.maxAccT = at
+		if err := sl.accuracy.Append(at, float64(correct)/float64(n)); err != nil {
+			sl.mu.Unlock()
 			return DispatchOutcome{}, err
 		}
 	}
-	e.metMu.Unlock()
+	sl.mu.Unlock()
 	return out, nil
+}
+
+// addLatency records one request latency into the slot's window, honouring
+// its cap (the slot-local twin of Metrics.addLatency).
+func (sl *metricSlotState) addLatency(l float64) {
+	if sl.latencyCap > 0 && len(sl.latencies) >= sl.latencyCap {
+		sl.latencies[sl.latHead] = l
+		sl.latHead = (sl.latHead + 1) % sl.latencyCap
+		return
+	}
+	sl.latencies = append(sl.latencies, l)
 }
 
 // shareHalfLife bounds the dispatch-share history feeding Backlogs: once
@@ -1270,81 +1624,106 @@ type MetricSnapshot struct {
 	DrainRate, ArrivalRate   float64
 }
 
-// SnapshotMetrics copies the metric plane under its lock, with the drain and
-// arrival rates computed over the trailing window (timeline seconds) ending
-// at now. Safe to call concurrently with decision loops.
+// SnapshotMetrics folds the metric plane (base + per-group slots) into a
+// consistent copy, with the drain and arrival rates computed over the
+// trailing window (timeline seconds) ending at now. Safe to call
+// concurrently with decision loops.
 func (e *Engine) SnapshotMetrics(now, window float64) MetricSnapshot {
 	e.flushArrivals()
-	e.metMu.Lock()
-	defer e.metMu.Unlock()
-	m := e.met
+	m := e.foldMetrics()
 	snap := MetricSnapshot{
 		Served:          m.Served,
 		Overdue:         m.Overdue,
 		Dropped:         m.Dropped,
-		Decisions:       int(e.decisions.Load()),
+		Decisions:       m.Decisions,
 		Dispatches:      m.Dispatches,
 		Stolen:          m.Stolen,
 		Reward:          m.Reward,
+		BatchSizes:      m.BatchSizes,
 		BatchSizeMean:   m.BatchSizeMean(),
-		GroupDispatches: append([]int(nil), m.GroupDispatches...),
-		Latencies:       append([]float64(nil), m.Latencies...),
+		GroupDispatches: m.GroupDispatches,
+		Latencies:       m.Latencies,
 		DrainRate:       m.ServedRate.TotalSince(now-window) / window,
 		ArrivalRate:     m.ArrivalRate.TotalSince(now-window) / window,
-	}
-	if len(m.BatchSizes) > 0 {
-		snap.BatchSizes = make(map[int]int, len(m.BatchSizes))
-		for b, n := range m.BatchSizes {
-			snap.BatchSizes[b] = n
-		}
 	}
 	return snap
 }
 
 // DrainRate reports the recent completion rate (requests per timeline second
 // over the trailing window) without a full metric snapshot — the rejection
-// path reads it once per queue-full request. Safe to call concurrently.
+// path reads it once per queue-full request, so it sums the served windows
+// across base and slots instead of materializing a full fold. Safe to call
+// concurrently.
 func (e *Engine) DrainRate(now, window float64) float64 {
+	since := now - window
 	e.metMu.Lock()
 	defer e.metMu.Unlock()
-	return e.met.ServedRate.TotalSince(now-window) / window
+	s := e.met.ServedRate.TotalSince(since)
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		s += sl.servedRate.TotalSince(since)
+		sl.mu.Unlock()
+	}
+	return s / window
 }
 
 // Rates reports the recent arrival and drain rates (requests per timeline
 // second over the trailing window). Safe to call concurrently.
 func (e *Engine) Rates(now, window float64) (arrival, drain float64) {
 	e.flushArrivals()
+	since := now - window
 	e.metMu.Lock()
 	defer e.metMu.Unlock()
-	return e.met.ArrivalRate.TotalSince(now-window) / window,
-		e.met.ServedRate.TotalSince(now-window) / window
+	arrival = e.met.ArrivalRate.TotalSince(since)
+	drain = e.met.ServedRate.TotalSince(since)
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		arrival += sl.arrivalRate.TotalSince(since)
+		drain += sl.servedRate.TotalSince(since)
+		sl.mu.Unlock()
+	}
+	return arrival / window, drain / window
 }
 
 // Backlogs reports each model's demand signal at time now: its estimated
 // share of the queued backlog (by recent, exponentially decayed dispatch
-// participation) plus the requests already in flight on its replicas. Safe
-// to call concurrently with decision loops.
+// participation, folded across the per-group slots) plus the requests
+// already in flight on its replicas. Safe to call concurrently with decision
+// loops.
 func (e *Engine) Backlogs(now float64) []ModelBacklog {
 	queued := float64(e.QueueLen())
+	nm := len(e.pools)
+	disp := make([]uint64, nm)
 	e.metMu.Lock()
-	shares := make([]float64, len(e.dispatched))
-	for m := range shares {
-		shares[m] = 1.0
-		if e.popped > 0 {
-			shares[m] = float64(e.dispatched[m]) / float64(e.popped)
+	copy(disp, e.baseDispatched)
+	popped := e.basePopped
+	for g := range e.metSlots {
+		sl := &e.metSlots[g].metricSlotState
+		sl.mu.Lock()
+		for m := range disp {
+			disp[m] += sl.dispatched[m]
 		}
+		popped += sl.popped
+		sl.mu.Unlock()
 	}
 	e.metMu.Unlock()
-	out := make([]ModelBacklog, len(shares))
-	e.poolMu.Lock()
-	for m := range e.busy {
-		out[m].Queued = shares[m] * queued
-		for r, until := range e.busy[m] {
+	out := make([]ModelBacklog, nm)
+	for m := range out {
+		share := 1.0
+		if popped > 0 {
+			share = float64(disp[m]) / float64(popped)
+		}
+		out[m].Queued = share * queued
+		p := &e.pools[m].replicaPoolState
+		p.mu.Lock()
+		for r, until := range p.busy {
 			if until > now+1e-12 {
-				out[m].Inflight += e.repBatch[m][r]
+				out[m].Inflight += p.repBatch[r]
 			}
 		}
+		p.mu.Unlock()
 	}
-	e.poolMu.Unlock()
 	return out
 }

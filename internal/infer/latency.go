@@ -26,10 +26,23 @@ const (
 	latQuantum  = 0.01
 )
 
+// latFeedback is the EWMA state of the latency-feedback plane, published as
+// an immutable snapshot behind Engine.latFb: obs[m] is model m's observed
+// batch-latency EWMA (0 until a backend reported one), raw[m] the
+// observed/profiled ratio EWMA. Writers clone-and-swap under latMu; readers
+// (the steady-state ObserveLatency fast path and LatencyFeedback) load the
+// pointer lock-free.
+type latFeedback struct {
+	obs []float64
+	raw []float64
+}
+
 // ObserveLatency feeds one executed batch's observed service latency for
 // model m (timeline seconds) into the feedback plane. Non-positive
 // observations and out-of-range models are ignored. Safe to call
-// concurrently with decision loops.
+// concurrently with decision loops; the steady state — a backend whose
+// observation matches the EWMA exactly, which the simulated backend does on
+// every batch after the first — is a lock-free no-op.
 func (e *Engine) ObserveLatency(m, batch int, observed float64) {
 	if m < 0 || m >= len(e.Deployment.Profiles) || observed <= 0 {
 		return
@@ -44,28 +57,39 @@ func (e *Engine) ObserveLatency(m, batch int, observed float64) {
 	} else if ratio > latRatioMax {
 		ratio = latRatioMax
 	}
+	// Fast path: when the snapshot proves this observation moves neither
+	// EWMA (obs equal, ratio equal — both "leave untouched exactly" rules
+	// below), the plane is already converged and no lock is needed.
+	if fb := e.latFb.Load(); fb != nil && fb.obs[m] != 0 &&
+		observed == fb.obs[m] && ratio == fb.raw[m] {
+		return
+	}
 	e.latMu.Lock()
 	defer e.latMu.Unlock()
 	nm := len(e.Deployment.Profiles)
-	if e.latRaw == nil {
-		e.latObs = make([]float64, nm)
-		e.latRaw = make([]float64, nm)
-		for i := range e.latRaw {
-			e.latRaw[i] = 1
+	// Clone-and-swap: concurrent readers keep whatever snapshot they loaded.
+	next := &latFeedback{obs: make([]float64, nm), raw: make([]float64, nm)}
+	if fb := e.latFb.Load(); fb != nil {
+		copy(next.obs, fb.obs)
+		copy(next.raw, fb.raw)
+	} else {
+		for i := range next.raw {
+			next.raw[i] = 1
 		}
 	}
-	if e.latObs[m] == 0 {
-		e.latObs[m] = observed
+	if next.obs[m] == 0 {
+		next.obs[m] = observed
 	} else {
-		e.latObs[m] += latEWMAAlpha * (observed - e.latObs[m])
+		next.obs[m] += latEWMAAlpha * (observed - next.obs[m])
 	}
 	// ratio == raw leaves the EWMA untouched exactly: the simulated backend
 	// always reports ratio 1, so its estimate never drifts off 1.0 through
 	// float arithmetic.
-	if ratio != e.latRaw[m] {
-		e.latRaw[m] += latEWMAAlpha * (ratio - e.latRaw[m])
+	if ratio != next.raw[m] {
+		next.raw[m] += latEWMAAlpha * (ratio - next.raw[m])
 	}
-	applied := appliedScale(e.latRaw[m])
+	e.latFb.Store(next)
+	applied := appliedScale(next.raw[m])
 	cur := 1.0
 	if sp := e.latScalePt.Load(); sp != nil {
 		cur = (*sp)[m]
@@ -138,7 +162,8 @@ func (e *Engine) latencyTable() [][]float64 {
 // LatencyFeedback snapshots the feedback plane for observability: each
 // model's observed batch-latency EWMA (0 until a backend reported one) and
 // the applied observed/profiled scale (1 = planning on the raw profile).
-// Safe to call concurrently.
+// Safe to call concurrently; entirely lock-free (both pieces are published
+// snapshots).
 func (e *Engine) LatencyFeedback() (observed, scale []float64) {
 	nm := len(e.Deployment.Profiles)
 	observed = make([]float64, nm)
@@ -146,9 +171,9 @@ func (e *Engine) LatencyFeedback() (observed, scale []float64) {
 	for i := range scale {
 		scale[i] = 1
 	}
-	e.latMu.Lock()
-	copy(observed, e.latObs)
-	e.latMu.Unlock()
+	if fb := e.latFb.Load(); fb != nil {
+		copy(observed, fb.obs)
+	}
 	if sp := e.latScalePt.Load(); sp != nil {
 		copy(scale, *sp)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"rafiki/internal/ensemble"
 	"rafiki/internal/infer/executor"
@@ -155,18 +156,27 @@ type RuntimeConfig struct {
 // re-shard never strands a future in the wrong stripe.
 const runtimeStripes = 16
 
-// stripe is one lock-striped slice of the pending-future table.
-type stripe struct {
+// stripeState is one lock-striped slice of the pending-future table.
+type stripeState struct {
 	mu      sync.Mutex
 	pending map[uint64]*futureSlot
 }
 
-// plane is one dispatch group's runtime-side state: the lock serializing
+// stripe pads the stripe state onto its own cache lines: the 16 stripes live
+// in one fixed array, and concurrent submitters hammering adjacent stripes
+// must not false-share a line (the mutex word of stripe i and the map header
+// of stripe i+1 would otherwise ping-pong together).
+type stripe struct {
+	stripeState
+	_ [(falseSharePad - unsafe.Sizeof(stripeState{})%falseSharePad) % falseSharePad]byte
+}
+
+// planeState is one dispatch group's runtime-side state: the lock serializing
 // the group's decision points, its wait-poll flag, and its coalesced-sweep
 // flag. The Runtime pre-allocates one plane per possible group index, so a
 // live group-count change never resizes anything — a stale sweep armed for
 // a no-longer-populated group just runs an empty StepGroup.
-type plane struct {
+type planeState struct {
 	// mu serializes the group's decision points. Always acquired with the
 	// control lock held shared; the control lock held exclusively implies
 	// no plane lock is held by anyone.
@@ -188,6 +198,14 @@ type plane struct {
 	// pollFn is the cached poll-timer callback, so arming a poll does not
 	// allocate a fresh closure per tick.
 	pollFn func()
+}
+
+// plane pads the plane state onto its own cache lines: the planes live in one
+// fixed array, and sibling planes' locks and sweep flags are the hottest
+// words in the dispatch path — adjacent planes must not share a line.
+type plane struct {
+	planeState
+	_ [(falseSharePad - unsafe.Sizeof(planeState{})%falseSharePad) % falseSharePad]byte
 }
 
 // Runtime is the wall-clock driver of the dispatch Engine: goroutine-safe,
@@ -318,9 +336,7 @@ func NewRuntime(d *Deployment, p Policy, acc *ensemble.AccuracyTable, exec Execu
 	// so memory stays flat and Stats percentiles cover a recent window,
 	// and bound the rate windows the same way (the simulator keeps full
 	// histories for figures; a live runtime only reads recent tails).
-	eng.Metrics().LatencyCap = 4096
-	eng.Metrics().ArrivalRate.Keep = 64
-	eng.Metrics().OverdueRate.Keep = 64
+	eng.SetMetricBounds(4096, 64)
 	_, concurrent := tl.(sim.ConcurrentTimeline)
 	factor := cfg.ExecQueueFactor
 	if factor < 0 {
